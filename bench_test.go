@@ -1,0 +1,417 @@
+// Package muml_test benchmarks every experiment of DESIGN.md §4: one
+// benchmark per reproduced figure/listing/claim, plus the design-choice
+// ablations of DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+package muml_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/conformance"
+	"muml/internal/core"
+	"muml/internal/crossing"
+	"muml/internal/ctl"
+	"muml/internal/experiments"
+	"muml/internal/learning"
+	"muml/internal/legacy"
+	"muml/internal/railcab"
+	"muml/internal/replay"
+)
+
+// BenchmarkInitialSynthesis (E1): building the initial model and its
+// chaotic closure from the structural interface (Figs. 4(a), 4(b)).
+func BenchmarkInitialSynthesis(b *testing.B) {
+	iface := railcab.RearInterface(railcab.RearRoleName)
+	universe := automata.Universe(automata.UniverseSingleton)
+	for i := 0; i < b.N; i++ {
+		a := automata.New(iface.Name, iface.Inputs, iface.Outputs)
+		id := a.MustAddState("noConvoy::default")
+		a.MarkInitial(id)
+		model := automata.NewIncomplete(a)
+		closure := automata.ChaoticClosure(model, universe)
+		if closure.NumStates() != 4 {
+			b.Fatal("unexpected closure size")
+		}
+	}
+}
+
+// BenchmarkContextFlatten (E2): flattening the front-role RTSC (Fig. 5).
+func BenchmarkContextFlatten(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		front := railcab.FrontRole()
+		if front.NumStates() != 4 {
+			b.Fatal("unexpected front role size")
+		}
+	}
+}
+
+// BenchmarkIterationCheck (E3): one verification round — compose the
+// context with the chaotic closure and check φ ∧ ¬δ (Listing 1.1).
+func BenchmarkIterationCheck(b *testing.B) {
+	iface := railcab.RearInterface(railcab.RearRoleName)
+	a := automata.New(iface.Name, iface.Inputs, iface.Outputs)
+	id := a.MustAddState("noConvoy::default")
+	a.MarkInitial(id)
+	model := automata.NewIncomplete(a)
+	closure := automata.ChaoticClosure(model, automata.Universe(automata.UniverseSingleton))
+	front := railcab.FrontRole()
+	property := ctl.WeakenForChaos(railcab.Constraint())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := automata.Compose("system", front, closure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		checker := ctl.NewChecker(sys)
+		if !checker.Holds(property) {
+			b.Fatal("weakened property should hold initially")
+		}
+		if checker.Holds(ctl.NoDeadlock()) {
+			b.Fatal("initial closure should have deadlock hypotheses")
+		}
+	}
+}
+
+// BenchmarkRecordReplay (E4): the two-phase record/deterministic-replay
+// pipeline on the correct shuttle (Listings 1.2/1.3).
+func BenchmarkRecordReplay(b *testing.B) {
+	iface := railcab.RearInterface(railcab.RearRoleName)
+	comp := &railcab.CorrectShuttle{}
+	inputs := []automata.SignalSet{
+		automata.EmptySet,
+		automata.NewSignalSet(railcab.StartConvoy),
+		automata.EmptySet,
+		automata.NewSignalSet(railcab.BreakConvoyAccepted),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := replay.Record(comp, iface, inputs)
+		if _, _, err := replay.Replay(comp, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastConflict (E5): full synthesis run on the eager shuttle up
+// to the fast conflict verdict (Fig. 6, Listing 1.4).
+func BenchmarkFastConflict(b *testing.B) {
+	benchmarkSynthesis(b, func() legacy.Component { return &railcab.EagerShuttle{} }, core.VerdictViolation)
+}
+
+// BenchmarkSynthesisToProof (E6): full synthesis run on the correct
+// shuttle up to the proof (Fig. 7, Listing 1.5).
+func BenchmarkSynthesisToProof(b *testing.B) {
+	benchmarkSynthesis(b, func() legacy.Component { return &railcab.CorrectShuttle{} }, core.VerdictProven)
+}
+
+// BenchmarkConfirmedDeadlock (E4/E10): full synthesis run on the blocking
+// shuttle up to the confirmed deadlock.
+func BenchmarkConfirmedDeadlock(b *testing.B) {
+	benchmarkSynthesis(b, func() legacy.Component { return &railcab.BlockingShuttle{} }, core.VerdictViolation)
+}
+
+func benchmarkSynthesis(b *testing.B, make func() legacy.Component, want core.Verdict) {
+	b.Helper()
+	front := railcab.FrontRole()
+	iface := railcab.RearInterface(railcab.RearRoleName)
+	for i := 0; i < b.N; i++ {
+		synth, err := core.New(front, make(), iface, core.Options{Property: railcab.Constraint()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := synth.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Verdict != want {
+			b.Fatalf("verdict = %v, want %v", report.Verdict, want)
+		}
+	}
+}
+
+// BenchmarkSynthesisScaling (E7): synthesis effort over growing random
+// legacy components.
+func BenchmarkSynthesisScaling(b *testing.B) {
+	for _, size := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("states=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(size)))
+			sc := experiments.GenerateScenario(rng, size, 2, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				synth, err := core.New(sc.Context, sc.Component, sc.Iface, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := synth.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLStarVsContextGuided (E8): the same component learned by L*
+// with a perfect oracle vs decided by the context-guided synthesis.
+func BenchmarkLStarVsContextGuided(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	sc := experiments.GenerateScenario(rng, 16, 2, 3)
+	universe := automata.Universe(automata.UniverseSingleton)
+
+	b.Run("lstar-perfect-oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := learning.LearnComponent(
+				sc.Component, sc.Iface, universe, learning.NewPerfectOracle(sc.Legacy), 256); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("context-guided-synthesis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth, err := core.New(sc.Context, sc.Component, sc.Iface, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := synth.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWMethodSuite (E9): W-method suite generation per assumed
+// implementation bound.
+func BenchmarkWMethodSuite(b *testing.B) {
+	universe := automata.Universe(automata.UniverseSingleton)
+	hyp := core.ExploreComponent(&railcab.CorrectShuttle{},
+		railcab.RearInterface(railcab.RearRoleName), universe, nil, 64)
+	alphabet := conformance.InputAlphabet(hyp, universe)
+	for gap := 0; gap <= 2; gap++ {
+		bound := hyp.NumStates() + gap
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := conformance.Suite(hyp, alphabet, bound); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFaultInjectionSweep (E10): verdict for one mutated scenario
+// (synthesis + ground truth comparison).
+func BenchmarkFaultInjectionSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	sc := experiments.MutateScenario(rng, experiments.GenerateScenario(rng, 8, 2, 3))
+	for i := 0; i < b.N; i++ {
+		synth, err := core.New(sc.Context, sc.Component, sc.Iface, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := synth.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPatternVerification (E11): verifying the DistanceCoordination
+// pattern (Fig. 1).
+func BenchmarkPatternVerification(b *testing.B) {
+	b.Run("synchronous", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v, err := railcab.Pattern().Verify()
+			if err != nil || !v.Satisfied {
+				b.Fatalf("verify: %v satisfied=%v", err, v.Satisfied)
+			}
+		}
+	})
+	b.Run("delayed-connector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := railcab.DelayedPattern(1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Verify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConvoySim (E12): the emergency braking kinematics.
+func BenchmarkConvoySim(b *testing.B) {
+	cfg := railcab.DefaultDynamics()
+	for i := 0; i < b.N; i++ {
+		res := railcab.EmergencyBrakeScenario(cfg, railcab.ModeNoConvoy, railcab.ModeConvoy)
+		if !res.Collision {
+			b.Fatal("expected collision")
+		}
+	}
+}
+
+// BenchmarkRefinementAlgorithms (ablation, DESIGN §5): the sound
+// polynomial simulation check vs the exact subset-construction refinement
+// decision.
+func BenchmarkRefinementAlgorithms(b *testing.B) {
+	universe := automata.Universe(automata.UniverseSingleton)
+	impl := core.ExploreComponent(&railcab.CorrectShuttle{},
+		railcab.RearInterface(railcab.RearRoleName), universe, nil, 64)
+	model := automata.NewIncomplete(impl.Clone("model"))
+	spec := automata.ChaoticClosure(model, universe)
+
+	b.Run("simulates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			automata.Simulates(impl, spec)
+		}
+	})
+	b.Run("refines-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := automata.Refines(impl, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkChaosEncoding (ablation, DESIGN §5): the amended unknown-only
+// closure vs the literal Definition 9 closure (which has more chaos
+// transitions and never admits the proof).
+func BenchmarkChaosEncoding(b *testing.B) {
+	universe := automata.Universe(automata.UniverseSingleton)
+	impl := core.ExploreComponent(&railcab.CorrectShuttle{},
+		railcab.RearInterface(railcab.RearRoleName), universe, nil, 64)
+	model := automata.NewIncomplete(impl)
+
+	b.Run("amended-unknown-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			automata.ChaoticClosure(model, universe)
+		}
+	})
+	b.Run("literal-def9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			automata.ChaoticClosureLiteral(model, universe)
+		}
+	})
+}
+
+// BenchmarkMultiLegacy (extension, §7): parallel learning of two legacy
+// components.
+func BenchmarkMultiLegacy(b *testing.B) {
+	ctxA := multiCoordinator()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMulti(ctxA,
+			[]legacy.Component{newPonger("1"), newPonger("2")},
+			[]legacy.Interface{pongerIface("1"), pongerIface("2")},
+			core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Verdict != core.VerdictProven {
+			b.Fatal("expected proof")
+		}
+	}
+}
+
+// BenchmarkCrossingSynthesis (E13): the timed rail-crossing case study —
+// clocks in the context, deadline property in CCTL.
+func BenchmarkCrossingSynthesis(b *testing.B) {
+	property := ctl.And(crossing.Constraint(), crossing.ClosureDeadline())
+	b.Run("swift-proven", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth, err := core.New(crossing.TrainRole(), crossing.SwiftGate(),
+				crossing.GateInterface(), core.Options{Property: property})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report, err := synth.Run()
+			if err != nil || report.Verdict != core.VerdictProven {
+				b.Fatalf("%v / %v", err, report)
+			}
+		}
+	})
+	b.Run("sluggish-violation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth, err := core.New(crossing.TrainRole(), crossing.SluggishGate(),
+				crossing.GateInterface(), core.Options{Property: property})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report, err := synth.Run()
+			if err != nil || report.Verdict != core.VerdictViolation {
+				b.Fatalf("%v / %v", err, report)
+			}
+		}
+	})
+}
+
+// BenchmarkModelChecker: raw CCTL checking over the composed RailCab
+// system (all operators exercised by the pattern property set).
+func BenchmarkModelChecker(b *testing.B) {
+	sys, err := railcab.Pattern().Compose()
+	if err != nil {
+		b.Fatal(err)
+	}
+	props := []ctl.Formula{
+		railcab.Constraint(),
+		ctl.NoDeadlock(),
+		ctl.MustParse("AG (frontRole.convoy -> AF[1,8] frontRole.noConvoy or AG frontRole.convoy)"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker := ctl.NewChecker(sys)
+		for _, p := range props {
+			checker.Holds(p)
+		}
+	}
+}
+
+// --- helpers for BenchmarkMultiLegacy (mirrors internal/core tests) ---
+
+func multiCoordinator() *automata.Automaton {
+	c := automata.New("coordinator",
+		automata.NewSignalSet("pong1", "pong2"),
+		automata.NewSignalSet("ping1", "ping2"))
+	c0 := c.MustAddState("askFirst")
+	c1 := c.MustAddState("awaitFirst")
+	c2 := c.MustAddState("askSecond")
+	c3 := c.MustAddState("awaitSecond")
+	c.MustAddTransition(c0, automata.Interact(nil, []automata.Signal{"ping1"}), c1)
+	c.MustAddTransition(c1, automata.Interact([]automata.Signal{"pong1"}, nil), c2)
+	c.MustAddTransition(c2, automata.Interact(nil, []automata.Signal{"ping2"}), c3)
+	c.MustAddTransition(c3, automata.Interact([]automata.Signal{"pong2"}, nil), c0)
+	c.MarkInitial(c0)
+	return c
+}
+
+func newPonger(idx string) legacy.Component {
+	ping := "ping" + idx
+	pong := "pong" + idx
+	return &legacy.FuncComponent{
+		Name:    "service" + idx,
+		Initial: "idle",
+		Next: map[string]map[string]legacy.FuncStep{
+			"idle": {
+				"":   {To: "idle"},
+				ping: {To: "got"},
+			},
+			"got": {
+				"": {Out: []automata.Signal{automata.Signal(pong)}, To: "idle"},
+			},
+		},
+	}
+}
+
+func pongerIface(idx string) legacy.Interface {
+	return legacy.Interface{
+		Name:    "service" + idx,
+		Inputs:  automata.NewSignalSet(automata.Signal("ping" + idx)),
+		Outputs: automata.NewSignalSet(automata.Signal("pong" + idx)),
+	}
+}

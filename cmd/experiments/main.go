@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's figures, listings, and
+// evaluation claims (see DESIGN.md §4 for the index) and optionally writes
+// the EXPERIMENTS.md report.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run E5
+//	experiments -all [-report EXPERIMENTS.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"muml/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		runID    = flag.String("run", "", "run a single experiment by ID (e.g. E5)")
+		all      = flag.Bool("all", false, "run all experiments")
+		parallel = flag.Int("parallel", 1, "number of experiments to run concurrently (with -all)")
+		report   = flag.String("report", "", "write the markdown report to this file (with -all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+
+	case *runID != "":
+		res, err := experiments.Run(*runID)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		if !res.Match {
+			return fmt.Errorf("experiment %s did not match the expected shape", res.ID)
+		}
+		return nil
+
+	case *all:
+		var (
+			results []*experiments.Result
+			err     error
+		)
+		if *parallel > 1 {
+			results, err = experiments.RunAllParallel(*parallel)
+		} else {
+			results, err = experiments.RunAll()
+		}
+		if err != nil {
+			return err
+		}
+		failures := 0
+		for _, r := range results {
+			status := "ok"
+			if !r.Match {
+				status = "MISMATCH"
+				failures++
+			}
+			fmt.Printf("%-4s %-55s %s\n", r.ID, r.Title, status)
+		}
+		if *report != "" {
+			if err := os.WriteFile(*report, []byte(experiments.RenderReport(results)), 0o644); err != nil {
+				return fmt.Errorf("write report: %w", err)
+			}
+			fmt.Printf("report written to %s\n", *report)
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d experiments did not match", failures)
+		}
+		return nil
+
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -list, -run, or -all is required")
+	}
+}
+
+func printResult(r *experiments.Result) {
+	fmt.Printf("%s — %s\n", r.ID, r.Title)
+	fmt.Printf("paper artefact: %s\n", r.PaperArtifact)
+	fmt.Printf("expectation:    %s\n", r.Expectation)
+	fmt.Printf("measured:       %s\n", r.Measured)
+	fmt.Printf("match:          %v\n\n%s\n", r.Match, r.Details)
+}

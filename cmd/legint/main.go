@@ -1,0 +1,241 @@
+// Command legint runs the iterative legacy-integration synthesis of the
+// paper on the built-in RailCab scenarios, printing per-iteration
+// counterexamples, monitored traces, and the final verdict.
+//
+// Usage:
+//
+//	legint -scenario correct|eager|blocking [-verbose] [-paper-literal]
+//	legint -context ctx.json -legacy impl.json [-property "A[] not (a and b)"]
+//	legint ... -dump-model model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"muml/internal/automata"
+	"muml/internal/core"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/railcab"
+	"muml/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario    = flag.String("scenario", "correct", "legacy controller: correct, eager, or blocking")
+		contextFile = flag.String("context", "", "JSON automaton file for a custom context (with -legacy)")
+		legacyFile  = flag.String("legacy", "", "JSON automaton file wrapped as the black-box legacy component")
+		property    = flag.String("property", "", "CCTL property to establish (default: RailCab constraint, or ¬δ only for custom models)")
+		dumpModel   = flag.String("dump-model", "", "write the final learned model (JSON) to this file")
+		verbose     = flag.Bool("verbose", false, "print counterexamples and replay traces per iteration")
+		literal     = flag.Bool("paper-literal", false, "restrict learning to Definitions 11-12 (ablation)")
+		multi       = flag.Bool("multi", false, "run the two-component demo instead (Section 7 extension)")
+	)
+	flag.Parse()
+
+	if *multi {
+		return runMulti()
+	}
+
+	var (
+		comp    legacy.Component
+		context *automata.Automaton
+		iface   legacy.Interface
+		prop    ctl.Formula
+		title   string
+	)
+	switch {
+	case *contextFile != "" || *legacyFile != "":
+		if *contextFile == "" || *legacyFile == "" {
+			return fmt.Errorf("-context and -legacy must be given together")
+		}
+		var err error
+		context, err = loadAutomaton(*contextFile)
+		if err != nil {
+			return err
+		}
+		legacyAuto, err := loadAutomaton(*legacyFile)
+		if err != nil {
+			return err
+		}
+		wrapped, err := legacy.WrapAutomaton(legacyAuto)
+		if err != nil {
+			return fmt.Errorf("legacy model must be function-deterministic: %w", err)
+		}
+		comp = wrapped
+		iface = wrapped.InterfaceOf()
+		title = fmt.Sprintf("%s (from %s)", iface.Name, *legacyFile)
+	default:
+		switch *scenario {
+		case "correct":
+			comp = &railcab.CorrectShuttle{}
+		case "eager":
+			comp = &railcab.EagerShuttle{}
+		case "blocking":
+			comp = &railcab.BlockingShuttle{}
+		default:
+			return fmt.Errorf("unknown scenario %q", *scenario)
+		}
+		context = railcab.FrontRole()
+		iface = railcab.RearInterface(railcab.RearRoleName)
+		prop = railcab.Constraint()
+		title = *scenario
+	}
+	if *property != "" {
+		var err error
+		prop, err = ctl.Parse(*property)
+		if err != nil {
+			return err
+		}
+	}
+
+	opts := core.Options{
+		Property:             prop,
+		PaperLiteralLearning: *literal,
+		MaxIterations:        200,
+	}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+	synth, err := core.New(context, comp, iface, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("integrating legacy component %q against context %q\n", title, context.Name())
+	if prop != nil {
+		fmt.Printf("property: %s and deadlock freedom\n\n", prop)
+	} else {
+		fmt.Printf("property: deadlock freedom\n\n")
+	}
+
+	report, err := synth.Run()
+	if err != nil {
+		return err
+	}
+
+	for _, it := range report.Iterations {
+		fmt.Printf("iteration %d: model %d states / %d transitions / %d refusals, |system| = %d\n",
+			it.Index, it.ModelStates, it.ModelTransitions, it.ModelBlocked, it.SystemStates)
+		if it.Counterexample == nil {
+			fmt.Println("  property and deadlock freedom hold — proof complete (Lemma 5)")
+			continue
+		}
+		fmt.Printf("  check failed (property=%v deadlock-free=%v); test outcome: %v\n",
+			it.PropertyHolds, it.DeadlockFree, it.Test)
+		if *verbose {
+			fmt.Printf("  counterexample:\n%s", indent(it.CounterexampleText))
+			if it.ReplayTrace != nil {
+				fmt.Printf("  replay trace:\n%s", indent(it.ReplayTrace.Render()))
+			}
+		}
+	}
+
+	fmt.Printf("\nverdict: %v", report.Verdict)
+	if report.Verdict == core.VerdictViolation {
+		fmt.Printf(" (%v)\nwitness:\n%s", report.Kind, report.WitnessText)
+	}
+	fmt.Printf("\nfinal learned model:\n%s", trace.RenderModel(report.Model))
+	fmt.Printf("\nstats: %+v\n", report.Stats)
+
+	if *dumpModel != "" {
+		data, err := automata.EncodeIncompleteJSON(report.Model)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dumpModel, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("learned model written to %s\n", *dumpModel)
+	}
+	return nil
+}
+
+func loadAutomaton(path string) (*automata.Automaton, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return automata.DecodeJSON(data)
+}
+
+// runMulti demonstrates the Section 7 extension: a coordinator context
+// polling two independent black-box services, both learned in parallel.
+func runMulti() error {
+	coordinator := automata.New("coordinator",
+		automata.NewSignalSet("pong1", "pong2"),
+		automata.NewSignalSet("ping1", "ping2"))
+	c0 := coordinator.MustAddState("askFirst")
+	c1 := coordinator.MustAddState("awaitFirst")
+	c2 := coordinator.MustAddState("askSecond")
+	c3 := coordinator.MustAddState("awaitSecond")
+	coordinator.MustAddTransition(c0, automata.Interact(nil, []automata.Signal{"ping1"}), c1)
+	coordinator.MustAddTransition(c1, automata.Interact([]automata.Signal{"pong1"}, nil), c2)
+	coordinator.MustAddTransition(c2, automata.Interact(nil, []automata.Signal{"ping2"}), c3)
+	coordinator.MustAddTransition(c3, automata.Interact([]automata.Signal{"pong2"}, nil), c0)
+	coordinator.MarkInitial(c0)
+
+	service := func(idx string) (legacy.Component, legacy.Interface) {
+		ping := automata.Signal("ping" + idx)
+		pong := automata.Signal("pong" + idx)
+		comp := &legacy.FuncComponent{
+			Name:    "service" + idx,
+			Initial: "idle",
+			Next: map[string]map[string]legacy.FuncStep{
+				"idle": {"": {To: "idle"}, string(ping): {To: "got"}},
+				"got":  {"": {Out: []automata.Signal{pong}, To: "idle"}},
+			},
+		}
+		iface := legacy.Interface{
+			Name:    "service" + idx,
+			Inputs:  automata.NewSignalSet(ping),
+			Outputs: automata.NewSignalSet(pong),
+		}
+		return comp, iface
+	}
+	c1comp, i1 := service("1")
+	c2comp, i2 := service("2")
+
+	m, err := core.NewMulti(coordinator,
+		[]legacy.Component{c1comp, c2comp},
+		[]legacy.Interface{i1, i2}, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("multi-component synthesis (Section 7 extension): coordinator ‖ service1 ‖ service2")
+	report, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verdict: %v after %d iterations\n\n", report.Verdict, report.Iterations)
+	for i, model := range report.Models {
+		fmt.Printf("learned model of component %d:\n%s\n", i+1, trace.RenderModel(model))
+	}
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "    " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += "    " + s[start:] + "\n"
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+// Convoy simulation: the physical meaning of the DistanceCoordination
+// pattern constraint. Two shuttles brake in an emergency under all four
+// mode combinations; the combination forbidden by the constraint — rear
+// in convoy (reduced gap) while the front believes noConvoy (full braking
+// force) — is the one that ends in a rear-end collision.
+//
+// Run with:
+//
+//	go run ./examples/convoysim
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"muml/internal/railcab"
+)
+
+func main() {
+	cfg := railcab.DefaultDynamics()
+	fmt.Printf("emergency braking from %.0f m/s; convoy gap %.0f m, normal gap %.0f m\n",
+		cfg.CruiseSpeed, cfg.ConvoyGap, cfg.NormalGap)
+	fmt.Printf("full brake %.1f m/s², reduced brake %.1f m/s², reaction delay %d steps\n\n",
+		cfg.FullBrake, cfg.ReducedBrake, cfg.ReactionSteps)
+
+	for _, row := range railcab.ModeTable(cfg) {
+		marker := "   "
+		if row.Forbidden {
+			marker = "⚠️ "
+		}
+		fmt.Printf("%s%s\n", marker, row)
+	}
+
+	fmt.Println("\ngap trajectory for the forbidden combination (front=noConvoy, rear=convoy):")
+	res := railcab.EmergencyBrakeScenario(cfg, railcab.ModeNoConvoy, railcab.ModeConvoy)
+	printSparkline(res.Trajectory)
+	fmt.Printf("collision after %d steps (%.1f s)\n",
+		res.StopSteps, float64(res.StopSteps)*cfg.StepSeconds)
+
+	fmt.Println("\ngap trajectory for the coordinated convoy (front=convoy, rear=convoy):")
+	safe := railcab.EmergencyBrakeScenario(cfg, railcab.ModeConvoy, railcab.ModeConvoy)
+	printSparkline(safe.Trajectory)
+	fmt.Printf("both stopped after %d steps; minimum gap %.1f m\n", safe.StopSteps, safe.MinGap)
+}
+
+// printSparkline renders a gap trajectory as a coarse ASCII plot.
+func printSparkline(gaps []float64) {
+	max := 0.0
+	for _, g := range gaps {
+		if g > max {
+			max = g
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	const width = 60
+	step := len(gaps)/width + 1
+	var b strings.Builder
+	for i := 0; i < len(gaps); i += step {
+		g := gaps[i]
+		if g <= 0 {
+			b.WriteByte('X')
+			continue
+		}
+		levels := []byte("▁▂▃▄▅▆▇█")
+		idx := int(g / max * float64(len(levels)/3*3-1) / 3)
+		if idx >= 8 {
+			idx = 7
+		}
+		b.WriteString(string([]rune("▁▂▃▄▅▆▇█")[idx]))
+	}
+	fmt.Println(b.String())
+}

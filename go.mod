@@ -1,0 +1,3 @@
+module muml
+
+go 1.22

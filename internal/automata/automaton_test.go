@@ -1,0 +1,273 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+)
+
+// pingPong builds a tiny two-state automaton used across the tests:
+// idle --ping?/pong!--> busy --/done!--> idle.
+func pingPong(t *testing.T) *Automaton {
+	t.Helper()
+	a := New("pp", NewSignalSet("ping"), NewSignalSet("pong", "done"))
+	idle := a.MustAddState("idle", "pp.idle")
+	busy := a.MustAddState("busy", "pp.busy")
+	a.MustAddTransition(idle, Interact([]Signal{"ping"}, []Signal{"pong"}), busy)
+	a.MustAddTransition(busy, Interact(nil, []Signal{"done"}), idle)
+	a.MarkInitial(idle)
+	return a
+}
+
+func TestAutomatonBasics(t *testing.T) {
+	a := pingPong(t)
+	if got, want := a.NumStates(), 2; got != want {
+		t.Fatalf("NumStates = %d, want %d", got, want)
+	}
+	if got, want := a.NumTransitions(), 2; got != want {
+		t.Fatalf("NumTransitions = %d, want %d", got, want)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.State("idle") == NoState || a.State("nope") != NoState {
+		t.Fatal("State lookup broken")
+	}
+	if !a.Deterministic() {
+		t.Fatal("pingPong should be deterministic")
+	}
+	if got := a.StateName(a.State("busy")); got != "busy" {
+		t.Fatalf("StateName = %q", got)
+	}
+}
+
+func TestAddStateDuplicate(t *testing.T) {
+	a := New("a", EmptySet, EmptySet)
+	if _, err := a.AddState("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddState("s"); err == nil {
+		t.Fatal("expected error for duplicate state")
+	}
+}
+
+func TestAddTransitionValidation(t *testing.T) {
+	a := New("a", NewSignalSet("in"), NewSignalSet("out"))
+	s := a.MustAddState("s")
+	if err := a.AddTransition(s, Interact([]Signal{"bogus"}, nil), s); err == nil {
+		t.Fatal("expected error for input outside alphabet")
+	}
+	if err := a.AddTransition(s, Interact(nil, []Signal{"bogus"}), s); err == nil {
+		t.Fatal("expected error for output outside alphabet")
+	}
+	if err := a.AddTransition(s, Interact([]Signal{"in"}, nil), s); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddTransition(s, Interact([]Signal{"in"}, nil), s); err == nil {
+		t.Fatal("expected error for duplicate transition")
+	}
+	if err := a.AddTransition(StateID(99), Interaction{}, s); err == nil {
+		t.Fatal("expected error for out-of-range state")
+	}
+}
+
+func TestValidateRejectsOverlappingAlphabets(t *testing.T) {
+	a := New("a", NewSignalSet("x"), NewSignalSet("x"))
+	s := a.MustAddState("s")
+	a.MarkInitial(s)
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected error for I ∩ O ≠ ∅")
+	}
+}
+
+func TestValidateRequiresInitial(t *testing.T) {
+	a := New("a", EmptySet, EmptySet)
+	a.MustAddState("s")
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected error for missing initial state")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	a := New("a", EmptySet, EmptySet)
+	s := a.MustAddState("s", "q", "p")
+	if got := a.Labels(s); len(got) != 2 || got[0] != "p" || got[1] != "q" {
+		t.Fatalf("Labels not sorted/deduped: %v", got)
+	}
+	if !a.HasLabel(s, "p") || a.HasLabel(s, "r") {
+		t.Fatal("HasLabel broken")
+	}
+	a.AddLabel(s, "r")
+	a.AddLabel(s, "r") // idempotent
+	if got := a.Labels(s); len(got) != 3 || got[2] != "r" {
+		t.Fatalf("AddLabel broken: %v", got)
+	}
+}
+
+func TestLabelStatesByName(t *testing.T) {
+	a := pingPong(t)
+	a.LabelStatesByName()
+	if !a.HasLabel(a.State("idle"), "pp.idle") {
+		t.Fatal("LabelStatesByName did not add pp.idle")
+	}
+}
+
+func TestAllPropositions(t *testing.T) {
+	a := pingPong(t)
+	props := a.AllPropositions()
+	if len(props) != 2 || props[0] != "pp.busy" || props[1] != "pp.idle" {
+		t.Fatalf("AllPropositions = %v", props)
+	}
+}
+
+func TestEnabledInteractionsAndDeterminism(t *testing.T) {
+	a := New("a", NewSignalSet("x"), EmptySet)
+	s := a.MustAddState("s")
+	u := a.MustAddState("u")
+	v := a.MustAddState("v")
+	a.MarkInitial(s)
+	x := Interact([]Signal{"x"}, nil)
+	a.MustAddTransition(s, x, u)
+	if !a.Deterministic() {
+		t.Fatal("single transition should be deterministic")
+	}
+	a.MustAddTransition(s, x, v)
+	if a.Deterministic() {
+		t.Fatal("two successors on one label should be nondeterministic")
+	}
+	if got := len(a.EnabledInteractions(s)); got != 1 {
+		t.Fatalf("EnabledInteractions = %d labels, want 1", got)
+	}
+}
+
+func TestReachableAndDeadlock(t *testing.T) {
+	a := New("a", NewSignalSet("x"), EmptySet)
+	s := a.MustAddState("s")
+	dead := a.MustAddState("dead")
+	unreachableDead := a.MustAddState("island")
+	a.MarkInitial(s)
+	x := Interact([]Signal{"x"}, nil)
+	a.MustAddTransition(s, x, dead)
+
+	reached := a.Reachable()
+	if !reached[s] || !reached[dead] || reached[unreachableDead] {
+		t.Fatalf("Reachable = %v", reached)
+	}
+	id, ok := a.DeadlockReachable()
+	if !ok || id != dead {
+		t.Fatalf("DeadlockReachable = (%d, %v), want (%d, true)", id, ok, dead)
+	}
+
+	// Make the deadlock state live; only the island remains a deadlock,
+	// but it is unreachable.
+	a.MustAddTransition(dead, x, s)
+	if _, ok := a.DeadlockReachable(); ok {
+		t.Fatal("no reachable deadlock expected")
+	}
+}
+
+func TestRename(t *testing.T) {
+	a := pingPong(t)
+	b, err := a.Rename("pp2", map[Signal]Signal{"ping": "ping2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Inputs().Contains("ping2") || b.Inputs().Contains("ping") {
+		t.Fatalf("renamed inputs = %v", b.Inputs())
+	}
+	if b.NumTransitions() != a.NumTransitions() || b.NumStates() != a.NumStates() {
+		t.Fatal("rename changed structure")
+	}
+	// Original untouched.
+	if !a.Inputs().Contains("ping") {
+		t.Fatal("rename mutated the original")
+	}
+}
+
+func TestRenameRejectsMerging(t *testing.T) {
+	a := New("a", NewSignalSet("x", "y"), EmptySet)
+	s := a.MustAddState("s")
+	a.MarkInitial(s)
+	if _, err := a.Rename("b", map[Signal]Signal{"x": "y"}); err == nil {
+		t.Fatal("expected error when renaming merges signals")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := pingPong(t)
+	b := a.Clone("copy")
+	if b.Name() != "copy" {
+		t.Fatalf("clone name = %q", b.Name())
+	}
+	b.MustAddState("extra")
+	if a.State("extra") != NoState {
+		t.Fatal("clone shares state storage with original")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	dot := pingPong(t).Dot()
+	for _, want := range []string{"digraph", "doublecircle", "idle", "busy"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	a := pingPong(t)
+	idle, busy := a.State("idle"), a.State("busy")
+	ping := Interact([]Signal{"ping"}, []Signal{"pong"})
+	done := Interact(nil, []Signal{"done"})
+
+	good := Run{States: []StateID{idle, busy, idle}, Steps: []Interaction{ping, done}}
+	if err := good.IsRunOf(a); err != nil {
+		t.Fatalf("valid run rejected: %v", err)
+	}
+
+	badStart := Run{States: []StateID{busy, idle}, Steps: []Interaction{done}}
+	if err := badStart.IsRunOf(a); err == nil {
+		t.Fatal("run starting outside Q accepted")
+	}
+
+	badStep := Run{States: []StateID{idle, idle}, Steps: []Interaction{ping}}
+	if err := badStep.IsRunOf(a); err == nil {
+		t.Fatal("run with nonexistent transition accepted")
+	}
+
+	// Deadlock run: from idle, interaction "done" has no successor.
+	dead := Run{States: []StateID{idle}, Steps: []Interaction{done}, Deadlock: true}
+	if err := dead.IsRunOf(a); err != nil {
+		t.Fatalf("valid deadlock run rejected: %v", err)
+	}
+
+	// Claimed deadlock where a successor exists.
+	notDead := Run{States: []StateID{idle}, Steps: []Interaction{ping}, Deadlock: true}
+	if err := notDead.IsRunOf(a); err == nil {
+		t.Fatal("false deadlock run accepted")
+	}
+
+	malformed := Run{States: []StateID{idle}, Steps: []Interaction{ping, done}}
+	if err := malformed.Validate(); err == nil {
+		t.Fatal("malformed run accepted")
+	}
+	empty := Run{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty run accepted")
+	}
+}
+
+func TestRunProjections(t *testing.T) {
+	a := pingPong(t)
+	idle, busy := a.State("idle"), a.State("busy")
+	ping := Interact([]Signal{"ping"}, []Signal{"pong"})
+	r := Run{States: []StateID{idle, busy}, Steps: []Interaction{ping}}
+	if got := r.Trace(); len(got) != 1 || !got[0].Equal(ping) {
+		t.Fatalf("Trace = %v", got)
+	}
+	if got := r.StateSequence(); len(got) != 2 || got[0] != idle {
+		t.Fatalf("StateSequence = %v", got)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d", got)
+	}
+}

@@ -1,0 +1,183 @@
+package automata
+
+// This file implements the chaotic automaton (Definition 8) and the chaotic
+// closure (Definition 9).
+//
+// The chaotic automaton M_c over alphabets (I, O) has two states: s_∀,
+// which supports every interaction (looping or dropping to s_δ), and s_δ,
+// which blocks every interaction. It is the ⊑-maximal behaviour: every
+// automaton over (I, O) refines it.
+//
+// The chaotic closure chaos(M) of an incomplete automaton M doubles every
+// state s into (s,0) and (s,1) and embeds the chaotic automaton:
+//
+//   - (s,0) carries only the learned transitions (to both copies of the
+//     target) — it represents the hypothesis that no unlearned behaviour
+//     exists, so unlearned interactions deadlock there;
+//   - (s,1) additionally moves to s_∀ and s_δ on every interaction not
+//     excluded by T̄ — it represents the hypothesis that arbitrary further
+//     behaviour exists.
+//
+// Both copies of each initial state are initial. By Theorem 1, if M is
+// observation conforming to a deterministic implementation M_r, then
+// M_r ⊑ chaos(M).
+
+// Conventional state names used by the chaotic construction, matching the
+// paper's figures ("s_all" and "s_delta", Footnote 5).
+const (
+	ChaosAllState   = "s_all"
+	ChaosDeltaState = "s_delta"
+)
+
+// ChaoticAutomaton builds M_c of Definition 8 over the given alphabets,
+// with the interaction labels drawn from the given universe. Both s_∀ and
+// s_δ are initial and carry the chaos proposition χ.
+func ChaoticAutomaton(name string, inputs, outputs SignalSet, universe InteractionUniverse) *Automaton {
+	a := New(name, inputs, outputs)
+	sAll := a.MustAddState(ChaosAllState, ChaosProposition)
+	sDelta := a.MustAddState(ChaosDeltaState, ChaosProposition)
+	for _, x := range universe.Enumerate(inputs, outputs) {
+		a.MustAddTransition(sAll, x, sAll)
+		a.MustAddTransition(sAll, x, sDelta)
+	}
+	a.MarkInitial(sAll)
+	a.MarkInitial(sDelta)
+	return a
+}
+
+// ChaosSuffix distinguishes the two copies of each state in a chaotic
+// closure: "(s,0)" becomes s+ChaosClosedSuffix, "(s,1)" becomes
+// s+ChaosOpenSuffix.
+const (
+	ChaosClosedSuffix = "·0" // (s,0): no further extension assumed
+	ChaosOpenSuffix   = "·1" // (s,1): arbitrary further extension assumed
+)
+
+// ChaoticClosure builds chaos(M) of Definition 9 for the incomplete
+// automaton m, using the given interaction universe for the "all possible
+// interactions" quantification. The result is an ordinary automaton that is
+// a safe ⊑-abstraction of every deterministic implementation to which m is
+// observation conforming (Theorem 1).
+//
+// State copies (s,0) and (s,1) keep the labels of s; the embedded chaos
+// states s_all and s_delta are labeled with the chaos proposition χ only
+// (see ChaosProposition for how formulas are weakened accordingly).
+func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
+	src := m.auto
+	c := New(src.name, src.inputs, src.outputs)
+
+	closed := make([]StateID, src.NumStates())
+	open := make([]StateID, src.NumStates())
+	for id, st := range src.states {
+		closed[id] = c.MustAddState(st.name+ChaosClosedSuffix, st.labels...)
+		c.states[closed[id]].parts = []string{st.name}
+		open[id] = c.MustAddState(st.name+ChaosOpenSuffix, st.labels...)
+		c.states[open[id]].parts = []string{st.name}
+	}
+	sAll := c.MustAddState(ChaosAllState, ChaosProposition)
+	sDelta := c.MustAddState(ChaosDeltaState, ChaosProposition)
+
+	// Learned transitions go from both copies to both copies.
+	for _, t := range src.Transitions() {
+		c.MustAddTransition(closed[t.From], t.Label, closed[t.To])
+		c.MustAddTransition(closed[t.From], t.Label, open[t.To])
+		c.MustAddTransition(open[t.From], t.Label, closed[t.To])
+		c.MustAddTransition(open[t.From], t.Label, open[t.To])
+	}
+
+	// Every *unknown* interaction (neither learned in T nor excluded by
+	// T̄) leads from the open copy into chaos.
+	//
+	// Note on fidelity: the literal text of Definition 9 quantifies only
+	// over (s,A,B) ∉ T̄, which would add chaos transitions even for
+	// learned interactions. Under that reading s_δ stays reachable no
+	// matter how much is learned, the check φ ∧ ¬δ of Section 4.1 could
+	// never succeed, and the successful termination of the paper's own
+	// example (Fig. 7, "we have indeed proven ...") would be impossible.
+	// For a deterministic implementation the learned transition is the
+	// only behaviour on a learned label (observation conformance +
+	// determinism), so restricting chaos to unknown interactions keeps
+	// Theorem 1 intact while making the fixpoint reachable. We therefore
+	// implement the evident intent.
+	for id := range src.states {
+		s := StateID(id)
+		for _, x := range universe.Enumerate(src.inputs, src.outputs) {
+			if m.IsBlocked(s, x) || len(src.Successors(s, x)) > 0 {
+				continue
+			}
+			c.MustAddTransition(open[s], x, sAll)
+			c.MustAddTransition(open[s], x, sDelta)
+		}
+	}
+
+	// The embedded chaotic automaton T_c.
+	for _, x := range universe.Enumerate(src.inputs, src.outputs) {
+		c.MustAddTransition(sAll, x, sAll)
+		c.MustAddTransition(sAll, x, sDelta)
+	}
+
+	for _, q := range src.initial {
+		c.MarkInitial(closed[q])
+		c.MarkInitial(open[q])
+	}
+	return c
+}
+
+// ChaoticClosureLiteral builds chaos(M) with the *literal* quantification
+// of Definition 9: chaos transitions from the open copies for every
+// interaction not in T̄, including already-learned ones. Provided only for
+// the fidelity ablation: under this reading s_δ remains reachable no
+// matter how much has been learned, so the check φ ∧ ¬δ of Section 4.1
+// can never succeed once any behaviour exists (see the discussion in
+// ChaoticClosure).
+func ChaoticClosureLiteral(m *Incomplete, universe InteractionUniverse) *Automaton {
+	src := m.auto
+	c := New(src.name, src.inputs, src.outputs)
+	closed := make([]StateID, src.NumStates())
+	open := make([]StateID, src.NumStates())
+	for id, st := range src.states {
+		closed[id] = c.MustAddState(st.name+ChaosClosedSuffix, st.labels...)
+		c.states[closed[id]].parts = []string{st.name}
+		open[id] = c.MustAddState(st.name+ChaosOpenSuffix, st.labels...)
+		c.states[open[id]].parts = []string{st.name}
+	}
+	sAll := c.MustAddState(ChaosAllState, ChaosProposition)
+	sDelta := c.MustAddState(ChaosDeltaState, ChaosProposition)
+	for _, t := range src.Transitions() {
+		c.MustAddTransition(closed[t.From], t.Label, closed[t.To])
+		c.MustAddTransition(closed[t.From], t.Label, open[t.To])
+		c.MustAddTransition(open[t.From], t.Label, closed[t.To])
+		c.MustAddTransition(open[t.From], t.Label, open[t.To])
+	}
+	for id := range src.states {
+		s := StateID(id)
+		for _, x := range universe.Enumerate(src.inputs, src.outputs) {
+			if m.IsBlocked(s, x) {
+				continue
+			}
+			c.MustAddTransition(open[s], x, sAll)
+			c.MustAddTransition(open[s], x, sDelta)
+		}
+	}
+	for _, x := range universe.Enumerate(src.inputs, src.outputs) {
+		c.MustAddTransition(sAll, x, sAll)
+		c.MustAddTransition(sAll, x, sDelta)
+	}
+	for _, q := range src.initial {
+		c.MarkInitial(closed[q])
+		c.MarkInitial(open[q])
+	}
+	return c
+}
+
+// IsChaosState reports whether the composed or plain state involves a
+// chaotic state (s_all or s_delta) of a chaotic closure. For composed
+// automata every leaf part is inspected.
+func IsChaosState(a *Automaton, s StateID) bool {
+	for _, part := range a.states[s].parts {
+		if part == ChaosAllState || part == ChaosDeltaState {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,330 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compose builds the parallel composition M‖M' of Definition 3. The two
+// automata must be composable: I ∩ I' = ∅ and O ∩ O' = ∅.
+//
+// The composed automaton has state set S × S' restricted to the states
+// reachable from Q × Q', inputs I ∪ I', outputs O ∪ O'. A joint transition
+// on (A”, B”) exists iff component transitions on (A, B) and (A', B')
+// exist with A” = A ∪ A', B” = B ∪ B', and the cross conditions
+// (A ∩ O') = B' and (A' ∩ O) = B hold, i.e. every input one side expects
+// from the other is exactly what the other outputs in the same step
+// (synchronous communication).
+//
+// Composed state labels are the union L(s) ∪ L'(s'). Composed states keep
+// per-leaf provenance so that runs render as in the paper's listings
+// ("shuttle1.noConvoy, shuttle2.s_all").
+func Compose(name string, left, right *Automaton) (*Automaton, error) {
+	if !left.inputs.Disjoint(right.inputs) {
+		return nil, fmt.Errorf("automata: compose %q‖%q: shared inputs %v",
+			left.name, right.name, left.inputs.Intersect(right.inputs))
+	}
+	if !left.outputs.Disjoint(right.outputs) {
+		return nil, fmt.Errorf("automata: compose %q‖%q: shared outputs %v",
+			left.name, right.name, left.outputs.Intersect(right.outputs))
+	}
+	if len(left.initial) == 0 || len(right.initial) == 0 {
+		return nil, fmt.Errorf("automata: compose %q‖%q: missing initial states", left.name, right.name)
+	}
+
+	c := New(name, left.inputs.Union(right.inputs), left.outputs.Union(right.outputs))
+	c.leaves = append(append([]leafInfo(nil), left.leaves...), right.leaves...)
+
+	type pair struct{ l, r StateID }
+	ids := make(map[pair]StateID)
+	var queue []pair
+
+	addPair := func(p pair) StateID {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		name := left.states[p.l].name + "|" + right.states[p.r].name
+		labels := append(append([]Proposition(nil), left.states[p.l].labels...), right.states[p.r].labels...)
+		id := c.MustAddState(uniqueName(c, name), labels...)
+		c.states[id].parts = append(append([]string(nil), left.states[p.l].parts...), right.states[p.r].parts...)
+		ids[p] = id
+		queue = append(queue, p)
+		return id
+	}
+
+	for _, ql := range left.initial {
+		for _, qr := range right.initial {
+			c.MarkInitial(addPair(pair{ql, qr}))
+		}
+	}
+
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := ids[p]
+		for _, tl := range left.adj[p.l] {
+			for _, tr := range right.adj[p.r] {
+				if !tl.Label.In.Intersect(right.outputs).Equal(tr.Label.Out) {
+					continue
+				}
+				if !tr.Label.In.Intersect(left.outputs).Equal(tl.Label.Out) {
+					continue
+				}
+				label := Interaction{
+					In:  tl.Label.In.Union(tr.Label.In),
+					Out: tl.Label.Out.Union(tr.Label.Out),
+				}
+				to := addPair(pair{tl.To, tr.To})
+				// Parallel nondeterminism can produce the same joint
+				// transition twice; ignore duplicates.
+				_ = c.AddTransition(from, label, to)
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustCompose is Compose but panics on error.
+func MustCompose(name string, left, right *Automaton) *Automaton {
+	c, err := Compose(name, left, right)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ComposeAll builds the simultaneous parallel composition of several
+// automata. For two automata it coincides with Compose; for more it is the
+// n-ary generalization of Definition 3: in every joint step each automaton
+// takes exactly one transition, and for every participant i the inputs it
+// draws from the other participants' output alphabets must equal exactly
+// the signals the others produce for it:
+//
+//	Aᵢ ∩ (⋃_{j≠i} Oⱼ)  =  (⋃_{j≠i} Bⱼ) ∩ Iᵢ
+//
+// Note that folding the binary Compose is *not* equivalent for three or
+// more parts: Definition 3 requires every output to be consumed by the
+// partner in the same step, so a fold would force the third automaton to
+// consume signals that were already matched inside the first pair.
+func ComposeAll(name string, parts ...*Automaton) (*Automaton, error) {
+	switch len(parts) {
+	case 0:
+		return nil, fmt.Errorf("automata: compose: no automata given")
+	case 1:
+		return parts[0].Clone(name), nil
+	case 2:
+		return Compose(name, parts[0], parts[1])
+	}
+
+	for i := range parts {
+		if len(parts[i].initial) == 0 {
+			return nil, fmt.Errorf("automata: compose %q: %q has no initial state", name, parts[i].name)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if !parts[i].inputs.Disjoint(parts[j].inputs) {
+				return nil, fmt.Errorf("automata: compose %q: %q and %q share inputs",
+					name, parts[i].name, parts[j].name)
+			}
+			if !parts[i].outputs.Disjoint(parts[j].outputs) {
+				return nil, fmt.Errorf("automata: compose %q: %q and %q share outputs",
+					name, parts[i].name, parts[j].name)
+			}
+		}
+	}
+
+	allIn, allOut := EmptySet, EmptySet
+	var leaves []leafInfo
+	for _, p := range parts {
+		allIn = allIn.Union(p.inputs)
+		allOut = allOut.Union(p.outputs)
+		leaves = append(leaves, p.leaves...)
+	}
+	c := New(name, allIn, allOut)
+	c.leaves = leaves
+
+	// othersOut[i] = union of output alphabets of all parts except i.
+	othersOut := make([]SignalSet, len(parts))
+	for i := range parts {
+		o := EmptySet
+		for j := range parts {
+			if j != i {
+				o = o.Union(parts[j].outputs)
+			}
+		}
+		othersOut[i] = o
+	}
+
+	type tuple string
+	key := func(states []StateID) tuple {
+		b := make([]byte, 0, len(states)*3)
+		for _, s := range states {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return tuple(b)
+	}
+	ids := make(map[tuple]StateID)
+	var queue [][]StateID
+
+	addTuple := func(states []StateID) StateID {
+		k := key(states)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		names := make([]string, len(states))
+		var labels []Proposition
+		var partNames []string
+		for i, s := range states {
+			names[i] = parts[i].states[s].name
+			labels = append(labels, parts[i].states[s].labels...)
+			partNames = append(partNames, parts[i].states[s].parts...)
+		}
+		id := c.MustAddState(uniqueName(c, strings.Join(names, "|")), labels...)
+		c.states[id].parts = partNames
+		ids[k] = id
+		queue = append(queue, append([]StateID(nil), states...))
+		return id
+	}
+
+	// Initial tuples: cartesian product of initial state sets.
+	var initTuples [][]StateID
+	initTuples = append(initTuples, nil)
+	for _, p := range parts {
+		var next [][]StateID
+		for _, t := range initTuples {
+			for _, q := range p.initial {
+				next = append(next, append(append([]StateID(nil), t...), q))
+			}
+		}
+		initTuples = next
+	}
+	for _, t := range initTuples {
+		c.MarkInitial(addTuple(t))
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		from := ids[key(cur)]
+		// Enumerate joint transitions: one transition per part.
+		var choose func(i int, chosen []Transition)
+		choose = func(i int, chosen []Transition) {
+			if i == len(parts) {
+				produced := EmptySet
+				for _, t := range chosen {
+					produced = produced.Union(t.Label.Out)
+				}
+				label := Interaction{Out: produced}
+				for idx, t := range chosen {
+					internal := t.Label.In.Intersect(othersOut[idx])
+					delivered := produced.Intersect(parts[idx].inputs)
+					if !internal.Equal(delivered) {
+						return
+					}
+					label.In = label.In.Union(t.Label.In)
+				}
+				next := make([]StateID, len(parts))
+				for idx, t := range chosen {
+					next[idx] = t.To
+				}
+				_ = c.AddTransition(from, label, addTuple(next))
+				return
+			}
+			for _, t := range parts[i].adj[cur[i]] {
+				choose(i+1, append(chosen, t))
+			}
+		}
+		choose(0, nil)
+	}
+	return c, nil
+}
+
+// Leaves returns the names of the leaf automata of a (possibly composed)
+// automaton in composition order.
+func (a *Automaton) Leaves() []string {
+	names := make([]string, len(a.leaves))
+	for i, l := range a.leaves {
+		names[i] = l.name
+	}
+	return names
+}
+
+// LeafAlphabet returns the input and output alphabet of the named leaf, for
+// attributing signals of a composed run back to components.
+func (a *Automaton) LeafAlphabet(name string) (inputs, outputs SignalSet, ok bool) {
+	for _, l := range a.leaves {
+		if l.name == name {
+			return l.inputs, l.outputs, true
+		}
+	}
+	return SignalSet{}, SignalSet{}, false
+}
+
+// ProjectRun restricts a run of a composed automaton to the named leaf:
+// states become the leaf's state names and interactions are intersected
+// with the leaf's alphabet. Steps where the leaf neither consumes nor
+// produces a signal are kept (they are the leaf's idle time steps, which
+// exist because composition is fully synchronous).
+func (a *Automaton) ProjectRun(r Run, leaf string) (ProjectedRun, error) {
+	idx := -1
+	for i, l := range a.leaves {
+		if l.name == leaf {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return ProjectedRun{}, fmt.Errorf("automata: no leaf %q in %q", leaf, a.name)
+	}
+	in, out := a.leaves[idx].inputs, a.leaves[idx].outputs
+	p := ProjectedRun{Leaf: leaf, Deadlock: r.Deadlock}
+	for _, s := range r.States {
+		parts := a.states[s].parts
+		if len(parts) != len(a.leaves) {
+			return ProjectedRun{}, fmt.Errorf("automata: state %q lacks provenance for projection", a.states[s].name)
+		}
+		p.StateNames = append(p.StateNames, parts[idx])
+	}
+	for _, step := range r.Steps {
+		p.Steps = append(p.Steps, Interaction{
+			In:  step.In.Intersect(in),
+			Out: step.Out.Intersect(out),
+		})
+	}
+	return p, nil
+}
+
+// ProjectedRun is the restriction of a composed run to one leaf component.
+// State names refer to the leaf's own state space.
+type ProjectedRun struct {
+	Leaf       string
+	StateNames []string
+	Steps      []Interaction
+	Deadlock   bool
+}
+
+// String renders the projected run compactly.
+func (p ProjectedRun) String() string {
+	var b strings.Builder
+	for i, s := range p.StateNames {
+		fmt.Fprintf(&b, "%s.%s", p.Leaf, s)
+		if i < len(p.Steps) {
+			fmt.Fprintf(&b, " -%s-> ", p.Steps[i])
+		}
+	}
+	if p.Deadlock {
+		fmt.Fprintf(&b, " -%s-> <blocked>", p.Steps[len(p.Steps)-1])
+	}
+	return b.String()
+}
+
+func uniqueName(a *Automaton, base string) string {
+	if _, ok := a.index[base]; !ok {
+		return base
+	}
+	for i := 2; ; i++ {
+		candidate := fmt.Sprintf("%s#%d", base, i)
+		if _, ok := a.index[candidate]; !ok {
+			return candidate
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// threeParty builds a relay: a → b → c, where a emits m1 consumed by b,
+// and b emits m2 consumed by c, while the third party idles in each step.
+func threeParty(t *testing.T) (*Automaton, *Automaton, *Automaton) {
+	t.Helper()
+	a := New("a", EmptySet, NewSignalSet("m1"))
+	a0 := a.MustAddState("a0")
+	a1 := a.MustAddState("a1")
+	a.MustAddTransition(a0, Interact(nil, []Signal{"m1"}), a1)
+	a.MustAddTransition(a1, Interaction{}, a1)
+	a.MarkInitial(a0)
+
+	b := New("b", NewSignalSet("m1"), NewSignalSet("m2"))
+	b0 := b.MustAddState("b0")
+	b1 := b.MustAddState("b1")
+	b2 := b.MustAddState("b2")
+	b.MustAddTransition(b0, Interact([]Signal{"m1"}, nil), b1)
+	b.MustAddTransition(b1, Interact(nil, []Signal{"m2"}), b2)
+	b.MustAddTransition(b2, Interaction{}, b2)
+	b.MarkInitial(b0)
+
+	c := New("c", NewSignalSet("m2"), EmptySet)
+	c0 := c.MustAddState("c0")
+	c1 := c.MustAddState("c1")
+	c.MustAddTransition(c0, Interaction{}, c0)
+	c.MustAddTransition(c0, Interact([]Signal{"m2"}, nil), c1)
+	c.MustAddTransition(c1, Interaction{}, c1)
+	c.MarkInitial(c0)
+	return a, b, c
+}
+
+func TestComposeAllThreeParties(t *testing.T) {
+	a, b, c := threeParty(t)
+	sys, err := ComposeAll("sys", a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relay proceeds: (a0,b0,c0) -> (a1,b1,c0) -> (a1,b2,c1) -> loop.
+	if got := sys.NumStates(); got != 3 {
+		t.Fatalf("NumStates = %d, want 3:\n%s", got, sys.Dot())
+	}
+	if _, dead := sys.DeadlockReachable(); dead {
+		t.Fatal("relay should be deadlock-free")
+	}
+	if got := len(sys.Leaves()); got != 3 {
+		t.Fatalf("leaves = %v", sys.Leaves())
+	}
+	// First joint step: a sends m1, b consumes it, c idles.
+	init := sys.Initial()[0]
+	ts := sys.TransitionsFrom(init)
+	if len(ts) != 1 {
+		t.Fatalf("initial joint steps = %d", len(ts))
+	}
+	if !ts[0].Label.Out.Contains("m1") || !ts[0].Label.In.Contains("m1") {
+		t.Fatalf("joint label = %v", ts[0].Label)
+	}
+}
+
+func TestComposeAllRejectsFoldSemantics(t *testing.T) {
+	// The binary fold would be wrong here: composing a with b first leaves
+	// m1 "unconsumed" for c. The n-ary product must still find the joint
+	// step; the fold must produce an immediate deadlock instead. This test
+	// documents the difference.
+	a, b, c := threeParty(t)
+	ab, err := Compose("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold, err := Compose("fold", ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the fold, the first step (m1 exchange inside ab, Out={m1}) needs
+	// c to consume m1, which it cannot: the fold deadlocks at once.
+	if _, dead := fold.DeadlockReachable(); !dead {
+		t.Fatal("fold unexpectedly behaves like the n-ary product")
+	}
+	nary, err := ComposeAll("nary", a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dead := nary.DeadlockReachable(); dead {
+		t.Fatal("n-ary product deadlocked")
+	}
+}
+
+func TestComposeAllMatchesBinaryForTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		left := randomAutomaton(rng, "left", 3, 2)
+		rightBase := randomAutomaton(rng, "rightbase", 3, 2)
+		right, err := rightBase.Rename("right", map[Signal]Signal{"a": "p", "b": "q"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, errB := Compose("sys", left, right)
+		nary, errN := ComposeAll("sys", left, right)
+		if (errB == nil) != (errN == nil) {
+			t.Fatalf("iteration %d: error mismatch %v vs %v", i, errB, errN)
+		}
+		if errB != nil {
+			continue
+		}
+		if bin.NumStates() != nary.NumStates() || bin.NumTransitions() != nary.NumTransitions() {
+			t.Fatalf("iteration %d: binary (%d/%d) vs n-ary (%d/%d)", i,
+				bin.NumStates(), bin.NumTransitions(), nary.NumStates(), nary.NumTransitions())
+		}
+	}
+}
+
+func TestComposeAllValidation(t *testing.T) {
+	a, b, c := threeParty(t)
+	if _, err := ComposeAll("sys", a, b, b.Clone("b2")); err == nil {
+		t.Fatal("shared alphabets accepted")
+	}
+	noInit := New("ni", EmptySet, EmptySet)
+	noInit.MustAddState("s")
+	if _, err := ComposeAll("sys", a, b, noInit); err == nil {
+		t.Fatal("missing initial state accepted")
+	}
+	_ = c
+}
+
+func TestComposeAllSingleClones(t *testing.T) {
+	a, _, _ := threeParty(t)
+	solo, err := ComposeAll("solo", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Name() != "solo" || solo.NumStates() != a.NumStates() {
+		t.Fatal("single-part ComposeAll should clone")
+	}
+	solo.MustAddState("extra")
+	if a.State("extra") != NoState {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestComposeAllProjection(t *testing.T) {
+	a, b, c := threeParty(t)
+	sys, err := ComposeAll("sys", a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := sys.Initial()[0]
+	tr := sys.TransitionsFrom(init)[0]
+	run := Run{States: []StateID{init, tr.To}, Steps: []Interaction{tr.Label}}
+	proj, err := sys.ProjectRun(run, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.StateNames[0] != "b0" || proj.StateNames[1] != "b1" {
+		t.Fatalf("projection = %v", proj.StateNames)
+	}
+	if !proj.Steps[0].In.Contains("m1") {
+		t.Fatalf("projected step = %v", proj.Steps[0])
+	}
+}

@@ -1,0 +1,214 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := New("proto", NewSignalSet("req"), NewSignalSet("ack"))
+	idle := a.MustAddState("idle", "proto.idle")
+	busy := a.MustAddState("busy", "proto.busy")
+	a.MustAddTransition(idle, Interact([]Signal{"req"}, []Signal{"ack"}), busy)
+	a.MustAddTransition(busy, Interaction{}, idle)
+	a.MarkInitial(idle)
+
+	data, err := EncodeJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "proto" || back.NumStates() != 2 || back.NumTransitions() != 2 {
+		t.Fatalf("round trip changed structure: %s", back)
+	}
+	if !back.HasLabel(back.State("idle"), "proto.idle") {
+		t.Fatal("labels lost")
+	}
+	eq, _, err := Refines(a, back)
+	if err != nil || !eq {
+		t.Fatalf("round trip not equivalent: %v %v", eq, err)
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		a := randomDeterministicAutomaton(rng, "m", 5, 2)
+		data, err := EncodeJSON(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, data)
+		}
+		if back.NumStates() != a.NumStates() || back.NumTransitions() != a.NumTransitions() {
+			t.Fatalf("iteration %d: structure changed", i)
+		}
+		ok, cex, err := Refines(a, back)
+		if err != nil || !ok {
+			t.Fatalf("iteration %d: not equivalent (%v, cex=%v)", i, err, cex)
+		}
+	}
+}
+
+func TestDecodeJSONValidation(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"name":""}`,
+		`{"name":"a","states":[{"name":"s"}],"transitions":[{"from":"s","to":"ghost"}],"initial":["s"]}`,
+		`{"name":"a","states":[{"name":"s"}],"initial":["ghost"]}`,
+		`{"name":"a","states":[{"name":"s"}]}`, // no initial state
+		`{"name":"a","inputs":["x"],"outputs":["x"],"states":[{"name":"s"}],"initial":["s"]}`,
+	}
+	for _, in := range bad {
+		if _, err := DecodeJSON([]byte(in)); err == nil {
+			t.Errorf("DecodeJSON(%q) unexpectedly succeeded", in)
+		}
+	}
+}
+
+func TestIncompleteJSONRoundTrip(t *testing.T) {
+	a := New("m", NewSignalSet("x"), NewSignalSet("y"))
+	s0 := a.MustAddState("s0")
+	s1 := a.MustAddState("s1")
+	a.MustAddTransition(s0, Interact([]Signal{"x"}, []Signal{"y"}), s1)
+	a.MarkInitial(s0)
+	m := NewIncomplete(a)
+	if err := m.Block(s1, Interact([]Signal{"x"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := EncodeIncompleteJSON(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeIncompleteJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumBlocked() != 1 {
+		t.Fatalf("blocked entries = %d", back.NumBlocked())
+	}
+	if !back.IsBlocked(back.Automaton().State("s1"), Interact([]Signal{"x"}, nil)) {
+		t.Fatal("blocked entry lost")
+	}
+	if err := back.Consistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeIncompleteJSONRejectsInconsistent(t *testing.T) {
+	// Blocked entry duplicating a transition violates Definition 6.
+	in := `{
+	  "automaton": {
+	    "name": "m", "inputs": ["x"], "outputs": [],
+	    "states": [{"name": "s"}],
+	    "transitions": [{"from": "s", "in": ["x"], "to": "s"}],
+	    "initial": ["s"]
+	  },
+	  "blocked": [{"from": "s", "in": ["x"]}]
+	}`
+	if _, err := DecodeIncompleteJSON([]byte(in)); err == nil {
+		t.Fatal("inconsistent incomplete automaton accepted")
+	}
+	if _, err := DecodeIncompleteJSON([]byte(`{"automaton":{"name":"m","states":[{"name":"s"}],"initial":["s"]},"blocked":[{"from":"ghost"}]}`)); err == nil {
+		t.Fatal("blocked entry with unknown state accepted")
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	// s1 and s2 are behaviorally identical (they alternate between each
+	// other), while s0 is distinct (it refuses x). Expect 2 states.
+	a := New("m", NewSignalSet("x"), NewSignalSet("y"))
+	s0 := a.MustAddState("s0")
+	s1 := a.MustAddState("s1")
+	s2 := a.MustAddState("s2")
+	x := Interact([]Signal{"x"}, []Signal{"y"})
+	loop := Interact(nil, nil)
+	a.MustAddTransition(s0, loop, s1)
+	a.MustAddTransition(s1, x, s1)
+	a.MustAddTransition(s1, loop, s2)
+	a.MustAddTransition(s2, x, s2)
+	a.MustAddTransition(s2, loop, s1)
+	a.MarkInitial(s0)
+
+	min, err := MinimizeDeterministic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 2 {
+		t.Fatalf("minimized to %d states, want 2:\n%s", min.NumStates(), min.Dot())
+	}
+	// Equivalence preserved.
+	ok, cex, err := Refines(a, min)
+	if err != nil || !ok {
+		t.Fatalf("minimization changed behavior: %v %v", cex, err)
+	}
+}
+
+func TestMinimizeKeepsDistinctLabels(t *testing.T) {
+	a := New("m", EmptySet, EmptySet)
+	s0 := a.MustAddState("s0", "p")
+	s1 := a.MustAddState("s1", "q")
+	loop := Interaction{}
+	a.MustAddTransition(s0, loop, s1)
+	a.MustAddTransition(s1, loop, s0)
+	a.MarkInitial(s0)
+	min, err := MinimizeDeterministic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 2 {
+		t.Fatalf("label-distinct states merged: %d", min.NumStates())
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	a := New("m", EmptySet, EmptySet)
+	s0 := a.MustAddState("s0")
+	a.MustAddState("island")
+	a.MustAddTransition(s0, Interaction{}, s0)
+	a.MarkInitial(s0)
+	min, err := MinimizeDeterministic(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 1 {
+		t.Fatalf("unreachable state kept: %d", min.NumStates())
+	}
+}
+
+func TestMinimizeRejectsNondeterministic(t *testing.T) {
+	a := New("m", NewSignalSet("x"), NewSignalSet("y"))
+	s0 := a.MustAddState("s0")
+	s1 := a.MustAddState("s1")
+	a.MustAddTransition(s0, Interact([]Signal{"x"}, nil), s0)
+	a.MustAddTransition(s0, Interact([]Signal{"x"}, []Signal{"y"}), s1)
+	a.MarkInitial(s0)
+	if _, err := MinimizeDeterministic(a); err == nil {
+		t.Fatal("nondeterministic machine accepted")
+	}
+}
+
+func TestTrimPreservesProvenance(t *testing.T) {
+	left := New("l", EmptySet, NewSignalSet("m"))
+	l0 := left.MustAddState("a")
+	left.MustAddTransition(l0, Interact(nil, []Signal{"m"}), l0)
+	left.MarkInitial(l0)
+	right := New("r", NewSignalSet("m"), EmptySet)
+	r0 := right.MustAddState("b")
+	right.MustAddTransition(r0, Interact([]Signal{"m"}, nil), r0)
+	right.MarkInitial(r0)
+	sys := MustCompose("sys", left, right)
+	trimmed := sys.Trim("sys")
+	if len(trimmed.Leaves()) != 2 {
+		t.Fatalf("leaves = %v", trimmed.Leaves())
+	}
+	if got := trimmed.StateParts(trimmed.Initial()[0]); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("parts = %v", got)
+	}
+}

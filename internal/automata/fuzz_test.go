@@ -1,0 +1,38 @@
+package automata
+
+import "testing"
+
+// FuzzDecodeJSON ensures the JSON decoder never panics on malformed input
+// and that everything it accepts re-encodes and decodes to an equivalent
+// automaton.
+func FuzzDecodeJSON(f *testing.F) {
+	seeds := []string{
+		`{"name":"m","inputs":["x"],"outputs":["y"],"states":[{"name":"s"}],"transitions":[{"from":"s","in":["x"],"out":["y"],"to":"s"}],"initial":["s"]}`,
+		`{"name":"m","states":[{"name":"s","labels":["p"]}],"initial":["s"]}`,
+		`{}`, `[]`, `null`, `{"name":1}`, `{"name":"m","initial":["ghost"]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeJSON(a)
+		if err != nil {
+			t.Fatalf("accepted automaton fails to encode: %v", err)
+		}
+		back, err := DecodeJSON(out)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v\n%s", err, out)
+		}
+		if back.NumStates() != a.NumStates() || back.NumTransitions() != a.NumTransitions() {
+			t.Fatal("round trip changed structure")
+		}
+		ok, _, err := Refines(a, back)
+		if err == nil && !ok {
+			t.Fatal("round trip changed behavior")
+		}
+	})
+}

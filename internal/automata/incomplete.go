@@ -1,0 +1,198 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Incomplete is an incomplete automaton M = (S, I, O, T, T̄, Q) per
+// Definition 6: an automaton plus the set T̄ ⊆ S × ℘(I) × ℘(O) of known
+// *not supported* interactions. T and T̄ must be consistent: no interaction
+// is both enabled by T and blocked by T̄.
+//
+// In an incomplete automaton a deadlock run is only assumed when the final
+// interaction is explicitly in T̄ (Definition 7) — absence of a transition
+// leaves the interaction's status unknown.
+type Incomplete struct {
+	auto    *Automaton
+	blocked map[StateID]map[string]Interaction // state -> interaction key -> interaction
+}
+
+// NewIncomplete wraps an automaton as an incomplete automaton with an empty
+// blocked set T̄.
+func NewIncomplete(a *Automaton) *Incomplete {
+	return &Incomplete{auto: a, blocked: make(map[StateID]map[string]Interaction)}
+}
+
+// Automaton returns the underlying (S, I, O, T, Q) part. Callers must not
+// mutate it in ways that violate consistency with T̄.
+func (m *Incomplete) Automaton() *Automaton { return m.auto }
+
+// Block adds (s, A, B) to T̄. It is an error if T already enables the
+// interaction at s (consistency requirement of Definition 6).
+func (m *Incomplete) Block(s StateID, label Interaction) error {
+	if err := m.auto.checkState(s); err != nil {
+		return err
+	}
+	if len(m.auto.Successors(s, label)) > 0 {
+		return fmt.Errorf("automata: cannot block %s at %q: transition exists",
+			label, m.auto.StateName(s))
+	}
+	set, ok := m.blocked[s]
+	if !ok {
+		set = make(map[string]Interaction)
+		m.blocked[s] = set
+	}
+	set[label.Key()] = label
+	return nil
+}
+
+// IsBlocked reports whether (s, A, B) ∈ T̄.
+func (m *Incomplete) IsBlocked(s StateID, label Interaction) bool {
+	set, ok := m.blocked[s]
+	if !ok {
+		return false
+	}
+	_, ok = set[label.Key()]
+	return ok
+}
+
+// BlockedAt returns the interactions blocked at the state, in canonical
+// order.
+func (m *Incomplete) BlockedAt(s StateID) []Interaction {
+	set := m.blocked[s]
+	labels := make([]Interaction, 0, len(set))
+	for _, x := range set {
+		labels = append(labels, x)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key() < labels[j].Key() })
+	return labels
+}
+
+// NumBlocked returns |T̄|.
+func (m *Incomplete) NumBlocked() int {
+	n := 0
+	for _, set := range m.blocked {
+		n += len(set)
+	}
+	return n
+}
+
+// Consistent verifies the Definition 6 requirement that no interaction is
+// both in T and T̄.
+func (m *Incomplete) Consistent() error {
+	for s, set := range m.blocked {
+		for _, x := range set {
+			if len(m.auto.Successors(s, x)) > 0 {
+				return fmt.Errorf("automata: inconsistent incomplete automaton: %s enabled and blocked at %q",
+					x, m.auto.StateName(s))
+			}
+		}
+	}
+	return nil
+}
+
+// Deterministic reports determinism per Section 2.6: for any s, A, B at
+// most one element in T ∪ T̄.
+func (m *Incomplete) Deterministic() bool {
+	if !m.auto.Deterministic() {
+		return false
+	}
+	// T and T̄ are disjoint by consistency, so determinism of T plus
+	// uniqueness of map keys in T̄ suffices.
+	return m.Consistent() == nil
+}
+
+// Complete reports whether the automaton is complete with respect to the
+// given interaction universe: every interaction at every state is either in
+// T or in T̄ (Section 2.6).
+func (m *Incomplete) Complete(universe InteractionUniverse) bool {
+	labels := universe.Enumerate(m.auto.inputs, m.auto.outputs)
+	for id := range m.auto.states {
+		s := StateID(id)
+		for _, x := range labels {
+			if len(m.auto.Successors(s, x)) == 0 && !m.IsBlocked(s, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Unknown returns the interactions at the state that are neither enabled
+// nor blocked — the frontier that the chaotic closure over-approximates.
+func (m *Incomplete) Unknown(s StateID, universe InteractionUniverse) []Interaction {
+	var unknown []Interaction
+	for _, x := range universe.Enumerate(m.auto.inputs, m.auto.outputs) {
+		if len(m.auto.Successors(s, x)) == 0 && !m.IsBlocked(s, x) {
+			unknown = append(unknown, x)
+		}
+	}
+	return unknown
+}
+
+// Clone returns a deep copy of the incomplete automaton.
+func (m *Incomplete) Clone() *Incomplete {
+	c := NewIncomplete(m.auto.Clone(m.auto.name))
+	for s, set := range m.blocked {
+		dst := make(map[string]Interaction, len(set))
+		for k, v := range set {
+			dst[k] = v
+		}
+		c.blocked[s] = dst
+	}
+	return c
+}
+
+// Dot renders the incomplete automaton in Graphviz DOT format: learned
+// transitions as solid edges and each blocked interaction of T̄ as a
+// dashed edge into a shared refusal node.
+func (m *Incomplete) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", m.auto.name)
+	initials := make(map[StateID]bool)
+	for _, q := range m.auto.Initial() {
+		initials[q] = true
+	}
+	for id, st := range m.auto.states {
+		shape := "circle"
+		if initials[StateID(id)] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %d [label=%q shape=%s];\n", id, st.name, shape)
+	}
+	if m.NumBlocked() > 0 {
+		b.WriteString("  refused [label=\"T̄\" shape=box style=dashed];\n")
+	}
+	for _, t := range m.auto.Transitions() {
+		fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", t.From, t.To, t.Label.String())
+	}
+	for id := range m.auto.states {
+		for _, x := range m.BlockedAt(StateID(id)) {
+			fmt.Fprintf(&b, "  %d -> refused [label=%q style=dashed];\n", id, x.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// IsRunOf verifies a run against the incomplete automaton: regular steps
+// must follow T; a deadlock run's final interaction must be in T̄
+// (Definition 7).
+func (m *Incomplete) IsRunOf(r Run) error {
+	if !r.Deadlock {
+		return r.IsRunOf(m.auto)
+	}
+	regular := Run{States: r.States, Steps: r.Steps[:len(r.Steps)-1]}
+	if err := regular.IsRunOf(m.auto); err != nil {
+		return err
+	}
+	last := r.States[len(r.States)-1]
+	blockedLabel := r.Steps[len(r.Steps)-1]
+	if !m.IsBlocked(last, blockedLabel) {
+		return fmt.Errorf("automata: deadlock run's final interaction %s not in T̄ at %q",
+			blockedLabel, m.auto.StateName(last))
+	}
+	return nil
+}

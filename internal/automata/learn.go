@@ -1,0 +1,181 @@
+package automata
+
+import "fmt"
+
+// This file implements the learn operations of Definitions 11 and 12 and
+// observation conformance per Definition 10.
+//
+// Learning consumes *observed* runs: sequences of interactions together
+// with the implementation's state names as reported by monitoring during
+// deterministic replay (Section 5). Because observed states are identified
+// by name, learning can merge new observations into the already-learned
+// state space.
+
+// ObservedStep is one monitored interaction with the state reached after
+// it.
+type ObservedStep struct {
+	Label Interaction
+	To    string // state name reached after the interaction
+}
+
+// ObservedRun is a monitored execution of the implementation: the initial
+// state, the regular steps taken, and — if the run ended with the
+// implementation refusing an interaction — the blocked interaction.
+type ObservedRun struct {
+	Initial string
+	Steps   []ObservedStep
+	Blocked *Interaction // non-nil iff the run ended blocked (deadlock run)
+}
+
+// States returns all state names visited by the run in order, starting
+// with the initial state.
+func (r ObservedRun) States() []string {
+	names := make([]string, 0, len(r.Steps)+1)
+	names = append(names, r.Initial)
+	for _, s := range r.Steps {
+		names = append(names, s.To)
+	}
+	return names
+}
+
+// Learn merges an observed run into the incomplete automaton, implementing
+// learn(M, π) of Definition 11 for the regular part and Definition 12 for
+// a blocked final interaction:
+//
+//   - every state name not yet in S is added (labels per the supplied
+//     labeler, which may be nil);
+//   - every step (s, A, B, s') not yet in T is added;
+//   - if the run's first state is unknown it becomes initial;
+//   - a blocked final interaction is added to T̄.
+//
+// Learn reports how many states, transitions, and blocked entries were new,
+// so callers can detect progress (the termination argument of Theorem 2 is
+// that this count is strictly positive whenever a counterexample is not
+// confirmed).
+func (m *Incomplete) Learn(run ObservedRun, labeler func(state string) []Proposition) (LearnDelta, error) {
+	var delta LearnDelta
+	a := m.auto
+
+	ensure := func(name string) (StateID, error) {
+		if id := a.State(name); id != NoState {
+			return id, nil
+		}
+		var labels []Proposition
+		if labeler != nil {
+			labels = labeler(name)
+		}
+		id, err := a.AddState(name, labels...)
+		if err != nil {
+			return NoState, err
+		}
+		delta.States++
+		return id, nil
+	}
+
+	cur, err := ensure(run.Initial)
+	if err != nil {
+		return delta, err
+	}
+	if len(a.initial) == 0 {
+		a.MarkInitial(cur)
+	}
+
+	for i, step := range run.Steps {
+		next, err := ensure(step.To)
+		if err != nil {
+			return delta, err
+		}
+		if len(a.Successors(cur, step.Label)) == 0 {
+			if m.IsBlocked(cur, step.Label) {
+				return delta, fmt.Errorf("automata: learn step %d: %s observed at %q but recorded as blocked",
+					i, step.Label, a.StateName(cur))
+			}
+			if err := a.AddTransition(cur, step.Label, next); err != nil {
+				return delta, err
+			}
+			delta.Transitions++
+		} else if succ := a.Successors(cur, step.Label); len(succ) != 1 || succ[0] != next {
+			return delta, fmt.Errorf("automata: learn step %d: %s at %q leads to %q, conflicting with earlier observation",
+				i, step.Label, a.StateName(cur), step.To)
+		}
+		cur = next
+	}
+
+	if run.Blocked != nil {
+		if !m.IsBlocked(cur, *run.Blocked) {
+			if err := m.Block(cur, *run.Blocked); err != nil {
+				return delta, err
+			}
+			delta.Blocked++
+		}
+	}
+	return delta, nil
+}
+
+// LearnDelta quantifies what a Learn call added to the model.
+type LearnDelta struct {
+	States      int
+	Transitions int
+	Blocked     int
+}
+
+// Empty reports whether the learn step added nothing — i.e. the
+// observation was already fully contained in the model.
+func (d LearnDelta) Empty() bool {
+	return d.States == 0 && d.Transitions == 0 && d.Blocked == 0
+}
+
+// ObservationConforming checks Definition 10 against a reference
+// implementation automaton: every run of the incomplete automaton m must be
+// a run of impl. States are identified by name (observed state names come
+// from monitoring the implementation, so they live in impl's namespace).
+//
+// The check is structural and complete for deterministic impl: every state
+// of m must exist in impl, every transition of m must exist in impl, every
+// initial state of m must be initial in impl, and every blocked entry of m
+// must be refused by impl.
+func (m *Incomplete) ObservationConforming(impl *Automaton) error {
+	a := m.auto
+	toImpl := make([]StateID, a.NumStates())
+	for id, st := range a.states {
+		ref := impl.State(st.name)
+		if ref == NoState {
+			return fmt.Errorf("automata: learned state %q not present in implementation", st.name)
+		}
+		toImpl[id] = ref
+	}
+	for _, q := range a.initial {
+		found := false
+		for _, qr := range impl.Initial() {
+			if qr == toImpl[q] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("automata: learned initial state %q not initial in implementation", a.StateName(q))
+		}
+	}
+	for _, t := range a.Transitions() {
+		ok := false
+		for _, u := range impl.TransitionsFrom(toImpl[t.From]) {
+			if u.Label.Equal(t.Label) && u.To == toImpl[t.To] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("automata: learned transition %s -%s-> %s not present in implementation",
+				a.StateName(t.From), t.Label, a.StateName(t.To))
+		}
+	}
+	for s, set := range m.blocked {
+		for _, x := range set {
+			if len(impl.Successors(toImpl[s], x)) > 0 {
+				return fmt.Errorf("automata: learned refusal of %s at %q contradicts implementation",
+					x, a.StateName(s))
+			}
+		}
+	}
+	return nil
+}

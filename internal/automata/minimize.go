@@ -1,0 +1,113 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MinimizeDeterministic computes the minimal function-deterministic
+// machine equivalent to a (same outputs and same refusals on every input
+// word from the initial state), via partition refinement. Unreachable
+// states are dropped first. State labels participate in the initial
+// partition, so observationally equal states with different labels are
+// kept apart.
+//
+// Used to compare learned models (which carry implementation state names)
+// against behavioral minima, and by the evaluation harness.
+func MinimizeDeterministic(a *Automaton) (*Automaton, error) {
+	if len(a.Initial()) != 1 {
+		return nil, fmt.Errorf("automata: minimize: %q must have exactly one initial state", a.name)
+	}
+	trimmed := a.Trim(a.name)
+	n := trimmed.NumStates()
+	if n == 0 {
+		return nil, fmt.Errorf("automata: minimize: no reachable states")
+	}
+	// Function-determinism check.
+	for i := 0; i < n; i++ {
+		seen := make(map[string]struct{})
+		for _, t := range trimmed.TransitionsFrom(StateID(i)) {
+			key := t.Label.In.Key()
+			if _, dup := seen[key]; dup {
+				return nil, fmt.Errorf("automata: minimize: %q not function-deterministic at %q",
+					trimmed.name, trimmed.StateName(StateID(i)))
+			}
+			seen[key] = struct{}{}
+		}
+	}
+
+	// Initial partition: by local signature (labels + input→output map).
+	block := make([]int, n)
+	assign := func(sig func(StateID) string) int {
+		classes := make(map[string]int)
+		next := 0
+		for i := 0; i < n; i++ {
+			key := sig(StateID(i))
+			id, ok := classes[key]
+			if !ok {
+				id = next
+				next++
+				classes[key] = id
+			}
+			block[i] = id
+		}
+		return next
+	}
+
+	count := assign(func(s StateID) string {
+		var parts []string
+		for _, p := range trimmed.Labels(s) {
+			parts = append(parts, "L:"+string(p))
+		}
+		for _, t := range trimmed.TransitionsFrom(s) {
+			parts = append(parts, "T:"+t.Label.In.Key()+"/"+t.Label.Out.Key())
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ";")
+	})
+
+	// Refine by successor blocks until stable.
+	for {
+		prev := make([]int, n)
+		copy(prev, block)
+		newCount := assign(func(s StateID) string {
+			var parts []string
+			parts = append(parts, fmt.Sprintf("B:%d", prev[s]))
+			for _, t := range trimmed.TransitionsFrom(s) {
+				parts = append(parts, fmt.Sprintf("S:%s->%d", t.Label.In.Key(), prev[t.To]))
+			}
+			sort.Strings(parts)
+			return strings.Join(parts, ";")
+		})
+		if newCount == count {
+			break
+		}
+		count = newCount
+	}
+
+	// Build the quotient: representative = lowest state id per block.
+	repr := make([]StateID, count)
+	for i := range repr {
+		repr[i] = NoState
+	}
+	for i := 0; i < n; i++ {
+		if repr[block[i]] == NoState {
+			repr[block[i]] = StateID(i)
+		}
+	}
+	min := New(trimmed.name, trimmed.inputs, trimmed.outputs)
+	ids := make([]StateID, count)
+	for b := 0; b < count; b++ {
+		r := repr[b]
+		ids[b] = min.MustAddState(trimmed.StateName(r), trimmed.Labels(r)...)
+	}
+	min.MarkInitial(ids[block[trimmed.Initial()[0]]])
+	for b := 0; b < count; b++ {
+		for _, t := range trimmed.TransitionsFrom(repr[b]) {
+			// Quotient transitions may coincide; ignore duplicates.
+			_ = min.AddTransition(ids[b], t.Label, ids[block[t.To]])
+		}
+	}
+	return min, nil
+}

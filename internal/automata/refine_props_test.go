@@ -1,0 +1,119 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRefinementReflexive: every automaton refines itself.
+func TestRefinementReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 80; i++ {
+		a := randomAutomaton(rng, "a", 4, 2)
+		ok, cex, err := Refines(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("iteration %d: not reflexive; cex=%v", i, cex)
+		}
+	}
+}
+
+// TestRefinementTransitive: a ⊑ b ∧ b ⊑ c ⇒ a ⊑ c, on random chains of
+// sub-automata.
+func TestRefinementTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	checked := 0
+	for i := 0; i < 200 && checked < 40; i++ {
+		c := randomAutomaton(rng, "c", 4, 2)
+		b := randomSubAutomaton(rng, "b", c)
+		a := randomSubAutomaton(rng, "a", b)
+		ab, _, err := Refines(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, _, err := Refines(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ab || !bc {
+			continue
+		}
+		checked++
+		ac, cex, err := Refines(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ac {
+			t.Fatalf("iteration %d: transitivity violated; cex=%v\na:\n%s\nb:\n%s\nc:\n%s",
+				i, cex, a.Dot(), b.Dot(), c.Dot())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no refining chains generated")
+	}
+}
+
+// TestLemma1RefinementPreservesDeadlockFreedom: M ⊑ M' ∧ M' ⊨ ¬δ ⇒ M ⊨ ¬δ.
+func TestLemma1RefinementPreservesDeadlockFreedom(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	checked := 0
+	for i := 0; i < 300 && checked < 50; i++ {
+		spec := randomAutomaton(rng, "spec", 4, 2)
+		if _, dead := spec.DeadlockReachable(); dead {
+			continue
+		}
+		impl := randomSubAutomaton(rng, "impl", spec)
+		ok, _, err := Refines(impl, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		checked++
+		if _, dead := impl.DeadlockReachable(); dead {
+			t.Fatalf("iteration %d: Lemma 1 violated: refinement of a deadlock-free spec deadlocks", i)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no deadlock-free refining pairs generated")
+	}
+}
+
+// TestMinimizePreservesEquivalenceRandom: minimization is behavior-
+// preserving and idempotent on random deterministic machines.
+func TestMinimizePreservesEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for i := 0; i < 60; i++ {
+		a := randomDeterministicAutomaton(rng, "m", 5, 2)
+		min, err := MinimizeDeterministic(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trimmed := a.Trim("m")
+		ok, cex, err := Refines(trimmed, min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("iteration %d: minimized machine lost behavior: %v", i, cex)
+		}
+		ok, cex, err = Refines(min, trimmed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("iteration %d: minimized machine gained behavior: %v", i, cex)
+		}
+		again, err := MinimizeDeterministic(min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.NumStates() != min.NumStates() {
+			t.Fatalf("iteration %d: minimization not idempotent: %d -> %d",
+				i, min.NumStates(), again.NumStates())
+		}
+	}
+}

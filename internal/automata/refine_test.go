@@ -1,0 +1,224 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chain builds a linear automaton s0 -x-> s1 -x-> ... over one input.
+func chain(name string, n int, label Interaction) *Automaton {
+	a := New(name, label.In, label.Out)
+	prev := a.MustAddState("s0")
+	a.MarkInitial(prev)
+	for i := 1; i <= n; i++ {
+		next := a.MustAddState("s" + string(rune('0'+i)))
+		a.MustAddTransition(prev, label, next)
+		prev = next
+	}
+	return a
+}
+
+func TestRefinesIdentity(t *testing.T) {
+	x := Interact([]Signal{"x"}, nil)
+	a := chain("a", 3, x)
+	ok, cex, err := Refines(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("automaton does not refine itself; cex=%v", cex)
+	}
+	if !Simulates(a, a) {
+		t.Fatal("automaton does not simulate itself")
+	}
+}
+
+func TestRefinesPrefixFailsDeadlockCondition(t *testing.T) {
+	// impl: shorter chain (stops earlier) — its end state refuses x, but
+	// the spec at the corresponding point still offers x, so the refusal
+	// cannot be matched: condition (2) fails.
+	x := Interact([]Signal{"x"}, nil)
+	impl := chain("impl", 1, x)
+	spec := chain("spec", 3, x)
+	ok, _, err := Refines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("premature-stop implementation must not refine a longer spec (deadlock condition)")
+	}
+}
+
+func TestRefinesExtraTraceFails(t *testing.T) {
+	// impl has a trace (y) the spec lacks.
+	x := Interact([]Signal{"x"}, nil)
+	spec := chain("spec", 2, x)
+	impl := New("impl", NewSignalSet("x", "y"), EmptySet)
+	s0 := impl.MustAddState("s0")
+	s1 := impl.MustAddState("s1")
+	impl.MustAddTransition(s0, x, s1)
+	impl.MustAddTransition(s0, Interact([]Signal{"y"}, nil), s1)
+	impl.MarkInitial(s0)
+	ok, cex, err := Refines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("implementation with extra trace must not refine")
+	}
+	if len(cex) == 0 {
+		t.Fatal("expected a counterexample trace")
+	}
+}
+
+func TestRefinesLabelMismatchFails(t *testing.T) {
+	x := Interact([]Signal{"x"}, nil)
+	spec := chain("spec", 1, x)
+	spec.AddLabel(spec.State("s1"), "safe")
+	impl := chain("impl", 1, x)
+	impl.AddLabel(impl.State("s1"), "unsafe")
+	ok, _, err := Refines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("label mismatch must break refinement")
+	}
+}
+
+func TestRefinesChaosLabelWildcard(t *testing.T) {
+	x := Interact([]Signal{"x"}, nil)
+	impl := chain("impl", 1, x)
+	impl.AddLabel(impl.State("s1"), "anything")
+	spec := chain("spec", 1, x)
+	spec.AddLabel(spec.State("s1"), ChaosProposition)
+	// Spec's s1 must also absorb the refusal condition: give it a
+	// self-blocking shape identical to impl's end (both refuse x) — they
+	// do, since both chains end.
+	ok, cex, err := Refines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("χ-labeled spec state should match any labels; cex=%v", cex)
+	}
+}
+
+func TestRefinesNondeterministicSpecNeedsSubsets(t *testing.T) {
+	// Spec: s0 -x-> a (label p, continues with y), s0 -x-> b (label q, stops).
+	// Impl: s0 -x-> m (label q, stops). The simulation check pairs m with
+	// either a or b; b works here, so both checks succeed. Then make impl
+	// continue with y from a q-labeled state: now only the *set* view shows
+	// the trace x·y exists in spec (via a) while the label q after x exists
+	// (via b) — but condition (1) after x·y requires a p-labeled... this
+	// distinguishes exact refinement from naive per-state simulation.
+	x := Interact([]Signal{"x"}, nil)
+	y := Interact([]Signal{"y"}, nil)
+
+	spec := New("spec", NewSignalSet("x", "y"), EmptySet)
+	s0 := spec.MustAddState("s0")
+	sa := spec.MustAddState("a", "p")
+	sb := spec.MustAddState("b", "q")
+	sc := spec.MustAddState("c", "p")
+	spec.MustAddTransition(s0, x, sa)
+	spec.MustAddTransition(s0, x, sb)
+	spec.MustAddTransition(sa, y, sc)
+	spec.MarkInitial(s0)
+
+	impl := New("impl", NewSignalSet("x", "y"), EmptySet)
+	i0 := impl.MustAddState("s0")
+	im := impl.MustAddState("m", "q")
+	impl.MustAddTransition(i0, x, im)
+	impl.MarkInitial(i0)
+
+	ok, _, err := Refines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("impl stopping at q-labeled state refines (b matches labels and refusals)")
+	}
+
+	// Now impl continues from the q-labeled state with y, reaching a
+	// q-labeled state. Trace x·y exists in the spec but only ends in a
+	// p-labeled state, so refinement must fail.
+	in := impl.MustAddState("n", "q")
+	impl.MustAddTransition(im, y, in)
+	ok, _, err = Refines(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("trace x·y ends q-labeled in impl but only p-labeled in spec; refinement must fail")
+	}
+}
+
+func TestSimulatesSoundness(t *testing.T) {
+	// Whenever Simulates holds on random automata, Refines must hold too.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		spec := randomAutomaton(rng, "spec", 4, 2)
+		impl := randomSubAutomaton(rng, "impl", spec)
+		if Simulates(impl, spec) {
+			ok, cex, err := Refines(impl, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("iteration %d: Simulates=true but Refines=false (unsound); cex=%v\nimpl:\n%s\nspec:\n%s",
+					i, cex, impl.Dot(), spec.Dot())
+			}
+		}
+	}
+}
+
+func TestRefinesEmptyAutomatonErrors(t *testing.T) {
+	a := New("a", EmptySet, EmptySet)
+	if _, _, err := Refines(a, a); err == nil {
+		t.Fatal("expected error for empty automata")
+	}
+}
+
+// randomAutomaton generates a connected-ish random automaton over a small
+// alphabet for property tests.
+func randomAutomaton(rng *rand.Rand, name string, states, signals int) *Automaton {
+	inputs := make([]Signal, 0, signals)
+	for i := 0; i < signals; i++ {
+		inputs = append(inputs, Signal(rune('a'+i)))
+	}
+	a := New(name, NewSignalSet(inputs...), EmptySet)
+	for i := 0; i < states; i++ {
+		a.MustAddState("q" + string(rune('0'+i)))
+	}
+	a.MarkInitial(0)
+	labels := Universe(UniverseSingleton).Enumerate(a.Inputs(), a.Outputs())
+	for s := 0; s < states; s++ {
+		for _, x := range labels {
+			if rng.Intn(3) == 0 {
+				to := StateID(rng.Intn(states))
+				_ = a.AddTransition(StateID(s), x, to)
+			}
+		}
+	}
+	return a
+}
+
+// randomSubAutomaton picks a random sub-structure of spec (same states,
+// subset of transitions): any such automaton refines spec whenever its
+// end states' refusals are matched, making Simulates plausible often
+// enough to exercise the soundness property.
+func randomSubAutomaton(rng *rand.Rand, name string, spec *Automaton) *Automaton {
+	a := New(name, spec.Inputs(), spec.Outputs())
+	for i := 0; i < spec.NumStates(); i++ {
+		a.MustAddState(spec.StateName(StateID(i)), spec.Labels(StateID(i))...)
+	}
+	for _, q := range spec.Initial() {
+		a.MarkInitial(q)
+	}
+	for _, t := range spec.Transitions() {
+		if rng.Intn(4) != 0 {
+			_ = a.AddTransition(t.From, t.Label, t.To)
+		}
+	}
+	return a
+}

@@ -1,0 +1,129 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Run is an execution sequence per Definition 2. A regular run alternates
+// states and interactions s₁, A₁/B₁, s₂, …; a deadlock run ends with an
+// interaction Aₙ/Bₙ that has no successor from the final state (for
+// incomplete automata: that is explicitly blocked by T̄).
+//
+// Representation: States holds the visited states in order. For a regular
+// run len(Steps) == len(States)-1; for a deadlock run the final step is the
+// blocked interaction and len(Steps) == len(States).
+type Run struct {
+	States   []StateID
+	Steps    []Interaction
+	Deadlock bool
+}
+
+// Len returns the number of interactions in the run.
+func (r Run) Len() int { return len(r.Steps) }
+
+// Validate checks the structural invariant between States, Steps, and
+// Deadlock.
+func (r Run) Validate() error {
+	want := len(r.States) - 1
+	if r.Deadlock {
+		want = len(r.States)
+	}
+	if len(r.Steps) != want {
+		return fmt.Errorf("automata: malformed run: %d states, %d steps, deadlock=%v",
+			len(r.States), len(r.Steps), r.Deadlock)
+	}
+	if len(r.States) == 0 {
+		return fmt.Errorf("automata: empty run")
+	}
+	return nil
+}
+
+// Trace returns the observable projection π|I/O: the interaction sequence
+// without states.
+func (r Run) Trace() []Interaction {
+	out := make([]Interaction, len(r.Steps))
+	copy(out, r.Steps)
+	return out
+}
+
+// StateSequence returns π|S: the visited states.
+func (r Run) StateSequence() []StateID {
+	out := make([]StateID, len(r.States))
+	copy(out, r.States)
+	return out
+}
+
+// RenderStates renders the run's states using the automaton's state names,
+// one state (or composed state tuple) per line, with the interaction taken
+// between consecutive states. This is the layout of Listing 1.1 in the
+// paper.
+func (r Run) RenderStates(a *Automaton) string {
+	var b strings.Builder
+	for i, s := range r.States {
+		parts := a.StateParts(s)
+		names := make([]string, len(parts))
+		for j, p := range parts {
+			prefix := a.name
+			if len(a.leaves) == len(parts) {
+				prefix = a.leaves[j].name
+			}
+			names[j] = prefix + "." + p
+		}
+		b.WriteString(strings.Join(names, ", "))
+		b.WriteByte('\n')
+		if i < len(r.Steps) {
+			b.WriteString("  " + r.Steps[i].String() + "\n")
+		}
+	}
+	if r.Deadlock {
+		b.WriteString("  " + r.Steps[len(r.Steps)-1].String() + "\n")
+		b.WriteString("  <deadlock>\n")
+	}
+	return b.String()
+}
+
+// IsRunOf verifies that the run is a regular or deadlock run of the
+// automaton: consecutive states connected by transitions carrying the given
+// interactions, starting in an initial state, and — for deadlock runs —
+// the final interaction having no successor.
+func (r Run) IsRunOf(a *Automaton) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	isInitial := false
+	for _, q := range a.Initial() {
+		if q == r.States[0] {
+			isInitial = true
+			break
+		}
+	}
+	if !isInitial {
+		return fmt.Errorf("automata: run does not start in an initial state of %q", a.name)
+	}
+	regular := len(r.States) - 1
+	for i := 0; i < regular; i++ {
+		if !hasTransition(a, r.States[i], r.Steps[i], r.States[i+1]) {
+			return fmt.Errorf("automata: run step %d: no transition %s -%s-> %s in %q",
+				i, a.StateName(r.States[i]), r.Steps[i], a.StateName(r.States[i+1]), a.name)
+		}
+	}
+	if r.Deadlock {
+		last := r.States[len(r.States)-1]
+		blocked := r.Steps[len(r.Steps)-1]
+		if len(a.Successors(last, blocked)) > 0 {
+			return fmt.Errorf("automata: run claims deadlock at %s on %s, but a successor exists",
+				a.StateName(last), blocked)
+		}
+	}
+	return nil
+}
+
+func hasTransition(a *Automaton, from StateID, label Interaction, to StateID) bool {
+	for _, t := range a.TransitionsFrom(from) {
+		if t.To == to && t.Label.Equal(label) {
+			return true
+		}
+	}
+	return false
+}

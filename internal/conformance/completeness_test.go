@@ -1,0 +1,120 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"muml/internal/automata"
+)
+
+// TestWMethodCompleteness checks the Vasilevskii/Chow completeness theorem
+// on random instances: a suite generated from the specification with bound
+// l ≥ |implementation| detects every non-equivalent implementation within
+// that bound.
+func TestWMethodCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alphabet := []automata.SignalSet{
+		automata.EmptySet,
+		automata.NewSignalSet("a"),
+		automata.NewSignalSet("b"),
+	}
+	detected, tested := 0, 0
+	for i := 0; i < 120; i++ {
+		spec := randomMachine(rng, 2+rng.Intn(3))
+		impl := mutateMachine(rng, spec)
+		eq, _, err := Equivalent(spec, impl, alphabet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq {
+			continue // mutation did not change reachable behavior
+		}
+		tested++
+		suite, err := Suite(spec, alphabet, impl.NumStates())
+		if err != nil {
+			t.Fatal(err)
+		}
+		caught := false
+		for _, w := range suite {
+			e := Outputs(spec, w)
+			g := Outputs(impl, w)
+			for k := range e {
+				if e[k] != g[k] {
+					caught = true
+					break
+				}
+			}
+			if caught {
+				break
+			}
+		}
+		if !caught {
+			t.Fatalf("iteration %d: W-method suite missed a real difference\nspec:\n%s\nimpl:\n%s",
+				i, spec.Dot(), impl.Dot())
+		}
+		detected++
+	}
+	if tested == 0 {
+		t.Fatal("no behavior-changing mutations generated")
+	}
+	t.Logf("W-method completeness: %d/%d differing mutants detected", detected, tested)
+}
+
+// randomMachine builds a random function-deterministic machine over inputs
+// {∅, a, b} and outputs {∅, x, y} where every state accepts at least ∅.
+func randomMachine(rng *rand.Rand, states int) *automata.Automaton {
+	m := automata.New("spec",
+		automata.NewSignalSet("a", "b"),
+		automata.NewSignalSet("x", "y"))
+	for i := 0; i < states; i++ {
+		m.MustAddState("s" + string(rune('0'+i)))
+	}
+	m.MarkInitial(0)
+	inputs := []automata.SignalSet{
+		automata.EmptySet, automata.NewSignalSet("a"), automata.NewSignalSet("b"),
+	}
+	outputs := []automata.SignalSet{
+		automata.EmptySet, automata.NewSignalSet("x"), automata.NewSignalSet("y"),
+	}
+	for s := 0; s < states; s++ {
+		for idx, in := range inputs {
+			if idx > 0 && rng.Intn(3) == 0 {
+				continue
+			}
+			label := automata.Interaction{In: in, Out: outputs[rng.Intn(len(outputs))]}
+			m.MustAddTransition(automata.StateID(s), label, automata.StateID(rng.Intn(states)))
+		}
+	}
+	return m
+}
+
+// mutateMachine flips one transition's output or target, or drops it.
+func mutateMachine(rng *rand.Rand, spec *automata.Automaton) *automata.Automaton {
+	ts := spec.Transitions()
+	victim := ts[rng.Intn(len(ts))]
+	impl := automata.New("impl", spec.Inputs(), spec.Outputs())
+	for i := 0; i < spec.NumStates(); i++ {
+		impl.MustAddState(spec.StateName(automata.StateID(i)))
+	}
+	impl.MarkInitial(spec.Initial()[0])
+	outputs := []automata.SignalSet{
+		automata.EmptySet, automata.NewSignalSet("x"), automata.NewSignalSet("y"),
+	}
+	for _, t := range ts {
+		if t.From == victim.From && t.To == victim.To && t.Label.Equal(victim.Label) {
+			switch rng.Intn(3) {
+			case 0:
+				continue // drop
+			case 1:
+				out := outputs[rng.Intn(len(outputs))]
+				_ = impl.AddTransition(t.From, automata.Interaction{In: t.Label.In, Out: out}, t.To)
+			default:
+				to := automata.StateID(rng.Intn(spec.NumStates()))
+				_ = impl.AddTransition(t.From, t.Label, to)
+			}
+			continue
+		}
+		_ = impl.AddTransition(t.From, t.Label, t.To)
+	}
+	return impl
+}

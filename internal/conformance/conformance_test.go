@@ -1,0 +1,211 @@
+package conformance
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+)
+
+// twoStateMachine: s0 -a/x-> s1, s1 -a/y-> s0, b refused everywhere.
+func twoStateMachine(t *testing.T) *automata.Automaton {
+	t.Helper()
+	m := automata.New("m", automata.NewSignalSet("a", "b"), automata.NewSignalSet("x", "y"))
+	s0 := m.MustAddState("s0")
+	s1 := m.MustAddState("s1")
+	m.MustAddTransition(s0, automata.Interact([]automata.Signal{"a"}, []automata.Signal{"x"}), s1)
+	m.MustAddTransition(s1, automata.Interact([]automata.Signal{"a"}, []automata.Signal{"y"}), s0)
+	m.MarkInitial(s0)
+	return m
+}
+
+func alphabetAB() []automata.SignalSet {
+	return []automata.SignalSet{
+		automata.NewSignalSet("a"),
+		automata.NewSignalSet("b"),
+	}
+}
+
+func TestOutputsWithRefusals(t *testing.T) {
+	m := twoStateMachine(t)
+	a := automata.NewSignalSet("a")
+	b := automata.NewSignalSet("b")
+	outs := Outputs(m, Word{a, a, a})
+	if outs[0] != "x" || outs[1] != "y" || outs[2] != "x" {
+		t.Fatalf("outputs = %v", outs)
+	}
+	// Refusal sticks.
+	outs = Outputs(m, Word{b, a})
+	if outs[0] != Bottom || outs[1] != Bottom {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestWordKeyDistinct(t *testing.T) {
+	a := automata.NewSignalSet("a")
+	b := automata.NewSignalSet("b")
+	if (Word{a, b}).Key() == (Word{b, a}).Key() {
+		t.Fatal("distinct words share a key")
+	}
+	if (Word{}).Key() == (Word{automata.EmptySet}).Key() {
+		t.Fatal("empty word and one-empty-set word share a key")
+	}
+}
+
+func TestStateCover(t *testing.T) {
+	m := twoStateMachine(t)
+	cover := StateCover(m, alphabetAB())
+	if len(cover) != 2 {
+		t.Fatalf("cover size = %d", len(cover))
+	}
+	if len(cover[m.State("s0")]) != 0 {
+		t.Fatal("initial state access word not empty")
+	}
+	if len(cover[m.State("s1")]) != 1 {
+		t.Fatalf("s1 access word = %v", cover[m.State("s1")])
+	}
+}
+
+func TestCharacterizationSetDistinguishesAll(t *testing.T) {
+	m := twoStateMachine(t)
+	alphabet := alphabetAB()
+	w := CharacterizationSet(m, alphabet)
+	if len(w) == 0 {
+		t.Fatal("empty characterization set for distinguishable states")
+	}
+	// Every pair of distinct states must differ on some w-word.
+	s0, s1 := m.State("s0"), m.State("s1")
+	distinguished := false
+	for _, word := range w {
+		o0 := OutputsFrom(m, s0, word)
+		o1 := OutputsFrom(m, s1, word)
+		for i := range o0 {
+			if o0[i] != o1[i] {
+				distinguished = true
+			}
+		}
+	}
+	if !distinguished {
+		t.Fatal("characterization set fails to distinguish s0/s1")
+	}
+}
+
+func TestCharacterizationSetSingleState(t *testing.T) {
+	m := automata.New("one", automata.NewSignalSet("a"), automata.EmptySet)
+	s := m.MustAddState("s")
+	m.MustAddTransition(s, automata.Interact([]automata.Signal{"a"}, nil), s)
+	m.MarkInitial(s)
+	w := CharacterizationSet(m, []automata.SignalSet{automata.NewSignalSet("a")})
+	if len(w) != 1 {
+		t.Fatalf("singleton machine should get a fallback W, got %v", w)
+	}
+}
+
+func TestSuiteDetectsFaultyImplementation(t *testing.T) {
+	hyp := twoStateMachine(t)
+	alphabet := alphabetAB()
+	// Faulty implementation: three states, differs only at depth 2.
+	impl := automata.New("impl", hyp.Inputs(), hyp.Outputs())
+	i0 := impl.MustAddState("i0")
+	i1 := impl.MustAddState("i1")
+	i2 := impl.MustAddState("i2")
+	a := automata.Interact([]automata.Signal{"a"}, []automata.Signal{"x"})
+	ay := automata.Interact([]automata.Signal{"a"}, []automata.Signal{"y"})
+	impl.MustAddTransition(i0, a, i1)
+	impl.MustAddTransition(i1, ay, i2)
+	impl.MustAddTransition(i2, ay, i0) // fault: should output x
+	impl.MarkInitial(i0)
+
+	suite, err := Suite(hyp, alphabet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, w := range suite {
+		e := Outputs(hyp, w)
+		g := Outputs(impl, w)
+		for i := range e {
+			if e[i] != g[i] {
+				caught = true
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("W-method suite missed the depth-3 fault")
+	}
+}
+
+func TestSuiteCostGrowsWithBound(t *testing.T) {
+	hyp := twoStateMachine(t)
+	alphabet := alphabetAB()
+	var prev int
+	for _, maxStates := range []int{2, 3, 4, 5} {
+		suite, err := Suite(hyp, alphabet, maxStates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Cost(suite)
+		if c.TotalSymbols <= prev {
+			t.Fatalf("suite cost did not grow: bound %d -> %d symbols (prev %d)",
+				maxStates, c.TotalSymbols, prev)
+		}
+		prev = c.TotalSymbols
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	m := twoStateMachine(t)
+	alphabet := alphabetAB()
+	same := m.Clone("same")
+	eq, _, err := Equivalent(m, same, alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("identical machines not equivalent")
+	}
+
+	diff := m.Clone("diff")
+	s1 := diff.State("s1")
+	diff.MustAddTransition(s1, automata.Interact([]automata.Signal{"b"}, nil), s1)
+	eq, w, err := Equivalent(m, diff, alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("different machines reported equivalent")
+	}
+	// Distinguishing word: a then b (refusal difference at s1).
+	if len(w) != 2 {
+		t.Fatalf("distinguishing word = %v", w)
+	}
+}
+
+func TestValidateMachine(t *testing.T) {
+	m := twoStateMachine(t)
+	if err := ValidateMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	s0 := m.State("s0")
+	m.MustAddTransition(s0, automata.Interact([]automata.Signal{"a"}, []automata.Signal{"y"}), s0)
+	if err := ValidateMachine(m); err == nil {
+		t.Fatal("non-function-deterministic machine accepted")
+	}
+}
+
+func TestInputAlphabet(t *testing.T) {
+	m := twoStateMachine(t)
+	inputs := InputAlphabet(m, automata.Universe(automata.UniverseSingleton))
+	// ∅, {a}, {b}.
+	if len(inputs) != 3 {
+		t.Fatalf("alphabet = %v", inputs)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := automata.NewSignalSet("a")
+	b := automata.NewSignalSet("b")
+	got := Concat(Word{a}, Word{}, Word{b, a})
+	if len(got) != 3 || !got[0].Equal(a) || !got[2].Equal(a) {
+		t.Fatalf("Concat = %v", got)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+)
+
+// chattyContext sends x, then z, then idles forever; states are labeled.
+func chattyContext() *automata.Automaton {
+	c := automata.New("chatty", automata.NewSignalSet("y"), automata.NewSignalSet("x", "z"))
+	c0 := c.MustAddState("c0")
+	c1 := c.MustAddState("c1")
+	c2 := c.MustAddState("c2")
+	c3 := c.MustAddState("c3")
+	c.MustAddTransition(c0, automata.Interact(nil, []automata.Signal{"x"}), c1)
+	c.MustAddTransition(c1, automata.Interact(nil, []automata.Signal{"z"}), c2)
+	c.MustAddTransition(c2, automata.Interact([]automata.Signal{"y"}, nil), c3)
+	c.MustAddTransition(c3, automata.Interaction{}, c3)
+	c.MarkInitial(c0)
+	c.LabelStatesByName()
+	return c
+}
+
+// oneShot accepts a single x and then refuses everything — in particular
+// the z the context sends next, so longer counterexample plans block
+// mid-way, exercising the blocked-recording learning path (Definition 12
+// via refusal expansion).
+type oneShot struct{ state string }
+
+var _ legacy.Component = (*oneShot)(nil)
+var _ legacy.Introspector = (*oneShot)(nil)
+
+func (o *oneShot) Reset()            { o.state = "fresh" }
+func (o *oneShot) StateName() string { return o.state }
+func (o *oneShot) Step(in automata.SignalSet) (automata.SignalSet, bool) {
+	if o.state == "" {
+		o.state = "fresh"
+	}
+	if o.state == "fresh" && in.Equal(automata.NewSignalSet("x")) {
+		o.state = "spent"
+		return automata.EmptySet, true
+	}
+	return automata.EmptySet, false
+}
+
+func oneShotIface() legacy.Interface {
+	return legacy.Interface{
+		Name:    "oneShot",
+		Inputs:  automata.NewSignalSet("x", "z"),
+		Outputs: automata.NewSignalSet("y"),
+	}
+}
+
+func TestRefusalsLearnedThroughProbes(t *testing.T) {
+	// A structural property of the loop worth pinning down: because the
+	// chaos-weakened property is satisfied at s_all and (s,0)-deadlocks
+	// precede s_delta ones in the shortest-counterexample search, every
+	// tested plan consists solely of already-learned (real) steps —
+	// refusal hypotheses are only ever decided by final-state *probes*,
+	// never by a recording blocking mid-plan.
+	property := ctl.MustParse("AG (chatty.c1 -> AF[1,2] chatty.c3)")
+	synth, err := New(chattyContext(), &oneShot{}, oneShotIface(), Options{Property: property})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != VerdictViolation {
+		t.Fatalf("verdict = %v/%v, want a violation", report.Verdict, report.Kind)
+	}
+	for _, it := range report.Iterations {
+		if it.Recording != nil && !it.Recording.Completed() {
+			t.Fatal("a plan blocked mid-replay although plans should be all-real")
+		}
+	}
+	if report.Stats.ProbesRun == 0 {
+		t.Fatal("no probes were run")
+	}
+	// The refusals of the spent state were established by the probes.
+	spent := report.Model.Automaton().State("spent")
+	if spent == automata.NoState {
+		t.Fatal("spent state not learned")
+	}
+	if len(report.Model.BlockedAt(spent)) == 0 {
+		t.Fatal("refusals of the spent state not recorded in T̄")
+	}
+}
+
+func TestPaperLiteralStillConvictsEagerShuttle(t *testing.T) {
+	// Fast conflict detection only needs learned transitions, so even the
+	// paper-literal learning rule convicts the eager shuttle.
+	synth, err := New(chattyContext(), &oneShot{}, oneShotIface(), Options{PaperLiteralLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The one-shot component's deadlock is confirmed by probing even
+	// under literal learning (the probes themselves establish refusals).
+	if report.Verdict != VerdictViolation || report.Kind != ViolationDeadlock {
+		t.Fatalf("verdict = %v/%v", report.Verdict, report.Kind)
+	}
+}
+
+func TestBatchedCounterexamplesPreserveVerdicts(t *testing.T) {
+	for _, batch := range []int{1, 2, 8} {
+		synth, err := New(chattyContext(), &oneShot{}, oneShotIface(),
+			Options{CounterexampleBatch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := synth.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Verdict != VerdictViolation || report.Kind != ViolationDeadlock {
+			t.Fatalf("batch=%d: verdict = %v/%v", batch, report.Verdict, report.Kind)
+		}
+	}
+}
+
+// refusingPonger never even accepts its ping — used to reach the
+// multi-component refusal-learning path.
+type refusingPonger struct{}
+
+var _ legacy.Component = refusingPonger{}
+
+func (refusingPonger) Reset() {}
+func (refusingPonger) Step(in automata.SignalSet) (automata.SignalSet, bool) {
+	return automata.EmptySet, in.IsEmpty()
+}
+
+func TestMultiConfirmsRefusingComponent(t *testing.T) {
+	m, err := NewMulti(multiContext(),
+		[]legacy.Component{&ponger{idx: "1"}, refusingPonger{}},
+		[]legacy.Interface{pongIface("1"), pongIface("2")},
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != VerdictViolation || report.Kind != ViolationDeadlock {
+		t.Fatalf("verdict = %v/%v", report.Verdict, report.Kind)
+	}
+	// The refusing component's T̄ must record the refusal of ping2.
+	model2 := report.Models[1]
+	init := model2.Automaton().Initial()[0]
+	if len(model2.BlockedAt(init)) == 0 {
+		t.Fatal("refusal of ping2 not learned into T̄")
+	}
+}

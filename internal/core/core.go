@@ -1,0 +1,716 @@
+// Package core implements the paper's primary contribution: the iterative
+// behavior synthesis that combines compositional formal verification and
+// counterexample-guided testing to decide whether a black-box legacy
+// component integrates correctly into a Mechatronic UML context
+// (Sections 3-5).
+//
+// Given an abstract context model M_a^c and a deterministic legacy
+// implementation M_r with known structural interface, the loop maintains a
+// series of incomplete automata M_l^i whose chaotic closures M_a^i =
+// chaos(M_l^i) are safe abstractions of M_r (Theorem 1). Each iteration:
+//
+//  1. model checks M_a^c ‖ M_a^i ⊨ φ ∧ ¬δ; success proves the property
+//     for the real system M_r^c ‖ M_r (Lemma 5) — verdict Proven;
+//  2. a constraint counterexample that never visits the chaotic states is
+//     already a real run of the integrated system (Lemma 6) — verdict
+//     Violation, without any test ("fast conflict detection", Fig. 6);
+//  3. otherwise the counterexample is executed against the legacy
+//     component using record/replay (Section 5); the enriched observation
+//     is merged into M_l^{i+1} by learn (Definitions 11-12, Lemma 7), and
+//     deadlock hypotheses at the end of the run are probed against the
+//     context's offered interactions — all refused means the deadlock is
+//     real (verdict Violation), otherwise the loop continues.
+//
+// Termination for finite deterministic components follows the argument of
+// Theorem 2: every non-confirming test strictly grows the learned
+// knowledge (states, transitions, or refusals).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/replay"
+	"muml/internal/trace"
+)
+
+// Verdict is the outcome of the synthesis loop.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictProven: the property and deadlock freedom hold for the
+	// integrated system (Lemma 5).
+	VerdictProven Verdict = iota + 1
+	// VerdictViolation: a real counterexample of the integrated system
+	// was found (Lemma 6) — never a false negative.
+	VerdictViolation
+)
+
+func (v Verdict) String() string {
+	if v == VerdictProven {
+		return "proven"
+	}
+	return "violation"
+}
+
+// ViolationKind distinguishes what a violation witnesses.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// ViolationNone is reported with VerdictProven.
+	ViolationNone ViolationKind = iota
+	// ViolationConstraint: the property φ is violated by a real run.
+	ViolationConstraint
+	// ViolationDeadlock: the integrated system reaches a real deadlock.
+	ViolationDeadlock
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationConstraint:
+		return "constraint violation"
+	case ViolationDeadlock:
+		return "deadlock"
+	default:
+		return "none"
+	}
+}
+
+// Options configure the synthesizer.
+type Options struct {
+	// Property is the constraint φ to establish (timed ACTL). May be nil
+	// to check deadlock freedom only.
+	Property ctl.Formula
+	// SkipDeadlockCheck disables the ¬δ check (not recommended; deadlock
+	// freedom is what makes role invariants compositional, Section 2.4).
+	SkipDeadlockCheck bool
+	// Universe bounds the interactions considered possible for the legacy
+	// component. Defaults to the singleton universe (at most one message
+	// per direction per step), matching RTSC step semantics.
+	Universe automata.InteractionUniverse
+	// MaxIterations bounds the loop (default 1000).
+	MaxIterations int
+	// CounterexampleBatch asks the model checker for up to this many
+	// distinct counterexamples per verification round and tests them all
+	// before re-verifying — the optimization named in the paper's
+	// conclusion (§7). Default 1 (the paper's base algorithm).
+	CounterexampleBatch int
+	// PaperLiteralLearning restricts learning to the paper's Definitions
+	// 11-12: only observed transitions and observed blockings are
+	// recorded. By default the loop additionally exploits that the
+	// implementation's reaction to an input is a function of the state
+	// (Section 4.3 excludes any nondeterminism): observing (s, A, B)
+	// refutes every (s, A, B') with B' ≠ B. Without that rule a chaos
+	// hypothesis (s, A, B) whose real reaction B' is already known would
+	// never be eliminated and the loop can cycle; enable this flag only
+	// for the paper-literal ablation.
+	PaperLiteralLearning bool
+	// Labeler assigns propositions to learned state names. Defaults to
+	// QualifiedLabeler(interface name).
+	Labeler func(state string) []automata.Proposition
+	// Log receives progress lines; nil disables logging.
+	Log func(format string, args ...any)
+}
+
+func (o *Options) withDefaults(ifaceName string) Options {
+	out := *o
+	if out.Universe == nil {
+		out.Universe = automata.Universe(automata.UniverseSingleton)
+	}
+	if out.MaxIterations == 0 {
+		out.MaxIterations = 1000
+	}
+	if out.CounterexampleBatch < 1 {
+		out.CounterexampleBatch = 1
+	}
+	if out.Labeler == nil {
+		out.Labeler = QualifiedLabeler(ifaceName)
+	}
+	return out
+}
+
+// QualifiedLabeler labels a state named "a::b" with the propositions
+// "prefix.a" and "prefix.a::b", so that pattern constraints over composite
+// states ("rearRole.convoy") hold in all substates, mirroring
+// rtsc.WithStateLabels.
+func QualifiedLabeler(prefix string) func(string) []automata.Proposition {
+	return func(state string) []automata.Proposition {
+		var props []automata.Proposition
+		segments := strings.Split(state, "::")
+		for i := range segments {
+			props = append(props, automata.Proposition(prefix+"."+strings.Join(segments[:i+1], "::")))
+		}
+		return props
+	}
+}
+
+// TestOutcome classifies what happened when a counterexample was executed
+// against the legacy component.
+type TestOutcome int
+
+// Test outcomes.
+const (
+	// TestNotRun: the iteration needed no test (verification passed, or
+	// the conflict was already decided inside learned behavior).
+	TestNotRun TestOutcome = iota
+	// TestDiverged: the implementation's observable behavior departed
+	// from the hypothesized counterexample; the observation was learned.
+	TestDiverged
+	// TestConfirmedDeadlock: every interaction the context offers at the
+	// end of the counterexample is refused or unmatched — the deadlock is
+	// real.
+	TestConfirmedDeadlock
+	// TestRealizable: the counterexample trace was fully reproduced on
+	// the implementation and witnesses the violation by itself; the
+	// violation is confirmed.
+	TestRealizable
+)
+
+func (t TestOutcome) String() string {
+	switch t {
+	case TestDiverged:
+		return "diverged"
+	case TestConfirmedDeadlock:
+		return "confirmed-deadlock"
+	case TestRealizable:
+		return "realizable"
+	default:
+		return "not-run"
+	}
+}
+
+// Iteration records one round of the loop for reporting and for
+// regenerating the paper's listings.
+type Iteration struct {
+	Index int
+
+	// Model sizes before this iteration's learning.
+	ModelStates, ModelTransitions, ModelBlocked int
+	// ClosureStates and SystemStates measure the verification problem.
+	ClosureStates, SystemStates int
+
+	// PropertyHolds and DeadlockFree are the check outcomes.
+	PropertyHolds, DeadlockFree bool
+
+	// Counterexample of the failing check (nil when both hold).
+	Counterexample *automata.Run
+	// CounterexampleText is the rendered composed-run listing.
+	CounterexampleText string
+	// CexInLearnedPart reports that the counterexample never visits
+	// chaotic states.
+	CexInLearnedPart bool
+	// CexRunWitnessed reports that the counterexample run by itself proves
+	// the violation (propositional violation at its end); see
+	// ctl.Result.RunWitnessed.
+	CexRunWitnessed bool
+
+	Test TestOutcome
+	// Recording and ReplayTrace document the test (Listings 1.2/1.3).
+	Recording   *replay.Recording
+	ReplayTrace *replay.Trace
+	// Probes document the deadlock confirmation attempts.
+	Probes []replay.ProbeResult
+
+	// Delta is what this iteration's learning added.
+	Delta automata.LearnDelta
+}
+
+// Stats aggregates effort measures across the run.
+type Stats struct {
+	Iterations         int
+	TestsRun           int
+	ProbesRun          int
+	ResetsUsed         int // component resets (≈ test executions incl. replays)
+	StatesLearned      int
+	TransitionsLearned int
+	RefusalsLearned    int
+	PeakSystemStates   int
+}
+
+// Report is the final result of a synthesis run.
+type Report struct {
+	Verdict    Verdict
+	Kind       ViolationKind
+	Property   ctl.Formula
+	Iterations []Iteration
+	// Witness is the real counterexample run over the final composed
+	// system (for violations).
+	Witness *automata.Run
+	// WitnessSystem is the composed automaton the witness runs over.
+	WitnessSystem *automata.Automaton
+	// WitnessText is the rendered witness.
+	WitnessText string
+	// Model is the final learned incomplete automaton M_l^n.
+	Model *automata.Incomplete
+	Stats Stats
+}
+
+// Synthesizer drives the iterative behavior synthesis for one legacy
+// component in one context.
+type Synthesizer struct {
+	context *automata.Automaton
+	comp    legacy.Component
+	iface   legacy.Interface
+	opts    Options
+
+	model *automata.Incomplete
+	stats Stats
+}
+
+// New validates the inputs and prepares the initial model M_l^0 of
+// Section 3: the single known initial state (determined by resetting the
+// component and reading its probe) with empty T and T̄; its chaotic
+// closure is the initial safe abstraction M_a^0 (Lemma 4, Fig. 4).
+func New(context *automata.Automaton, comp legacy.Component, iface legacy.Interface, opts Options) (*Synthesizer, error) {
+	if context == nil || comp == nil {
+		return nil, errors.New("core: context and component are required")
+	}
+	if err := iface.Validate(); err != nil {
+		return nil, err
+	}
+	if err := context.Validate(); err != nil {
+		return nil, fmt.Errorf("core: context: %w", err)
+	}
+	if !context.Inputs().Disjoint(iface.Inputs) || !context.Outputs().Disjoint(iface.Outputs) {
+		return nil, fmt.Errorf("core: context and component alphabets must be composable (I∩I' = O∩O' = ∅)")
+	}
+	o := opts.withDefaults(iface.Name)
+	if o.Property != nil && !ctl.IsACTL(o.Property) {
+		return nil, fmt.Errorf("core: property %s is not ACTL; only ACTL is compositional (Section 2.4)", o.Property)
+	}
+
+	s := &Synthesizer{context: context, comp: comp, iface: iface, opts: o}
+	init := legacy.InitialStateName(comp)
+	s.stats.ResetsUsed++
+	a := automata.New(iface.Name, iface.Inputs, iface.Outputs)
+	id := a.MustAddState(init, o.Labeler(init)...)
+	a.MarkInitial(id)
+	s.model = automata.NewIncomplete(a)
+	return s, nil
+}
+
+// Model returns the current learned incomplete automaton M_l^i.
+func (s *Synthesizer) Model() *automata.Incomplete { return s.model }
+
+// Run executes iterations until a verdict is reached.
+func (s *Synthesizer) Run() (*Report, error) {
+	report := &Report{Property: s.opts.Property}
+	for i := 0; i < s.opts.MaxIterations; i++ {
+		it, done, err := s.step(i, report)
+		if err != nil {
+			return nil, err
+		}
+		report.Iterations = append(report.Iterations, *it)
+		if done {
+			report.Model = s.model
+			s.stats.Iterations = len(report.Iterations)
+			report.Stats = s.stats
+			return report, nil
+		}
+		if it.Delta.Empty() && it.Test != TestNotRun {
+			return nil, fmt.Errorf(
+				"core: iteration %d made no progress (counterexample not confirmed, nothing learned); "+
+					"disable PaperLiteralLearning or widen the universe", i)
+		}
+	}
+	return nil, fmt.Errorf("core: no verdict after %d iterations", s.opts.MaxIterations)
+}
+
+// step performs one iteration. It fills the report's verdict fields when
+// done.
+func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) {
+	it := &Iteration{
+		Index:            index,
+		ModelStates:      s.model.Automaton().NumStates(),
+		ModelTransitions: s.model.Automaton().NumTransitions(),
+		ModelBlocked:     s.model.NumBlocked(),
+	}
+
+	closure := automata.ChaoticClosure(s.model, s.opts.Universe)
+	it.ClosureStates = closure.NumStates()
+	sys, err := automata.Compose("system", s.context, closure)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: compose: %w", err)
+	}
+	it.SystemStates = sys.NumStates()
+	if sys.NumStates() > s.stats.PeakSystemStates {
+		s.stats.PeakSystemStates = sys.NumStates()
+	}
+	checker := ctl.NewChecker(sys)
+
+	// Property check with chaos weakening (Section 2.7). With a
+	// counterexample batch > 1 several distinct violations are tested per
+	// round (the §7 optimization).
+	it.PropertyHolds = true
+	var results []ctl.Result
+	var kind ViolationKind
+	if s.opts.Property != nil {
+		many := checker.CheckMany(ctl.WeakenForChaos(s.opts.Property), s.opts.CounterexampleBatch)
+		if !many[0].Holds {
+			it.PropertyHolds = false
+			results = many
+			kind = ViolationConstraint
+		}
+	}
+	// Deadlock freedom.
+	it.DeadlockFree = true
+	if results == nil && !s.opts.SkipDeadlockCheck {
+		many := checker.CheckMany(ctl.NoDeadlock(), s.opts.CounterexampleBatch)
+		if !many[0].Holds {
+			it.DeadlockFree = false
+			results = many
+			kind = ViolationDeadlock
+		}
+	}
+
+	if results == nil {
+		// Both checks passed: M_a^c ‖ M_a^i ⊨ φ ∧ ¬δ, hence the property
+		// holds for the real integrated system (Lemma 5).
+		s.logf("iteration %d: property and deadlock freedom proven (|system|=%d)", index, sys.NumStates())
+		report.Verdict = VerdictProven
+		report.Kind = ViolationNone
+		return it, true, nil
+	}
+
+	for idx, res := range results {
+		cex := res.Counterexample
+		if cex == nil {
+			continue
+		}
+		if idx == 0 {
+			it.Counterexample = cex
+			it.CounterexampleText = trace.RenderCounterexample(sys, cex)
+			it.CexInLearnedPart = runAvoidsChaos(sys, cex)
+			it.CexRunWitnessed = res.RunWitnessed
+		}
+
+		if kind == ViolationConstraint && runAvoidsChaos(sys, cex) && res.RunWitnessed {
+			// Fast conflict detection: the violation lies entirely in
+			// learned (= observed, real) behavior *and* is witnessed by
+			// the run alone (a propositional violation), so it is a real
+			// conflict without any further test (Listing 1.4). Temporal
+			// violations — e.g. a bounded response failing because a
+			// closed-copy state might refuse the continuation —
+			// additionally rest on refusal hypotheses and are tested even
+			// when no chaotic state is visited.
+			s.logf("iteration %d: constraint violated inside learned behavior — real conflict", index)
+			it.Test = TestNotRun
+			report.Verdict = VerdictViolation
+			report.Kind = ViolationConstraint
+			report.Witness = cex
+			report.WitnessSystem = sys
+			report.WitnessText = trace.RenderCounterexample(sys, cex)
+			return it, true, nil
+		}
+
+		confirmed, err := s.testCounterexample(sys, cex, kind, it)
+		if err != nil {
+			return nil, false, err
+		}
+		if confirmed {
+			s.logf("iteration %d: counterexample confirmed on the implementation — real %s", index, kind)
+			report.Verdict = VerdictViolation
+			report.Kind = kind
+			report.Witness = cex
+			report.WitnessSystem = sys
+			report.WitnessText = trace.RenderCounterexample(sys, cex)
+			return it, true, nil
+		}
+	}
+	s.logf("iteration %d: learned +%d states +%d transitions +%d refusals",
+		index, it.Delta.States, it.Delta.Transitions, it.Delta.Blocked)
+	return it, false, nil
+}
+
+// testCounterexample executes the counterexample against the legacy
+// component (Section 4.2 / Section 5) and learns from the observations.
+// It reports whether the counterexample was confirmed as real.
+func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.Run, kind ViolationKind, it *Iteration) (bool, error) {
+	proj, err := sys.ProjectRun(*cex, s.iface.Name)
+	if err != nil {
+		return false, fmt.Errorf("core: project counterexample: %w", err)
+	}
+	inputs := make([]automata.SignalSet, len(proj.Steps))
+	for i, step := range proj.Steps {
+		inputs[i] = step.In
+	}
+
+	// Record with minimal probes, then replay with full instrumentation
+	// (Section 5).
+	rec := replay.Record(s.comp, s.iface, inputs)
+	s.stats.TestsRun++
+	s.stats.ResetsUsed += 2
+	trace, observed, err := replay.Replay(s.comp, rec)
+	if err != nil {
+		return false, fmt.Errorf("core: deterministic replay failed: %w", err)
+	}
+	it.Recording = &rec
+	it.ReplayTrace = &trace
+
+	if err := s.learnObservation(observed, it); err != nil {
+		return false, err
+	}
+
+	// Divergence: blocked early, or outputs departing from the
+	// counterexample's projection.
+	diverged := !rec.Completed()
+	for i := range rec.Outputs {
+		if !rec.Outputs[i].Equal(proj.Steps[i].Out) {
+			diverged = true
+			break
+		}
+	}
+	if diverged {
+		it.Test = TestDiverged
+		return false, nil
+	}
+
+	final := cex.States[len(cex.States)-1]
+	if kind != ViolationDeadlock && !sys.IsDeadlock(final) {
+		// The full counterexample run is real behavior and it does not
+		// depend on any refusal hypothesis (its violation window elapsed
+		// within the trace): the violation is confirmed.
+		it.Test = TestRealizable
+		return true, nil
+	}
+
+	// The violation rests on the run being inextensible (a composed
+	// deadlock — either the δ check itself, or a temporal violation whose
+	// witness path stops early). Probe every interaction the context
+	// offers at the end of the run: the stop is real iff no offer can
+	// form a joint step with the implementation's deterministic reaction.
+	return s.probeDeadlock(sys, cex, rec, observed, it)
+}
+
+// probeDeadlock checks whether the composed deadlock at the end of the
+// counterexample is real. For each distinct input the context would hand
+// to the component at its final state, the executor replays the prefix and
+// performs one probe step (Section 5's replay makes the repeated
+// re-execution deterministic); the reactions are learned.
+func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, rec replay.Recording, observed automata.ObservedRun, it *Iteration) (bool, error) {
+	ctxState, err := s.contextStateAt(sys, cex.States[len(cex.States)-1])
+	if err != nil {
+		return false, err
+	}
+	finalState := observed.Initial
+	if n := len(observed.Steps); n > 0 {
+		finalState = observed.Steps[n-1].To
+	}
+
+	jointPossible := false
+	probed := make(map[string]replay.ProbeResult)
+	for _, offer := range s.context.TransitionsFrom(ctxState) {
+		// The component's input under this offer is what the context
+		// sends; the offer is only realizable if everything the context
+		// sends reaches the component.
+		if !offer.Label.Out.SubsetOf(s.iface.Inputs) {
+			continue
+		}
+		in := offer.Label.Out
+		result, ok := probed[in.Key()]
+		if !ok {
+			var err error
+			result, err = replay.Probe(s.comp, rec, in)
+			if err != nil {
+				return false, fmt.Errorf("core: probe: %w", err)
+			}
+			probed[in.Key()] = result
+			it.Probes = append(it.Probes, result)
+			s.stats.ProbesRun++
+			s.stats.ResetsUsed++
+			if err := s.learnProbe(observed, result, finalState, it); err != nil {
+				return false, err
+			}
+		}
+		// Joint step condition of Definition 3: the context's expected
+		// inputs from the component must equal the component's outputs.
+		if result.Accepted && offer.Label.In.Intersect(s.iface.Outputs).Equal(result.Output) {
+			jointPossible = true
+		}
+	}
+
+	if jointPossible {
+		it.Test = TestDiverged
+		return false, nil
+	}
+	it.Test = TestConfirmedDeadlock
+	return true, nil
+}
+
+// learnObservation merges a full observed run into the model, including
+// function-refusal expansion when enabled.
+//
+// Note: with the default single-component pipeline the Blocked branch is
+// defensive — counterexample plans consist solely of already-learned
+// steps (the chaos-weakened property is satisfied at s_∀, and (s,0)
+// deadlocks precede s_δ ones in the shortest-counterexample search), so
+// recordings never block mid-plan; refusal hypotheses are decided by the
+// final-state probes instead. The branch matters for callers feeding
+// externally constructed plans.
+func (s *Synthesizer) learnObservation(observed automata.ObservedRun, it *Iteration) error {
+	// When the component blocked an input entirely, every output
+	// hypothesis under that input is refuted.
+	if observed.Blocked != nil && !s.opts.PaperLiteralLearning {
+		base := *observed.Blocked
+		run := observed
+		run.Blocked = nil
+		delta, err := s.model.Learn(run, s.opts.Labeler)
+		if err != nil {
+			return fmt.Errorf("core: learn: %w", err)
+		}
+		s.accumulate(delta, it)
+		final := run.Initial
+		if n := len(run.Steps); n > 0 {
+			final = run.Steps[n-1].To
+		}
+		return s.blockAllOutputs(final, base.In, it)
+	}
+
+	delta, err := s.model.Learn(observed, s.opts.Labeler)
+	if err != nil {
+		return fmt.Errorf("core: learn: %w", err)
+	}
+	s.accumulate(delta, it)
+
+	if !s.opts.PaperLiteralLearning {
+		// Each observed (state, A, B) refutes every (state, A, B') with
+		// B' ≠ B.
+		cur := observed.Initial
+		for _, step := range observed.Steps {
+			if err := s.blockOtherOutputs(cur, step.Label, it); err != nil {
+				return err
+			}
+			cur = step.To
+		}
+	}
+	return nil
+}
+
+// learnProbe merges one probe reaction (prefix + one step) into the model.
+func (s *Synthesizer) learnProbe(prefix automata.ObservedRun, result replay.ProbeResult, finalState string, it *Iteration) error {
+	if result.Accepted {
+		run := prefix
+		run.Blocked = nil
+		run.Steps = append(append([]automata.ObservedStep(nil), prefix.Steps...), automata.ObservedStep{
+			Label: automata.Interaction{In: result.Input, Out: result.Output},
+			To:    result.After,
+		})
+		delta, err := s.model.Learn(run, s.opts.Labeler)
+		if err != nil {
+			return fmt.Errorf("core: learn probe: %w", err)
+		}
+		s.accumulate(delta, it)
+		if !s.opts.PaperLiteralLearning {
+			return s.blockOtherOutputs(finalState, automata.Interaction{In: result.Input, Out: result.Output}, it)
+		}
+		return nil
+	}
+	if !s.opts.PaperLiteralLearning {
+		return s.blockAllOutputs(finalState, result.Input, it)
+	}
+	// Paper-literal learning: record the single refused hypothesis (the
+	// empty-output variant stands for the offered interaction).
+	run := prefix
+	blocked := automata.Interaction{In: result.Input}
+	run.Blocked = &blocked
+	delta, err := s.model.Learn(run, s.opts.Labeler)
+	if err != nil {
+		return fmt.Errorf("core: learn refusal: %w", err)
+	}
+	s.accumulate(delta, it)
+	return nil
+}
+
+// blockOtherOutputs records, at the named state, refusals of every
+// universe interaction sharing the observed input but differing in output.
+func (s *Synthesizer) blockOtherOutputs(state string, observed automata.Interaction, it *Iteration) error {
+	id := s.model.Automaton().State(state)
+	if id == automata.NoState {
+		return fmt.Errorf("core: unknown learned state %q", state)
+	}
+	for _, x := range s.opts.Universe.Enumerate(s.iface.Inputs, s.iface.Outputs) {
+		if !x.In.Equal(observed.In) || x.Out.Equal(observed.Out) {
+			continue
+		}
+		if s.model.IsBlocked(id, x) || len(s.model.Automaton().Successors(id, x)) > 0 {
+			continue
+		}
+		if err := s.model.Block(id, x); err != nil {
+			return err
+		}
+		it.Delta.Blocked++
+		s.stats.RefusalsLearned++
+	}
+	return nil
+}
+
+// blockAllOutputs records refusals of every universe interaction with the
+// given input at the named state (the component refused the input
+// entirely).
+func (s *Synthesizer) blockAllOutputs(state string, in automata.SignalSet, it *Iteration) error {
+	id := s.model.Automaton().State(state)
+	if id == automata.NoState {
+		return fmt.Errorf("core: unknown learned state %q", state)
+	}
+	for _, x := range s.opts.Universe.Enumerate(s.iface.Inputs, s.iface.Outputs) {
+		if !x.In.Equal(in) {
+			continue
+		}
+		if s.model.IsBlocked(id, x) || len(s.model.Automaton().Successors(id, x)) > 0 {
+			continue
+		}
+		if err := s.model.Block(id, x); err != nil {
+			return err
+		}
+		it.Delta.Blocked++
+		s.stats.RefusalsLearned++
+	}
+	return nil
+}
+
+// contextStateAt resolves the context automaton's own state matching the
+// context leaves of a composed system state.
+func (s *Synthesizer) contextStateAt(sys *automata.Automaton, composed automata.StateID) (automata.StateID, error) {
+	parts := sys.StateParts(composed)
+	n := len(s.context.Leaves())
+	if len(parts) < n {
+		return automata.NoState, fmt.Errorf("core: composed state lacks context provenance")
+	}
+	id := s.context.StateByParts(parts[:n])
+	if id == automata.NoState {
+		return automata.NoState, fmt.Errorf("core: no context state with parts %v", parts[:n])
+	}
+	return id, nil
+}
+
+func (s *Synthesizer) accumulate(delta automata.LearnDelta, it *Iteration) {
+	it.Delta.States += delta.States
+	it.Delta.Transitions += delta.Transitions
+	it.Delta.Blocked += delta.Blocked
+	s.stats.StatesLearned += delta.States
+	s.stats.TransitionsLearned += delta.Transitions
+	s.stats.RefusalsLearned += delta.Blocked
+}
+
+func (s *Synthesizer) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log(format, args...)
+	}
+}
+
+// runAvoidsChaos reports whether the run never visits a chaotic closure
+// state.
+func runAvoidsChaos(sys *automata.Automaton, r *automata.Run) bool {
+	for _, st := range r.States {
+		if automata.IsChaosState(sys, st) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"muml/internal/core"
+	"muml/internal/railcab"
+)
+
+// Example runs the paper's synthesis loop on the faulty eager shuttle: the
+// pattern constraint is violated inside learned behavior, so the conflict
+// is real and found without a confirming test (Fig. 6 / Listing 1.4).
+func Example() {
+	synth, err := core.New(
+		railcab.FrontRole(),
+		&railcab.EagerShuttle{},
+		railcab.RearInterface(railcab.RearRoleName),
+		core.Options{Property: railcab.Constraint()},
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report, err := synth.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("verdict: %v (%v) after %d iterations\n",
+		report.Verdict, report.Kind, report.Stats.Iterations)
+	fmt.Printf("final iteration tested the implementation: %v\n",
+		report.Iterations[len(report.Iterations)-1].Test != core.TestNotRun)
+	// Output:
+	// verdict: violation (constraint violation) after 2 iterations
+	// final iteration tested the implementation: false
+}
+
+// Example_proven runs the loop on the correct shuttle to a proof of
+// correct integration (Fig. 7).
+func Example_proven() {
+	synth, err := core.New(
+		railcab.FrontRole(),
+		&railcab.CorrectShuttle{},
+		railcab.RearInterface(railcab.RearRoleName),
+		core.Options{Property: railcab.Constraint()},
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report, err := synth.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("verdict: %v\n", report.Verdict)
+	fmt.Printf("learned states: %d\n", report.Model.Automaton().NumStates())
+	// Output:
+	// verdict: proven
+	// learned states: 4
+}

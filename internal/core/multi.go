@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/replay"
+	"muml/internal/trace"
+)
+
+// MultiSynthesizer extends the synthesis loop to several legacy components
+// learned in parallel — the extension sketched in the paper's conclusion
+// (Section 7): "the approach can be extended to multiple legacy
+// components, by using the parallel combination of multiple behavioral
+// models; the iterative synthesis will then improve all these models in
+// parallel."
+//
+// Each iteration checks M_a^c ‖ chaos(M₁) ‖ … ‖ chaos(Mₖ); counterexamples
+// are projected onto every component and all observations learned at once.
+// The components must communicate only with the context, not with each
+// other (pairwise disjoint alphabets), which keeps deadlock confirmation
+// probes per-component.
+type MultiSynthesizer struct {
+	context *automata.Automaton
+	comps   []legacy.Component
+	ifaces  []legacy.Interface
+	opts    Options
+
+	models []*automata.Incomplete
+	stats  Stats
+}
+
+// MultiReport is the outcome of a multi-component synthesis run.
+type MultiReport struct {
+	Verdict    Verdict
+	Kind       ViolationKind
+	Iterations int
+	// Models holds the final learned model per component (same order as
+	// the interfaces passed to NewMulti).
+	Models  []*automata.Incomplete
+	Witness *automata.Run
+	// WitnessText renders the witness in listing style.
+	WitnessText string
+	Stats       Stats
+}
+
+// NewMulti prepares a multi-component synthesizer.
+func NewMulti(context *automata.Automaton, comps []legacy.Component, ifaces []legacy.Interface, opts Options) (*MultiSynthesizer, error) {
+	if len(comps) == 0 || len(comps) != len(ifaces) {
+		return nil, fmt.Errorf("core: need matching component and interface lists")
+	}
+	if err := context.Validate(); err != nil {
+		return nil, fmt.Errorf("core: context: %w", err)
+	}
+	for i := range ifaces {
+		if err := ifaces[i].Validate(); err != nil {
+			return nil, err
+		}
+		for j := i + 1; j < len(ifaces); j++ {
+			if !ifaces[i].Inputs.Union(ifaces[i].Outputs).
+				Disjoint(ifaces[j].Inputs.Union(ifaces[j].Outputs)) {
+				return nil, fmt.Errorf(
+					"core: components %q and %q share signals; multi-component learning requires them to communicate only with the context",
+					ifaces[i].Name, ifaces[j].Name)
+			}
+		}
+	}
+	o := opts.withDefaults("")
+	if o.Property != nil && !ctl.IsACTL(o.Property) {
+		return nil, fmt.Errorf("core: property %s is not ACTL", o.Property)
+	}
+
+	m := &MultiSynthesizer{context: context, comps: comps, ifaces: ifaces, opts: o}
+	for i, comp := range comps {
+		init := legacy.InitialStateName(comp)
+		m.stats.ResetsUsed++
+		a := automata.New(ifaces[i].Name, ifaces[i].Inputs, ifaces[i].Outputs)
+		labeler := o.Labeler
+		if labeler == nil {
+			labeler = QualifiedLabeler(ifaces[i].Name)
+		}
+		id := a.MustAddState(init, labeler(init)...)
+		a.MarkInitial(id)
+		m.models = append(m.models, automata.NewIncomplete(a))
+	}
+	return m, nil
+}
+
+// Run executes the parallel synthesis until a verdict is reached.
+func (m *MultiSynthesizer) Run() (*MultiReport, error) {
+	for iter := 0; iter < m.opts.MaxIterations; iter++ {
+		done, report, progress, err := m.step(iter)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			report.Iterations = iter + 1
+			report.Models = m.models
+			m.stats.Iterations = iter + 1
+			report.Stats = m.stats
+			return report, nil
+		}
+		if !progress {
+			return nil, fmt.Errorf("core: multi-component iteration %d made no progress", iter)
+		}
+	}
+	return nil, fmt.Errorf("core: no verdict after %d iterations", m.opts.MaxIterations)
+}
+
+func (m *MultiSynthesizer) step(iter int) (bool, *MultiReport, bool, error) {
+	parts := make([]*automata.Automaton, 0, len(m.models)+1)
+	parts = append(parts, m.context)
+	for _, model := range m.models {
+		parts = append(parts, automata.ChaoticClosure(model, m.opts.Universe))
+	}
+	sys, err := automata.ComposeAll("system", parts...)
+	if err != nil {
+		return false, nil, false, err
+	}
+	if sys.NumStates() > m.stats.PeakSystemStates {
+		m.stats.PeakSystemStates = sys.NumStates()
+	}
+	checker := ctl.NewChecker(sys)
+
+	var cex *automata.Run
+	kind := ViolationNone
+	runWitnessed := false
+	if m.opts.Property != nil {
+		if res := checker.Check(ctl.WeakenForChaos(m.opts.Property)); !res.Holds {
+			cex = res.Counterexample
+			kind = ViolationConstraint
+			runWitnessed = res.RunWitnessed
+		}
+	}
+	if cex == nil && !m.opts.SkipDeadlockCheck {
+		if res := checker.Check(ctl.NoDeadlock()); !res.Holds {
+			cex = res.Counterexample
+			kind = ViolationDeadlock
+		}
+	}
+	if cex == nil {
+		return true, &MultiReport{Verdict: VerdictProven, Kind: ViolationNone}, true, nil
+	}
+
+	if kind == ViolationConstraint && runAvoidsChaos(sys, cex) && runWitnessed {
+		return true, &MultiReport{
+			Verdict:     VerdictViolation,
+			Kind:        ViolationConstraint,
+			Witness:     cex,
+			WitnessText: trace.RenderCounterexample(sys, cex),
+		}, true, nil
+	}
+
+	// Test the counterexample against every component; learn everything.
+	progress := false
+	allComplete := true
+	recordings := make([]replay.Recording, len(m.comps))
+	observations := make([]automata.ObservedRun, len(m.comps))
+	for i := range m.comps {
+		proj, err := sys.ProjectRun(*cex, m.ifaces[i].Name)
+		if err != nil {
+			return false, nil, false, err
+		}
+		inputs := make([]automata.SignalSet, len(proj.Steps))
+		expected := make([]automata.SignalSet, len(proj.Steps))
+		for k, step := range proj.Steps {
+			inputs[k] = step.In
+			expected[k] = step.Out
+		}
+		rec := replay.Record(m.comps[i], m.ifaces[i], inputs)
+		m.stats.TestsRun++
+		m.stats.ResetsUsed += 2
+		_, observed, err := replay.Replay(m.comps[i], rec)
+		if err != nil {
+			return false, nil, false, err
+		}
+		recordings[i] = rec
+		observations[i] = observed
+		delta, err := m.learnOne(i, observed)
+		if err != nil {
+			return false, nil, false, err
+		}
+		if !delta.Empty() {
+			progress = true
+		}
+		if !rec.Completed() {
+			allComplete = false
+			continue
+		}
+		for k := range rec.Outputs {
+			if !rec.Outputs[k].Equal(expected[k]) {
+				allComplete = false
+				break
+			}
+		}
+	}
+
+	if !allComplete {
+		return false, nil, progress, nil
+	}
+	final := cex.States[len(cex.States)-1]
+	if kind != ViolationDeadlock && !sys.IsDeadlock(final) {
+		// The run is real and witnesses the violation by itself.
+		return true, &MultiReport{
+			Verdict:     VerdictViolation,
+			Kind:        kind,
+			Witness:     cex,
+			WitnessText: trace.RenderCounterexample(sys, cex),
+		}, true, nil
+	}
+
+	// The violation rests on the run being inextensible. Probe each
+	// component against the context's offers at the final state; the stop
+	// is real iff no offer can form a joint step with all components'
+	// reactions simultaneously.
+	confirmed, probeProgress, err := m.probeDeadlock(sys, cex, recordings, observations)
+	if err != nil {
+		return false, nil, false, err
+	}
+	if confirmed {
+		reportKind := kind
+		if reportKind == ViolationNone {
+			reportKind = ViolationDeadlock
+		}
+		return true, &MultiReport{
+			Verdict:     VerdictViolation,
+			Kind:        reportKind,
+			Witness:     cex,
+			WitnessText: trace.RenderCounterexample(sys, cex),
+		}, true, nil
+	}
+	return false, nil, progress || probeProgress, nil
+}
+
+func (m *MultiSynthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, recs []replay.Recording, observations []automata.ObservedRun) (bool, bool, error) {
+	partsAll := sys.StateParts(cex.States[len(cex.States)-1])
+	n := len(m.context.Leaves())
+	ctxState := m.context.StateByParts(partsAll[:n])
+	if ctxState == automata.NoState {
+		return false, false, fmt.Errorf("core: cannot resolve context state for probing")
+	}
+
+	progress := false
+	jointPossible := false
+	type probeKey struct {
+		comp int
+		in   string
+	}
+	cache := make(map[probeKey]replay.ProbeResult)
+	for _, offer := range m.context.TransitionsFrom(ctxState) {
+		ok := true
+		var combinedOut automata.SignalSet
+		for i := range m.comps {
+			in := offer.Label.Out.Intersect(m.ifaces[i].Inputs)
+			key := probeKey{comp: i, in: in.Key()}
+			result, cached := cache[key]
+			if !cached {
+				var err error
+				result, err = replay.Probe(m.comps[i], recs[i], in)
+				if err != nil {
+					return false, false, err
+				}
+				cache[key] = result
+				m.stats.ProbesRun++
+				m.stats.ResetsUsed++
+				if delta, err := m.learnProbeOne(i, observations[i], result); err != nil {
+					return false, false, err
+				} else if !delta.Empty() {
+					progress = true
+				}
+			}
+			if !result.Accepted {
+				ok = false
+				break
+			}
+			combinedOut = combinedOut.Union(result.Output)
+		}
+		if !ok {
+			continue
+		}
+		// Everything the context sends must be consumed by some component,
+		// and the context's expected inputs must match the combined
+		// component outputs.
+		consumed := automata.EmptySet
+		for i := range m.ifaces {
+			consumed = consumed.Union(offer.Label.Out.Intersect(m.ifaces[i].Inputs))
+		}
+		if !offer.Label.Out.Equal(consumed) {
+			continue
+		}
+		if offer.Label.In.Intersect(allOutputs(m.ifaces)).Equal(combinedOut) {
+			jointPossible = true
+		}
+	}
+	return !jointPossible, progress, nil
+}
+
+func (m *MultiSynthesizer) learnOne(i int, observed automata.ObservedRun) (automata.LearnDelta, error) {
+	labeler := m.opts.Labeler
+	if labeler == nil {
+		labeler = QualifiedLabeler(m.ifaces[i].Name)
+	}
+	var total automata.LearnDelta
+	blocked := observed.Blocked
+	run := observed
+	run.Blocked = nil
+	delta, err := m.models[i].Learn(run, labeler)
+	if err != nil {
+		return total, err
+	}
+	total = delta
+	final := run.Initial
+	if len(run.Steps) > 0 {
+		final = run.Steps[len(run.Steps)-1].To
+	}
+	if blocked != nil {
+		n, err := m.blockAll(i, final, blocked.In)
+		if err != nil {
+			return total, err
+		}
+		total.Blocked += n
+	}
+	if !m.opts.PaperLiteralLearning {
+		cur := run.Initial
+		for _, step := range run.Steps {
+			n, err := m.blockOthers(i, cur, step.Label)
+			if err != nil {
+				return total, err
+			}
+			total.Blocked += n
+			cur = step.To
+		}
+	}
+	m.stats.StatesLearned += total.States
+	m.stats.TransitionsLearned += total.Transitions
+	m.stats.RefusalsLearned += total.Blocked
+	return total, nil
+}
+
+func (m *MultiSynthesizer) learnProbeOne(i int, prefix automata.ObservedRun, result replay.ProbeResult) (automata.LearnDelta, error) {
+	var total automata.LearnDelta
+	final := prefix.Initial
+	if len(prefix.Steps) > 0 {
+		final = prefix.Steps[len(prefix.Steps)-1].To
+	}
+	if result.Accepted {
+		labeler := m.opts.Labeler
+		if labeler == nil {
+			labeler = QualifiedLabeler(m.ifaces[i].Name)
+		}
+		run := prefix
+		run.Blocked = nil
+		run.Steps = append(append([]automata.ObservedStep(nil), prefix.Steps...), automata.ObservedStep{
+			Label: automata.Interaction{In: result.Input, Out: result.Output},
+			To:    result.After,
+		})
+		delta, err := m.models[i].Learn(run, labeler)
+		if err != nil {
+			return total, err
+		}
+		total = delta
+		if !m.opts.PaperLiteralLearning {
+			n, err := m.blockOthers(i, final, automata.Interaction{In: result.Input, Out: result.Output})
+			if err != nil {
+				return total, err
+			}
+			total.Blocked += n
+		}
+	} else {
+		n, err := m.blockAll(i, final, result.Input)
+		if err != nil {
+			return total, err
+		}
+		total.Blocked += n
+	}
+	m.stats.StatesLearned += total.States
+	m.stats.TransitionsLearned += total.Transitions
+	m.stats.RefusalsLearned += total.Blocked
+	return total, nil
+}
+
+func (m *MultiSynthesizer) blockOthers(i int, state string, observed automata.Interaction) (int, error) {
+	id := m.models[i].Automaton().State(state)
+	if id == automata.NoState {
+		return 0, fmt.Errorf("core: unknown learned state %q", state)
+	}
+	n := 0
+	for _, x := range m.opts.Universe.Enumerate(m.ifaces[i].Inputs, m.ifaces[i].Outputs) {
+		if !x.In.Equal(observed.In) || x.Out.Equal(observed.Out) {
+			continue
+		}
+		if m.models[i].IsBlocked(id, x) || len(m.models[i].Automaton().Successors(id, x)) > 0 {
+			continue
+		}
+		if err := m.models[i].Block(id, x); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (m *MultiSynthesizer) blockAll(i int, state string, in automata.SignalSet) (int, error) {
+	id := m.models[i].Automaton().State(state)
+	if id == automata.NoState {
+		return 0, fmt.Errorf("core: unknown learned state %q", state)
+	}
+	n := 0
+	for _, x := range m.opts.Universe.Enumerate(m.ifaces[i].Inputs, m.ifaces[i].Outputs) {
+		if !x.In.Equal(in) {
+			continue
+		}
+		if m.models[i].IsBlocked(id, x) || len(m.models[i].Automaton().Successors(id, x)) > 0 {
+			continue
+		}
+		if err := m.models[i].Block(id, x); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func allOutputs(ifaces []legacy.Interface) automata.SignalSet {
+	out := automata.EmptySet
+	for _, i := range ifaces {
+		out = out.Union(i.Outputs)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package crossing is a second, explicitly *timed* case study for the
+// legacy-integration loop: a rail level crossing. It exercises the
+// real-time statechart clocks, invariants, and the bounded discrete-time
+// semantics end to end, complementing the RailCab example (whose hazard is
+// a mode mismatch rather than a deadline).
+//
+// Scenario: an autonomous train announces its approach and — being unable
+// to stop on the linear-drive section — reaches the crossing exactly
+// ApproachTime time units later. A legacy *gate controller* consumes the
+// announcement and must have the gate closed by then. The safety
+// constraint is
+//
+//	A[] not (trainRole.crossing and not gateCtrl.closed)
+//
+// Three hand-written legacy controllers are provided: SwiftGate (closes in
+// 2 units — integration provable), SluggishGate (closes in 6 — a real,
+// run-witnessed violation found by fast conflict detection), and StuckGate
+// (ignores the announcement — violation as well).
+package crossing
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/rtsc"
+)
+
+// Signals of the crossing coordination (train → gate only; the gate is a
+// pure consumer whose state matters through the property).
+const (
+	Approach automata.Signal = "approach"
+	Passed   automata.Signal = "passed"
+)
+
+// ApproachTime is the number of discrete time units between the approach
+// announcement and the train reaching the crossing.
+const ApproachTime = 4
+
+// TrainRoleName and GateName identify the two components.
+const (
+	TrainRoleName = "trainRole"
+	GateName      = "gateCtrl"
+)
+
+// TrainChart builds the known context: the train role as a real-time
+// statechart with clocks. From far it may announce an approach; it then
+// reaches the crossing exactly ApproachTime steps later (the invariant
+// forces the move, the guard delays it), occupies the crossing for one to
+// two units, and reports passed.
+func TrainChart() *rtsc.Chart {
+	c := rtsc.NewChart(TrainRoleName)
+	c.MustAddState("far", rtsc.Initial())
+	c.MustAddState("approaching", rtsc.Invariant("t", rtsc.CmpLE, ApproachTime-1))
+	c.MustAddState("crossing", rtsc.Invariant("c", rtsc.CmpLE, 1))
+	c.MustAddTransition("far", "approaching", rtsc.Raise(Approach), rtsc.Reset("t"))
+	// Guard t ≥ ApproachTime-1 together with the invariant t ≤
+	// ApproachTime-1 forces the crossing to be entered on exactly the
+	// ApproachTime-th step after the announcement.
+	c.MustAddTransition("approaching", "crossing",
+		rtsc.Guard("t", rtsc.CmpGE, ApproachTime-1), rtsc.Reset("c"))
+	c.MustAddTransition("crossing", "far", rtsc.Raise(Passed))
+	return c
+}
+
+// TrainRole flattens the train chart with state labels
+// ("trainRole.crossing" holds in every crossing configuration regardless
+// of clock values).
+func TrainRole() *automata.Automaton {
+	return TrainChart().MustFlatten(rtsc.WithStateLabels())
+}
+
+// Constraint is the crossing safety property: the train is never on the
+// crossing while the gate is not closed.
+func Constraint() ctl.Formula {
+	return ctl.MustParse("A[] not (trainRole.crossing and not gateCtrl.closed)")
+}
+
+// ClosureDeadline is the timed liveness obligation on the gate: whenever
+// an approach was consumed, the gate is closed within ApproachTime-1 time
+// units (one unit of safety margin before the train arrives).
+func ClosureDeadline() ctl.Formula {
+	return ctl.MustParse(fmt.Sprintf(
+		"AG (gateCtrl.closing -> AF[1,%d] gateCtrl.closed)", ApproachTime-1))
+}
+
+// GateInterface is the structural interface of a legacy gate controller:
+// it only consumes train messages; its safety-relevant state is exposed
+// through the learned labels.
+func GateInterface() legacy.Interface {
+	return legacy.Interface{
+		Name:    GateName,
+		Inputs:  automata.NewSignalSet(Approach, Passed),
+		Outputs: automata.EmptySet,
+		Ports: map[automata.Signal]string{
+			Approach: "trackside",
+			Passed:   "trackside",
+		},
+	}
+}
+
+// gateBase implements the shared mechanics of the gate controllers: a
+// named state machine over {open, closing#k, closed}, parameterized by how
+// many units the closing motion takes (0 = never closes).
+type gateBase struct {
+	name         string
+	closingTicks int
+	state        string
+	remaining    int
+}
+
+var (
+	_ legacy.Component    = (*gateBase)(nil)
+	_ legacy.Introspector = (*gateBase)(nil)
+)
+
+// Reset implements legacy.Component.
+func (g *gateBase) Reset() {
+	g.state = "open"
+	g.remaining = 0
+}
+
+// StateName implements legacy.Introspector.
+func (g *gateBase) StateName() string {
+	if g.state == "" {
+		return "open"
+	}
+	if g.state == "closing" {
+		return fmt.Sprintf("closing::left%d", g.remaining)
+	}
+	return g.state
+}
+
+// Step implements legacy.Component.
+func (g *gateBase) Step(in automata.SignalSet) (automata.SignalSet, bool) {
+	if g.state == "" {
+		g.Reset()
+	}
+	switch g.state {
+	case "open":
+		switch {
+		case in.IsEmpty():
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(Approach)):
+			if g.closingTicks <= 0 {
+				return automata.EmptySet, true // ignores the announcement
+			}
+			g.state = "closing"
+			g.remaining = g.closingTicks
+			return automata.EmptySet, true
+		}
+	case "closing":
+		if in.IsEmpty() {
+			g.remaining--
+			if g.remaining <= 0 {
+				g.state = "closed"
+			}
+			return automata.EmptySet, true
+		}
+	case "closed":
+		switch {
+		case in.IsEmpty():
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(Passed)):
+			g.state = "open"
+			return automata.EmptySet, true
+		}
+	}
+	return automata.EmptySet, false
+}
+
+// SwiftGate closes within 2 time units of the announcement: integration
+// with the ApproachTime-4 train is provably safe.
+func SwiftGate() legacy.Component { return &gateBase{name: "swift", closingTicks: 2} }
+
+// SluggishGate needs 6 time units to close — more than the train's
+// approach time. The integration violates the safety constraint with a
+// real, run-witnessed counterexample.
+func SluggishGate() legacy.Component { return &gateBase{name: "sluggish", closingTicks: 6} }
+
+// StuckGate never reacts to the announcement at all.
+func StuckGate() legacy.Component { return &gateBase{name: "stuck", closingTicks: 0} }

@@ -1,0 +1,455 @@
+package ctl
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+)
+
+// Checker evaluates CCTL formulas over one automaton (typically a parallel
+// composition). It caches satisfaction sets per subformula, so evaluating
+// several formulas over the same automaton reuses work.
+type Checker struct {
+	auto *automata.Automaton
+	sat  map[Formula][]bool
+	pred [][]automata.Transition // reverse adjacency, built lazily
+}
+
+// NewChecker creates a checker for the automaton.
+func NewChecker(a *automata.Automaton) *Checker {
+	return &Checker{auto: a, sat: make(map[Formula][]bool)}
+}
+
+// Automaton returns the automaton under analysis.
+func (c *Checker) Automaton() *automata.Automaton { return c.auto }
+
+// Holds reports whether the formula holds in every initial state
+// (M ⊨ φ).
+func (c *Checker) Holds(f Formula) bool {
+	sat := c.Sat(f)
+	for _, q := range c.auto.Initial() {
+		if !sat[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// FailingInitial returns an initial state violating the formula, if any.
+func (c *Checker) FailingInitial(f Formula) (automata.StateID, bool) {
+	sat := c.Sat(f)
+	for _, q := range c.auto.Initial() {
+		if !sat[q] {
+			return q, true
+		}
+	}
+	return automata.NoState, false
+}
+
+// Sat returns the satisfaction set of the formula as a boolean slice
+// indexed by state ID. The returned slice is shared with the cache and
+// must not be mutated.
+func (c *Checker) Sat(f Formula) []bool {
+	if cached, ok := c.sat[f]; ok {
+		return cached
+	}
+	var sat []bool
+	n := c.auto.NumStates()
+	switch node := f.(type) {
+	case trueNode:
+		sat = trues(n)
+	case falseNode:
+		sat = make([]bool, n)
+	case deadlockNode:
+		sat = make([]bool, n)
+		for i := 0; i < n; i++ {
+			sat[i] = c.auto.IsDeadlock(automata.StateID(i))
+		}
+	case *atomNode:
+		sat = make([]bool, n)
+		for i := 0; i < n; i++ {
+			sat[i] = c.auto.HasLabel(automata.StateID(i), node.p)
+		}
+	case *notNode:
+		inner := c.Sat(node.f)
+		sat = make([]bool, n)
+		for i := range sat {
+			sat[i] = !inner[i]
+		}
+	case *andNode:
+		l, r := c.Sat(node.l), c.Sat(node.r)
+		sat = make([]bool, n)
+		for i := range sat {
+			sat[i] = l[i] && r[i]
+		}
+	case *orNode:
+		l, r := c.Sat(node.l), c.Sat(node.r)
+		sat = make([]bool, n)
+		for i := range sat {
+			sat[i] = l[i] || r[i]
+		}
+	case *impNode:
+		l, r := c.Sat(node.l), c.Sat(node.r)
+		sat = make([]bool, n)
+		for i := range sat {
+			sat[i] = !l[i] || r[i]
+		}
+	case *axNode:
+		sat = c.preAll(c.Sat(node.f))
+	case *exNode:
+		sat = c.preSome(c.Sat(node.f))
+	case *afNode:
+		if node.bound != nil {
+			sat = c.boundedAF(c.Sat(node.f), *node.bound)
+		} else {
+			sat = c.unboundedAF(c.Sat(node.f))
+		}
+	case *efNode:
+		if node.bound != nil {
+			sat = c.boundedEF(c.Sat(node.f), *node.bound)
+		} else {
+			sat = c.unboundedEF(c.Sat(node.f))
+		}
+	case *agNode:
+		if node.bound != nil {
+			sat = c.boundedAG(c.Sat(node.f), *node.bound)
+		} else {
+			sat = c.unboundedAG(c.Sat(node.f))
+		}
+	case *egNode:
+		if node.bound != nil {
+			sat = c.boundedEG(c.Sat(node.f), *node.bound)
+		} else {
+			sat = c.unboundedEG(c.Sat(node.f))
+		}
+	case *auNode:
+		sat = c.unboundedAU(c.Sat(node.l), c.Sat(node.r))
+	case *euNode:
+		sat = c.unboundedEU(c.Sat(node.l), c.Sat(node.r))
+	default:
+		panic(fmt.Sprintf("ctl: unknown formula node %T", f))
+	}
+	c.sat[f] = sat
+	return sat
+}
+
+// preAll returns {s | s has no successor, or all successors satisfy X}:
+// the AX predecessor operator with vacuous truth at deadlocks.
+func (c *Checker) preAll(x []bool) []bool {
+	n := c.auto.NumStates()
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = true
+		for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
+			if !x[t.To] {
+				out[i] = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// preSome returns {s | some successor satisfies X}: the EX predecessor
+// operator (false at deadlocks).
+func (c *Checker) preSome(x []bool) []bool {
+	n := c.auto.NumStates()
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
+			if x[t.To] {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// unboundedEF computes μX. f ∨ EX X by backward reachability.
+func (c *Checker) unboundedEF(f []bool) []bool {
+	out := clone(f)
+	c.buildPred()
+	var queue []automata.StateID
+	for i, ok := range out {
+		if ok {
+			queue = append(queue, automata.StateID(i))
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range c.pred[s] {
+			if !out[t.From] {
+				out[t.From] = true
+				queue = append(queue, t.From)
+			}
+		}
+	}
+	return out
+}
+
+// unboundedAF computes μX. f ∨ (¬deadlock ∧ AX X): every maximal path
+// reaches f. Worklist: a state enters the set when f holds, or when it has
+// successors and all of them are in the set.
+func (c *Checker) unboundedAF(f []bool) []bool {
+	n := c.auto.NumStates()
+	out := clone(f)
+	remaining := make([]int, n) // successors not yet in the set
+	c.buildPred()
+	var queue []automata.StateID
+	for i := 0; i < n; i++ {
+		remaining[i] = len(c.auto.TransitionsFrom(automata.StateID(i)))
+		if out[i] {
+			queue = append(queue, automata.StateID(i))
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range c.pred[s] {
+			remaining[t.From]--
+			if !out[t.From] && remaining[t.From] == 0 &&
+				len(c.auto.TransitionsFrom(t.From)) > 0 {
+				out[t.From] = true
+				queue = append(queue, t.From)
+			}
+		}
+	}
+	return out
+}
+
+// unboundedAG computes νX. f ∧ AX X. Under maximal-path semantics a
+// deadlock state satisfying f satisfies AG f.
+func (c *Checker) unboundedAG(f []bool) []bool {
+	out := clone(f)
+	for changed := true; changed; {
+		changed = false
+		for i := range out {
+			if !out[i] {
+				continue
+			}
+			for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
+				if !out[t.To] {
+					out[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unboundedEG computes νX. f ∧ (deadlock ∨ EX X): some maximal path stays
+// in f (a path ending in a deadlock is maximal).
+func (c *Checker) unboundedEG(f []bool) []bool {
+	out := clone(f)
+	for changed := true; changed; {
+		changed = false
+		for i := range out {
+			if !out[i] {
+				continue
+			}
+			s := automata.StateID(i)
+			if c.auto.IsDeadlock(s) {
+				continue
+			}
+			keep := false
+			for _, t := range c.auto.TransitionsFrom(s) {
+				if out[t.To] {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				out[i] = false
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// unboundedEU computes μX. g ∨ (f ∧ EX X).
+func (c *Checker) unboundedEU(f, g []bool) []bool {
+	out := clone(g)
+	c.buildPred()
+	var queue []automata.StateID
+	for i, ok := range out {
+		if ok {
+			queue = append(queue, automata.StateID(i))
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range c.pred[s] {
+			if !out[t.From] && f[t.From] {
+				out[t.From] = true
+				queue = append(queue, t.From)
+			}
+		}
+	}
+	return out
+}
+
+// unboundedAU computes μX. g ∨ (f ∧ ¬deadlock ∧ AX X).
+func (c *Checker) unboundedAU(f, g []bool) []bool {
+	n := c.auto.NumStates()
+	out := clone(g)
+	remaining := make([]int, n)
+	c.buildPred()
+	var queue []automata.StateID
+	for i := 0; i < n; i++ {
+		remaining[i] = len(c.auto.TransitionsFrom(automata.StateID(i)))
+		if out[i] {
+			queue = append(queue, automata.StateID(i))
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range c.pred[s] {
+			remaining[t.From]--
+			if !out[t.From] && remaining[t.From] == 0 && f[t.From] &&
+				len(c.auto.TransitionsFrom(t.From)) > 0 {
+				out[t.From] = true
+				queue = append(queue, t.From)
+			}
+		}
+	}
+	return out
+}
+
+// boundedAF computes AF[lo,hi] f by backward induction over remaining
+// depth j = hi..0: ok(s,j) ⇔ (j ≥ lo ∧ f(s)) ∨ (j < hi ∧ ¬deadlock(s) ∧
+// ∀succ ok(succ, j+1)). The result is ok(·, 0).
+func (c *Checker) boundedAF(f []bool, b Bound) []bool {
+	n := c.auto.NumStates()
+	next := make([]bool, n) // ok(·, j+1); starts as j = hi layer input
+	cur := make([]bool, n)
+	for j := b.Hi; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			s := automata.StateID(i)
+			if j >= b.Lo && f[i] {
+				cur[i] = true
+				continue
+			}
+			cur[i] = false
+			if j < b.Hi && !c.auto.IsDeadlock(s) {
+				all := true
+				for _, t := range c.auto.TransitionsFrom(s) {
+					if !next[t.To] {
+						all = false
+						break
+					}
+				}
+				cur[i] = all
+			}
+		}
+		cur, next = next, cur // cur becomes scratch; next holds layer j
+	}
+	return clone(next)
+}
+
+// boundedEF computes EF[lo,hi] f analogously: ex(s,j) ⇔ (j ≥ lo ∧ f(s)) ∨
+// (j < hi ∧ ∃succ ex(succ, j+1)).
+func (c *Checker) boundedEF(f []bool, b Bound) []bool {
+	n := c.auto.NumStates()
+	next := make([]bool, n)
+	cur := make([]bool, n)
+	for j := b.Hi; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			s := automata.StateID(i)
+			cur[i] = j >= b.Lo && f[i]
+			if !cur[i] && j < b.Hi {
+				for _, t := range c.auto.TransitionsFrom(s) {
+					if next[t.To] {
+						cur[i] = true
+						break
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return clone(next)
+}
+
+// boundedAG computes AG[lo,hi] f: ag(s,j) ⇔ (j < lo ∨ f(s)) ∧ (j ≥ hi ∨
+// ∀succ ag(succ, j+1)). Paths ending before the window trivially satisfy
+// the remainder.
+func (c *Checker) boundedAG(f []bool, b Bound) []bool {
+	n := c.auto.NumStates()
+	next := trues(n)
+	cur := make([]bool, n)
+	for j := b.Hi; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			s := automata.StateID(i)
+			ok := j < b.Lo || f[i]
+			if ok && j < b.Hi {
+				for _, t := range c.auto.TransitionsFrom(s) {
+					if !next[t.To] {
+						ok = false
+						break
+					}
+				}
+			}
+			cur[i] = ok
+		}
+		cur, next = next, cur
+	}
+	return clone(next)
+}
+
+// boundedEG computes EG[lo,hi] f: eg(s,j) ⇔ (j < lo ∨ f(s)) ∧ (j ≥ hi ∨
+// deadlock(s) ∨ ∃succ eg(succ, j+1)).
+func (c *Checker) boundedEG(f []bool, b Bound) []bool {
+	n := c.auto.NumStates()
+	next := trues(n)
+	cur := make([]bool, n)
+	for j := b.Hi; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			s := automata.StateID(i)
+			ok := j < b.Lo || f[i]
+			if ok && j < b.Hi && !c.auto.IsDeadlock(s) {
+				some := false
+				for _, t := range c.auto.TransitionsFrom(s) {
+					if next[t.To] {
+						some = true
+						break
+					}
+				}
+				ok = some
+			}
+			cur[i] = ok
+		}
+		cur, next = next, cur
+	}
+	return clone(next)
+}
+
+func (c *Checker) buildPred() {
+	if c.pred != nil {
+		return
+	}
+	c.pred = make([][]automata.Transition, c.auto.NumStates())
+	for _, t := range c.auto.Transitions() {
+		c.pred[t.To] = append(c.pred[t.To], t)
+	}
+}
+
+func trues(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func clone(x []bool) []bool {
+	out := make([]bool, len(x))
+	copy(out, x)
+	return out
+}

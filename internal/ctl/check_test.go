@@ -1,0 +1,351 @@
+package ctl
+
+import (
+	"math/rand"
+	"testing"
+
+	"muml/internal/automata"
+)
+
+// lineWorld builds a linear automaton s0 -> s1 -> ... -> s(n-1), where the
+// last state is a deadlock, with each state labeled "s<i>".
+func lineWorld(n int) *automata.Automaton {
+	a := automata.New("line", automata.NewSignalSet("t"), automata.EmptySet)
+	step := automata.Interact([]automata.Signal{"t"}, nil)
+	prev := a.MustAddState("s0", "s0")
+	a.MarkInitial(prev)
+	for i := 1; i < n; i++ {
+		name := "s" + string(rune('0'+i))
+		next := a.MustAddState(name, automata.Proposition(name))
+		a.MustAddTransition(prev, step, next)
+		prev = next
+	}
+	return a
+}
+
+// loopWorld builds s0 -> s1 -> s0 (a cycle) with labels.
+func loopWorld() *automata.Automaton {
+	a := automata.New("loop", automata.NewSignalSet("t"), automata.EmptySet)
+	step := automata.Interact([]automata.Signal{"t"}, nil)
+	s0 := a.MustAddState("s0", "even")
+	s1 := a.MustAddState("s1", "odd")
+	a.MustAddTransition(s0, step, s1)
+	a.MustAddTransition(s1, step, s0)
+	a.MarkInitial(s0)
+	return a
+}
+
+// branchWorld: s0 branches to good (loops, labeled "goal") and to bad
+// (loops, unlabeled).
+func branchWorld() *automata.Automaton {
+	a := automata.New("branch", automata.NewSignalSet("g", "b"), automata.EmptySet)
+	g := automata.Interact([]automata.Signal{"g"}, nil)
+	b := automata.Interact([]automata.Signal{"b"}, nil)
+	s0 := a.MustAddState("s0")
+	good := a.MustAddState("good", "goal")
+	bad := a.MustAddState("bad")
+	a.MustAddTransition(s0, g, good)
+	a.MustAddTransition(s0, b, bad)
+	a.MustAddTransition(good, g, good)
+	a.MustAddTransition(bad, b, bad)
+	a.MarkInitial(s0)
+	return a
+}
+
+func TestCheckBooleanAndAtoms(t *testing.T) {
+	a := lineWorld(3)
+	c := NewChecker(a)
+	tests := []struct {
+		f    string
+		want bool
+	}{
+		{"true", true},
+		{"false", false},
+		{"s0", true},
+		{"s1", false},
+		{"not s1", true},
+		{"s0 or s1", true},
+		{"s0 and s1", false},
+		{"s1 -> false", true}, // vacuous at s0
+		{"s0 -> s0", true},
+	}
+	for _, tt := range tests {
+		if got := c.Holds(MustParse(tt.f)); got != tt.want {
+			t.Errorf("Holds(%q) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestCheckTemporalOnLine(t *testing.T) {
+	a := lineWorld(4) // s0 -> s1 -> s2 -> s3(deadlock)
+	c := NewChecker(a)
+	tests := []struct {
+		f    string
+		want bool
+	}{
+		{"EX s1", true},
+		{"EX s2", false},
+		{"AX s1", true},
+		{"AF s3", true},
+		{"AF[3,3] s3", true},
+		{"AF[1,2] s3", false},
+		{"AF[0,3] s2", true},
+		{"EF s3", true},
+		{"EF[2,2] s2", true},
+		{"EF[2,2] s3", false},
+		{"AG (s0 or s1 or s2 or s3)", true},
+		{"AG s0", false},
+		{"AG[0,0] s0", true},
+		{"AG[1,1] s1", true},
+		{"AG[1,1] s0", false},
+		{"EG (not s3)", false}, // the only maximal path reaches s3
+		{"E<> deadlock", true},
+		{"A[(not s3) U s3]", true},
+		{"E[(not s2) U s2]", true},
+		{"A[s0 U s1]", true},
+		{"A[s1 U s2]", false},
+	}
+	for _, tt := range tests {
+		if got := c.Holds(MustParse(tt.f)); got != tt.want {
+			t.Errorf("Holds(%q) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestCheckTemporalOnLoop(t *testing.T) {
+	c := NewChecker(loopWorld())
+	tests := []struct {
+		f    string
+		want bool
+	}{
+		{"AG (even or odd)", true},
+		{"AG (not deadlock)", true},
+		{"AF odd", true},
+		{"EG (even or odd)", true},
+		{"EG even", false},
+		{"AF[1,1] odd", true},
+		{"AF[2,2] odd", false}, // at step 2 the path is back at even
+		{"AG[0,10] (even or odd)", true},
+		{"A[even U odd]", true},
+		{"E[even U odd]", true},
+	}
+	for _, tt := range tests {
+		if got := c.Holds(MustParse(tt.f)); got != tt.want {
+			t.Errorf("Holds(%q) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestCheckBranching(t *testing.T) {
+	c := NewChecker(branchWorld())
+	tests := []struct {
+		f    string
+		want bool
+	}{
+		{"EF goal", true},
+		{"AF goal", false}, // the bad branch never reaches goal
+		{"EG (not goal)", true},
+		{"AG (not deadlock)", true},
+		{"EX goal", true},
+		{"AX goal", false},
+		{"E[(not goal) U goal]", true},
+		{"A[(not goal) U goal]", false},
+	}
+	for _, tt := range tests {
+		if got := c.Holds(MustParse(tt.f)); got != tt.want {
+			t.Errorf("Holds(%q) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestDeadlockSemantics(t *testing.T) {
+	a := lineWorld(2) // s0 -> s1(deadlock)
+	c := NewChecker(a)
+	tests := []struct {
+		f    string
+		want bool
+	}{
+		{"E<> deadlock", true},
+		{"AG not deadlock", false},
+		{"AF deadlock", true},
+		// AX is vacuously true at deadlocks: AG(AX true) holds, and so
+		// does AG(AX false) restricted to s1... i.e. s1 satisfies AX false.
+		{"AG (s1 -> AX false)", true},
+		// EX is false at deadlocks.
+		{"AG (s1 -> not (EX true))", true},
+		// AF fails on paths that deadlock before reaching the target.
+		{"AF nonexistent", false},
+		// EG over a finite maximal path that stays in the labels.
+		{"EG (s0 or s1)", true},
+	}
+	for _, tt := range tests {
+		if got := c.Holds(MustParse(tt.f)); got != tt.want {
+			t.Errorf("Holds(%q) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestCounterexampleForInvariant(t *testing.T) {
+	a := lineWorld(4)
+	res := Check(a, MustParse("AG not s2"))
+	if res.Holds {
+		t.Fatal("AG not s2 should fail")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("expected counterexample")
+	}
+	// Shortest path to s2 has 2 steps.
+	if got := res.Counterexample.Len(); got != 2 {
+		t.Fatalf("counterexample length = %d, want 2", got)
+	}
+	last := res.Counterexample.States[len(res.Counterexample.States)-1]
+	if a.StateName(last) != "s2" {
+		t.Fatalf("counterexample ends in %q", a.StateName(last))
+	}
+	if err := res.Counterexample.IsRunOf(a); err != nil {
+		t.Fatalf("counterexample is not a run: %v", err)
+	}
+}
+
+func TestCounterexampleForDeadlockFreedom(t *testing.T) {
+	a := lineWorld(3)
+	res := Check(a, NoDeadlock())
+	if res.Holds {
+		t.Fatal("line world has a deadlock")
+	}
+	if res.Counterexample == nil || !res.EndsInDeadlock {
+		t.Fatalf("expected deadlock counterexample, got %+v", res)
+	}
+	last := res.Counterexample.States[len(res.Counterexample.States)-1]
+	if !a.IsDeadlock(last) {
+		t.Fatal("counterexample does not end in a deadlock state")
+	}
+}
+
+func TestCounterexampleForBoundedResponse(t *testing.T) {
+	// s0(trigger) -> s1 -> s2 -> s3(response): response needs 3 steps, so
+	// AG(trigger -> AF[1,2] response) fails and the witness extends past
+	// the trigger state.
+	a := automata.New("resp", automata.NewSignalSet("t"), automata.EmptySet)
+	step := automata.Interact([]automata.Signal{"t"}, nil)
+	s0 := a.MustAddState("s0", "trigger")
+	s1 := a.MustAddState("s1")
+	s2 := a.MustAddState("s2")
+	s3 := a.MustAddState("s3", "response")
+	a.MustAddTransition(s0, step, s1)
+	a.MustAddTransition(s1, step, s2)
+	a.MustAddTransition(s2, step, s3)
+	a.MustAddTransition(s3, step, s3)
+	a.MarkInitial(s0)
+
+	res := Check(a, MustParse("AG (trigger -> AF[1,2] response)"))
+	if res.Holds {
+		t.Fatal("bounded response should fail")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("expected counterexample")
+	}
+	// Witness: s0 plus an extension of up to 2 steps avoiding response.
+	if res.Counterexample.Len() == 0 {
+		t.Fatal("expected extended witness beyond the trigger state")
+	}
+	if err := res.Counterexample.IsRunOf(a); err != nil {
+		t.Fatalf("counterexample invalid: %v", err)
+	}
+
+	// With a large enough window the property holds.
+	if got := Check(a, MustParse("AG (trigger -> AF[1,3] response)")); !got.Holds {
+		t.Fatal("AF[1,3] should hold")
+	}
+}
+
+func TestCounterexampleForConjunction(t *testing.T) {
+	a := lineWorld(3)
+	res := Check(a, And(MustParse("AG s0 or AG not s1"), NoDeadlock()))
+	if res.Holds || res.Counterexample == nil {
+		t.Fatalf("expected counterexample, got %+v", res)
+	}
+}
+
+func TestCounterexampleForTopLevelAF(t *testing.T) {
+	c := NewChecker(branchWorld())
+	res := c.Check(MustParse("AF goal"))
+	if res.Holds {
+		t.Fatal("AF goal should fail")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("expected counterexample path avoiding goal")
+	}
+	for _, s := range res.Counterexample.States {
+		if c.Automaton().HasLabel(s, "goal") {
+			t.Fatal("counterexample for AF passes through goal")
+		}
+	}
+}
+
+func TestCheckSatisfiedReturnsNoRun(t *testing.T) {
+	res := Check(loopWorld(), MustParse("AG (even or odd)"))
+	if !res.Holds || res.Counterexample != nil {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+// TestNNFEquivalence checks on random automata that NNF preserves the
+// satisfaction set — this exercises all duality rules including the
+// deadlock-aware ones.
+func TestNNFEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	formulas := []Formula{
+		Not(AG(Atom("p"))),
+		Not(AF(Atom("p"))),
+		Not(EG(Atom("p"))),
+		Not(EF(Atom("p"))),
+		Not(AX(Atom("p"))),
+		Not(EX(Atom("p"))),
+		Not(AU(Atom("p"), Atom("q"))),
+		Not(EU(Atom("p"), Atom("q"))),
+		Not(AFWithin(1, 3, Atom("p"))),
+		Not(EFWithin(0, 2, Atom("q"))),
+		Not(AGWithin(1, 2, Atom("p"))),
+		Not(EGWithin(0, 3, Atom("q"))),
+		Not(Implies(Atom("p"), Atom("q"))),
+	}
+	for i := 0; i < 60; i++ {
+		a := randomLabeledAutomaton(rng, 5)
+		c := NewChecker(a)
+		for _, f := range formulas {
+			orig := c.Sat(f)
+			nnf := c.Sat(NNF(f))
+			for s := range orig {
+				if orig[s] != nnf[s] {
+					t.Fatalf("iteration %d: NNF changed semantics of %s at state %s (orig=%v nnf=%v)\n%s",
+						i, f, a.StateName(automata.StateID(s)), orig[s], nnf[s], a.Dot())
+				}
+			}
+		}
+	}
+}
+
+func randomLabeledAutomaton(rng *rand.Rand, states int) *automata.Automaton {
+	a := automata.New("rand", automata.NewSignalSet("x", "y"), automata.EmptySet)
+	props := []automata.Proposition{"p", "q"}
+	for i := 0; i < states; i++ {
+		var labels []automata.Proposition
+		for _, p := range props {
+			if rng.Intn(2) == 0 {
+				labels = append(labels, p)
+			}
+		}
+		a.MustAddState("s"+string(rune('0'+i)), labels...)
+	}
+	a.MarkInitial(automata.StateID(rng.Intn(states)))
+	labels := automata.Universe(automata.UniverseSingleton).Enumerate(a.Inputs(), a.Outputs())
+	for s := 0; s < states; s++ {
+		for _, x := range labels {
+			if rng.Intn(3) == 0 {
+				_ = a.AddTransition(automata.StateID(s), x, automata.StateID(rng.Intn(states)))
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,322 @@
+package ctl
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+)
+
+// Result is the outcome of a verification request.
+type Result struct {
+	// Holds reports whether the formula held in every initial state.
+	Holds bool
+	// Counterexample is a witness run refuting the formula, when one could
+	// be constructed (nil for satisfied formulas and for unsupported
+	// formula shapes).
+	Counterexample *automata.Run
+	// EndsInDeadlock reports that the counterexample run's final state is
+	// a deadlock state of the analyzed automaton.
+	EndsInDeadlock bool
+	// RunWitnessed reports that the counterexample run *by itself* proves
+	// the violation: the violated (sub)formula at the end of the run is
+	// propositional, so any system containing this run violates the
+	// property. Violations of temporal subformulas (e.g. a bounded AF
+	// failing because a path may stop early) additionally depend on which
+	// continuations exist, so reproducing the run does not suffice —
+	// crucial for the synthesis loop, where refusals of the closed model
+	// copies are hypotheses until tested.
+	RunWitnessed bool
+	// Explanation describes why the final state of the counterexample
+	// violates the property.
+	Explanation string
+}
+
+// Check evaluates the formula over the automaton and, when it fails,
+// attempts to construct a shortest counterexample run.
+//
+// Counterexamples are generated for the property shapes used by the
+// synthesis loop and by Mechatronic UML pattern verification:
+//
+//   - conjunctions: the first failing conjunct is witnessed;
+//   - AG f (including deadlock freedom AG ¬δ, invariants, and bounded
+//     response AG(¬p ∨ AF[lo,hi] q)): a shortest path to a reachable state
+//     violating f, extended with a violation suffix when f is temporal;
+//   - AF / AF[lo,hi] / AX / AU at top level: a maximal path avoiding the
+//     target.
+//
+// For other failing shapes Check reports Holds=false without a run.
+func Check(a *automata.Automaton, f Formula) Result {
+	return NewChecker(a).Check(f)
+}
+
+// Check is like the package-level Check but reuses the checker's caches.
+func (c *Checker) Check(f Formula) Result {
+	if c.Holds(f) {
+		return Result{Holds: true}
+	}
+	res := Result{Holds: false}
+	run, explanation, witnessed := c.counterexample(f)
+	if run != nil {
+		res.Counterexample = run
+		res.Explanation = explanation
+		res.RunWitnessed = witnessed
+		last := run.States[len(run.States)-1]
+		res.EndsInDeadlock = c.auto.IsDeadlock(last)
+	}
+	return res
+}
+
+// counterexample dispatches on the top-level formula shape. The third
+// result reports whether the run alone witnesses the violation (see
+// Result.RunWitnessed).
+func (c *Checker) counterexample(f Formula) (*automata.Run, string, bool) {
+	switch node := f.(type) {
+	case *andNode:
+		if !c.Holds(node.l) {
+			return c.counterexample(node.l)
+		}
+		return c.counterexample(node.r)
+	case *agNode:
+		if node.bound == nil {
+			return c.agCounterexample(node.f)
+		}
+	case *afNode, *axNode, *auNode:
+		// Fall through to path-based witness from a failing initial state.
+	case *notNode:
+		// ¬EF f at the top level behaves like AG ¬f.
+		if ef, ok := node.f.(*efNode); ok && ef.bound == nil {
+			return c.agCounterexample(Not(ef.f))
+		}
+	}
+	// Generic: start at a failing initial state and extend with the local
+	// violation suffix if the shape is supported.
+	q, ok := c.FailingInitial(f)
+	if !ok {
+		return nil, "", false
+	}
+	run := &automata.Run{States: []automata.StateID{q}}
+	if c.extendViolation(run, f) {
+		return run, fmt.Sprintf("state %q violates %s", c.auto.StateName(run.States[len(run.States)-1]), f), false
+	}
+	return run, fmt.Sprintf("initial state %q violates %s", c.auto.StateName(q), f), isPropositional(f)
+}
+
+// isPropositional reports whether the formula contains no temporal
+// operators and no deadlock symbol: its violation at a state is witnessed
+// by the state's labels alone.
+func isPropositional(f Formula) bool {
+	switch n := f.(type) {
+	case trueNode, falseNode, *atomNode:
+		return true
+	case *notNode:
+		return isPropositional(n.f)
+	case *andNode:
+		return isPropositional(n.l) && isPropositional(n.r)
+	case *orNode:
+		return isPropositional(n.l) && isPropositional(n.r)
+	case *impNode:
+		return isPropositional(n.l) && isPropositional(n.r)
+	default:
+		// deadlockNode and all temporal operators.
+		return false
+	}
+}
+
+// agCounterexample finds a shortest path from a failing initial state to a
+// reachable state violating f, then appends f's violation suffix.
+func (c *Checker) agCounterexample(f Formula) (*automata.Run, string, bool) {
+	sat := c.Sat(f)
+	n := c.auto.NumStates()
+	parent := make([]automata.Transition, n)
+	visited := make([]bool, n)
+	var queue []automata.StateID
+
+	for _, q := range c.auto.Initial() {
+		if visited[q] {
+			continue
+		}
+		visited[q] = true
+		parent[q] = automata.Transition{From: automata.NoState}
+		queue = append(queue, q)
+	}
+	target := automata.NoState
+	for len(queue) > 0 && target == automata.NoState {
+		s := queue[0]
+		queue = queue[1:]
+		if !sat[s] {
+			target = s
+			break
+		}
+		for _, t := range c.auto.TransitionsFrom(s) {
+			if !visited[t.To] {
+				visited[t.To] = true
+				parent[t.To] = t
+				queue = append(queue, t.To)
+			}
+		}
+	}
+	if target == automata.NoState {
+		return nil, "", false
+	}
+	// Reconstruct the path.
+	var rev []automata.Transition
+	for s := target; parent[s].From != automata.NoState; s = parent[s].From {
+		rev = append(rev, parent[s])
+	}
+	run := &automata.Run{}
+	start := target
+	if len(rev) > 0 {
+		start = rev[len(rev)-1].From
+	}
+	run.States = append(run.States, start)
+	for i := len(rev) - 1; i >= 0; i-- {
+		run.Steps = append(run.Steps, rev[i].Label)
+		run.States = append(run.States, rev[i].To)
+	}
+	explanation := fmt.Sprintf("state %q violates %s", c.auto.StateName(target), f)
+	if c.extendViolation(run, f) {
+		explanation = fmt.Sprintf("state %q violates %s (witness extended)", c.auto.StateName(target), f)
+	}
+	return run, explanation, isPropositional(f)
+}
+
+// extendViolation appends, to a run ending in a state violating f, a path
+// suffix witnessing the violation of f. Returns false when no extension is
+// needed (propositional f) or the shape is unsupported.
+func (c *Checker) extendViolation(run *automata.Run, f Formula) bool {
+	s := run.States[len(run.States)-1]
+	switch node := f.(type) {
+	case *orNode:
+		// Both disjuncts fail; extend along whichever produces a suffix.
+		if c.extendViolation(run, node.l) {
+			return true
+		}
+		return c.extendViolation(run, node.r)
+	case *andNode:
+		if !c.Sat(node.l)[s] {
+			return c.extendViolation(run, node.l)
+		}
+		return c.extendViolation(run, node.r)
+	case *impNode:
+		// l → r fails: l holds, r fails.
+		return c.extendViolation(run, node.r)
+	case *axNode:
+		inner := c.Sat(node.f)
+		for _, t := range c.auto.TransitionsFrom(s) {
+			if !inner[t.To] {
+				run.Steps = append(run.Steps, t.Label)
+				run.States = append(run.States, t.To)
+				c.extendViolation(run, node.f)
+				return true
+			}
+		}
+		return false
+	case *afNode:
+		if node.bound != nil {
+			return c.extendBoundedAFViolation(run, node)
+		}
+		return c.extendAFViolation(run, node.f)
+	case *auNode:
+		// A violation of A[l U r] is a maximal path where r never holds
+		// (possibly leaving l); approximate with the AF suffix for r.
+		return c.extendAFViolation(run, node.r)
+	default:
+		return false
+	}
+}
+
+// extendAFViolation extends the run along states violating AF f: follow
+// successors that still violate AF f until a cycle or deadlock is reached.
+func (c *Checker) extendAFViolation(run *automata.Run, f Formula) bool {
+	af := c.Sat(AF(f))
+	s := run.States[len(run.States)-1]
+	onPath := map[automata.StateID]bool{s: true}
+	extended := false
+	for {
+		if c.auto.IsDeadlock(s) {
+			return extended
+		}
+		advanced := false
+		var fallback *automata.Transition
+		for _, t := range c.auto.TransitionsFrom(s) {
+			if af[t.To] {
+				continue
+			}
+			if onPath[t.To] {
+				tt := t
+				fallback = &tt
+				continue
+			}
+			run.Steps = append(run.Steps, t.Label)
+			run.States = append(run.States, t.To)
+			onPath[t.To] = true
+			s = t.To
+			extended, advanced = true, true
+			break
+		}
+		if !advanced {
+			if fallback != nil {
+				// Close the lasso loop once.
+				run.Steps = append(run.Steps, fallback.Label)
+				run.States = append(run.States, fallback.To)
+				return true
+			}
+			return extended
+		}
+	}
+}
+
+// extendBoundedAFViolation extends the run with a path of at most bound.Hi
+// steps along which f is never satisfied inside the window.
+func (c *Checker) extendBoundedAFViolation(run *automata.Run, node *afNode) bool {
+	b := *node.bound
+	fSat := c.Sat(node.f)
+	// Recompute the layered ok(·, j) table to follow a failing path.
+	layers := make([][]bool, b.Hi+2)
+	layers[b.Hi+1] = make([]bool, c.auto.NumStates())
+	for j := b.Hi; j >= 0; j-- {
+		layer := make([]bool, c.auto.NumStates())
+		for i := range layer {
+			s := automata.StateID(i)
+			if j >= b.Lo && fSat[i] {
+				layer[i] = true
+				continue
+			}
+			if j < b.Hi && !c.auto.IsDeadlock(s) {
+				all := true
+				for _, t := range c.auto.TransitionsFrom(s) {
+					if !layers[j+1][t.To] {
+						all = false
+						break
+					}
+				}
+				layer[i] = all
+			}
+		}
+		layers[j] = layer
+	}
+	s := run.States[len(run.States)-1]
+	if layers[0][s] {
+		return false // not actually violating
+	}
+	extended := false
+	for j := 0; j < b.Hi; j++ {
+		if c.auto.IsDeadlock(s) {
+			return extended
+		}
+		moved := false
+		for _, t := range c.auto.TransitionsFrom(s) {
+			if !layers[j+1][t.To] {
+				run.Steps = append(run.Steps, t.Label)
+				run.States = append(run.States, t.To)
+				s = t.To
+				extended, moved = true, true
+				break
+			}
+		}
+		if !moved {
+			return extended
+		}
+	}
+	return extended
+}

@@ -1,0 +1,51 @@
+package ctl_test
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+)
+
+// ExampleParse shows the textual CCTL syntax, including the UPPAAL-style
+// A[] alias used by the paper's pattern constraints and bounded operators.
+func ExampleParse() {
+	for _, input := range []string{
+		"A[] not (rearRole.convoy and frontRole.noConvoy)",
+		"AG (trigger -> AF[1,4] response)",
+		"not deadlock",
+	} {
+		f, err := ctl.Parse(input)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%s  (ACTL: %v)\n", f, ctl.IsACTL(f))
+	}
+	// Output:
+	// AG (not (rearRole.convoy and frontRole.noConvoy))  (ACTL: true)
+	// AG (trigger -> (AF[1,4] response))  (ACTL: true)
+	// not deadlock  (ACTL: true)
+}
+
+// ExampleCheck model checks a bounded response property over a tiny
+// system and prints the violation witness.
+func ExampleCheck() {
+	a := automata.New("sys", automata.NewSignalSet("go"), automata.EmptySet)
+	s0 := a.MustAddState("request", "pending")
+	s1 := a.MustAddState("working")
+	s2 := a.MustAddState("served", "served")
+	step := automata.Interact([]automata.Signal{"go"}, nil)
+	a.MustAddTransition(s0, step, s1)
+	a.MustAddTransition(s1, step, s2)
+	a.MustAddTransition(s2, step, s2)
+	a.MarkInitial(s0)
+
+	res := ctl.Check(a, ctl.MustParse("AG (pending -> AF[1,1] served)"))
+	fmt.Printf("holds: %v\n", res.Holds)
+	res2 := ctl.Check(a, ctl.MustParse("AG (pending -> AF[1,2] served)"))
+	fmt.Printf("with a 2-step window: %v\n", res2.Holds)
+	// Output:
+	// holds: false
+	// with a 2-step window: true
+}

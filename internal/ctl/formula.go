@@ -1,0 +1,284 @@
+// Package ctl implements the clocked CTL (CCTL) property language of
+// Section 2.1 of the paper and an explicit-state model checker with
+// counterexample generation over the discrete-time I/O automata of package
+// automata.
+//
+// Constraints φ and invariants ψ are CCTL formulas over atomic
+// propositions; discrete time maps one transition to one time unit, so
+// bounded operators such as AF[1,d] quantify over transition counts. The
+// special symbol δ (Deadlock) identifies states without outgoing
+// transitions; M ⊨ ¬δ expresses deadlock freedom.
+//
+// Semantics over finite maximal paths: a path ending in a deadlock state is
+// maximal. AG φ holds on such a path if every visited state satisfies φ;
+// AF φ fails on it if no visited state satisfies φ. AX φ is vacuously true
+// in a deadlock state; EX φ is false there.
+package ctl
+
+import (
+	"fmt"
+	"strings"
+
+	"muml/internal/automata"
+)
+
+// Formula is a CCTL formula. Formulas are immutable trees built with the
+// constructor functions of this package (Atom, And, AG, ...).
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Bound is a discrete-time interval [Lo, Hi] attached to F or G operators
+// (CCTL). Both bounds are inclusive and count transitions.
+type Bound struct {
+	Lo, Hi int
+}
+
+func (b Bound) String() string { return fmt.Sprintf("[%d,%d]", b.Lo, b.Hi) }
+
+// Valid reports whether the bound is well-formed.
+func (b Bound) Valid() bool { return b.Lo >= 0 && b.Hi >= b.Lo }
+
+type (
+	trueNode  struct{}
+	falseNode struct{}
+
+	atomNode struct{ p automata.Proposition }
+
+	deadlockNode struct{}
+
+	notNode struct{ f Formula }
+
+	andNode struct{ l, r Formula }
+	orNode  struct{ l, r Formula }
+	impNode struct{ l, r Formula }
+
+	axNode struct{ f Formula }
+	exNode struct{ f Formula }
+
+	afNode struct {
+		f     Formula
+		bound *Bound
+	}
+	efNode struct {
+		f     Formula
+		bound *Bound
+	}
+	agNode struct {
+		f     Formula
+		bound *Bound
+	}
+	egNode struct {
+		f     Formula
+		bound *Bound
+	}
+
+	auNode struct{ l, r Formula }
+	euNode struct{ l, r Formula }
+)
+
+func (trueNode) isFormula()     {}
+func (falseNode) isFormula()    {}
+func (*atomNode) isFormula()    {}
+func (deadlockNode) isFormula() {}
+func (*notNode) isFormula()     {}
+func (*andNode) isFormula()     {}
+func (*orNode) isFormula()      {}
+func (*impNode) isFormula()     {}
+func (*axNode) isFormula()      {}
+func (*exNode) isFormula()      {}
+func (*afNode) isFormula()      {}
+func (*efNode) isFormula()      {}
+func (*agNode) isFormula()      {}
+func (*egNode) isFormula()      {}
+func (*auNode) isFormula()      {}
+func (*euNode) isFormula()      {}
+
+// True is the formula satisfied by every state.
+var True Formula = trueNode{}
+
+// False is the formula satisfied by no state.
+var False Formula = falseNode{}
+
+// Deadlock is the special symbol δ: satisfied exactly by states without
+// outgoing transitions.
+var Deadlock Formula = deadlockNode{}
+
+// Atom returns the atomic proposition p.
+func Atom(p automata.Proposition) Formula { return &atomNode{p: p} }
+
+// Not returns ¬f.
+func Not(f Formula) Formula { return &notNode{f: f} }
+
+// And returns the conjunction of the given formulas (True if none).
+func And(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return True
+	}
+	acc := fs[0]
+	for _, f := range fs[1:] {
+		acc = &andNode{l: acc, r: f}
+	}
+	return acc
+}
+
+// Or returns the disjunction of the given formulas (False if none).
+func Or(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return False
+	}
+	acc := fs[0]
+	for _, f := range fs[1:] {
+		acc = &orNode{l: acc, r: f}
+	}
+	return acc
+}
+
+// Implies returns l → r.
+func Implies(l, r Formula) Formula { return &impNode{l: l, r: r} }
+
+// AX returns AX f: f holds in every successor (vacuously true at
+// deadlocks).
+func AX(f Formula) Formula { return &axNode{f: f} }
+
+// EX returns EX f: some successor satisfies f.
+func EX(f Formula) Formula { return &exNode{f: f} }
+
+// AF returns AF f: on every maximal path, f eventually holds.
+func AF(f Formula) Formula { return &afNode{f: f} }
+
+// AFWithin returns the CCTL bounded AF[lo,hi] f: on every maximal path, f
+// holds at some step i with lo ≤ i ≤ hi. A path that deadlocks before
+// satisfying f violates the formula.
+func AFWithin(lo, hi int, f Formula) Formula { return &afNode{f: f, bound: &Bound{lo, hi}} }
+
+// EF returns EF f: some path eventually satisfies f.
+func EF(f Formula) Formula { return &efNode{f: f} }
+
+// EFWithin returns EF[lo,hi] f.
+func EFWithin(lo, hi int, f Formula) Formula { return &efNode{f: f, bound: &Bound{lo, hi}} }
+
+// AG returns AG f: f holds on every reachable state of every path.
+func AG(f Formula) Formula { return &agNode{f: f} }
+
+// AGWithin returns AG[lo,hi] f: on every path, f holds at every step i with
+// lo ≤ i ≤ hi that the path reaches.
+func AGWithin(lo, hi int, f Formula) Formula { return &agNode{f: f, bound: &Bound{lo, hi}} }
+
+// EG returns EG f: some maximal path satisfies f everywhere.
+func EG(f Formula) Formula { return &egNode{f: f} }
+
+// EGWithin returns EG[lo,hi] f.
+func EGWithin(lo, hi int, f Formula) Formula { return &egNode{f: f, bound: &Bound{lo, hi}} }
+
+// AU returns A[l U r]: on every maximal path, r eventually holds and l
+// holds until then.
+func AU(l, r Formula) Formula { return &auNode{l: l, r: r} }
+
+// EU returns E[l U r].
+func EU(l, r Formula) Formula { return &euNode{l: l, r: r} }
+
+// NoDeadlock returns the deadlock-freedom constraint ¬δ, expressed as
+// AG ¬deadlock so that counterexample generation produces a witness path.
+func NoDeadlock() Formula { return AG(Not(Deadlock)) }
+
+// MaxDelay returns the paper's example compositional constraint for a
+// maximal message delay d (Section 2.4): AG(¬trigger ∨ AF[1,d] required).
+func MaxDelay(trigger, required automata.Proposition, d int) Formula {
+	return AG(Or(Not(Atom(trigger)), AFWithin(1, d, Atom(required))))
+}
+
+func (trueNode) String() string     { return "true" }
+func (falseNode) String() string    { return "false" }
+func (deadlockNode) String() string { return "deadlock" }
+func (a *atomNode) String() string  { return string(a.p) }
+func (n *notNode) String() string   { return "not " + paren(n.f) }
+func (n *andNode) String() string   { return paren(n.l) + " and " + paren(n.r) }
+func (n *orNode) String() string    { return paren(n.l) + " or " + paren(n.r) }
+func (n *impNode) String() string   { return paren(n.l) + " -> " + paren(n.r) }
+func (n *axNode) String() string    { return "AX " + paren(n.f) }
+func (n *exNode) String() string    { return "EX " + paren(n.f) }
+func (n *afNode) String() string    { return "AF" + boundStr(n.bound) + " " + paren(n.f) }
+func (n *efNode) String() string    { return "EF" + boundStr(n.bound) + " " + paren(n.f) }
+func (n *agNode) String() string    { return "AG" + boundStr(n.bound) + " " + paren(n.f) }
+func (n *egNode) String() string    { return "EG" + boundStr(n.bound) + " " + paren(n.f) }
+func (n *auNode) String() string    { return "A[" + n.l.String() + " U " + n.r.String() + "]" }
+func (n *euNode) String() string    { return "E[" + n.l.String() + " U " + n.r.String() + "]" }
+
+func boundStr(b *Bound) string {
+	if b == nil {
+		return ""
+	}
+	return b.String()
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case trueNode, falseNode, deadlockNode, *atomNode, *auNode, *euNode:
+		return f.String()
+	default:
+		s := f.String()
+		if strings.ContainsRune(s, ' ') {
+			return "(" + s + ")"
+		}
+		return s
+	}
+}
+
+// Atoms returns the set of propositions occurring in the formula (the
+// label set ℒ(φ) of Section 2.1).
+func Atoms(f Formula) []automata.Proposition {
+	seen := make(map[automata.Proposition]struct{})
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch n := f.(type) {
+		case *atomNode:
+			seen[n.p] = struct{}{}
+		case *notNode:
+			walk(n.f)
+		case *andNode:
+			walk(n.l)
+			walk(n.r)
+		case *orNode:
+			walk(n.l)
+			walk(n.r)
+		case *impNode:
+			walk(n.l)
+			walk(n.r)
+		case *axNode:
+			walk(n.f)
+		case *exNode:
+			walk(n.f)
+		case *afNode:
+			walk(n.f)
+		case *efNode:
+			walk(n.f)
+		case *agNode:
+			walk(n.f)
+		case *egNode:
+			walk(n.f)
+		case *auNode:
+			walk(n.l)
+			walk(n.r)
+		case *euNode:
+			walk(n.l)
+			walk(n.r)
+		}
+	}
+	walk(f)
+	props := make([]automata.Proposition, 0, len(seen))
+	for p := range seen {
+		props = append(props, p)
+	}
+	sortProps(props)
+	return props
+}
+
+func sortProps(ps []automata.Proposition) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package ctl
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+)
+
+func TestFormulaStrings(t *testing.T) {
+	tests := []struct {
+		f    Formula
+		want string
+	}{
+		{True, "true"},
+		{False, "false"},
+		{Deadlock, "deadlock"},
+		{Atom("p"), "p"},
+		{Not(Atom("p")), "not p"},
+		{And(Atom("p"), Atom("q")), "p and q"},
+		{Or(Atom("p"), Atom("q")), "p or q"},
+		{Implies(Atom("p"), Atom("q")), "p -> q"},
+		{AG(Atom("p")), "AG p"},
+		{AFWithin(1, 5, Atom("p")), "AF[1,5] p"},
+		{AU(Atom("p"), Atom("q")), "A[p U q]"},
+		{EU(Atom("p"), Atom("q")), "E[p U q]"},
+		{AX(EX(Atom("p"))), "AX (EX p)"},
+		{NoDeadlock(), "AG (not deadlock)"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestAndOrEmpty(t *testing.T) {
+	if And() != True {
+		t.Fatal("And() should be True")
+	}
+	if Or() != False {
+		t.Fatal("Or() should be False")
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := AG(Or(Not(Atom("b")), AFWithin(1, 2, And(Atom("a"), Atom("c")))))
+	got := Atoms(f)
+	want := []automata.Proposition{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Atoms = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Atoms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBoundValid(t *testing.T) {
+	if !(Bound{0, 0}).Valid() || !(Bound{1, 5}).Valid() {
+		t.Fatal("valid bounds rejected")
+	}
+	if (Bound{-1, 2}).Valid() || (Bound{3, 2}).Valid() {
+		t.Fatal("invalid bounds accepted")
+	}
+}
+
+func TestMaxDelayShape(t *testing.T) {
+	f := MaxDelay("p1", "p2", 4)
+	want := "AG ((not p1) or (AF[1,4] p2))"
+	if got := f.String(); got != want {
+		t.Fatalf("MaxDelay = %q, want %q", got, want)
+	}
+	if !IsACTL(f) {
+		t.Fatal("MaxDelay must be ACTL")
+	}
+}
+
+func TestIsACTL(t *testing.T) {
+	tests := []struct {
+		f    Formula
+		want bool
+	}{
+		{AG(Atom("p")), true},
+		{AG(Not(Atom("p"))), true},
+		{Not(EF(Atom("p"))), true}, // ¬EF p ≡ AG ¬p
+		{EF(Atom("p")), false},
+		{Not(AG(Atom("p"))), false}, // ≡ EF ¬p
+		{AU(Atom("p"), Atom("q")), true},
+		{EU(Atom("p"), Atom("q")), false},
+		{AFWithin(1, 3, Atom("p")), true},
+		{NoDeadlock(), true},
+	}
+	for _, tt := range tests {
+		if got := IsACTL(tt.f); got != tt.want {
+			t.Errorf("IsACTL(%s) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestNNF(t *testing.T) {
+	tests := []struct {
+		give Formula
+		want string
+	}{
+		{Not(And(Atom("p"), Atom("q"))), "(not p) or (not q)"},
+		{Not(Or(Atom("p"), Atom("q"))), "(not p) and (not q)"},
+		{Not(AG(Atom("p"))), "EF (not p)"},
+		{Not(EF(Atom("p"))), "AG (not p)"},
+		{Not(AFWithin(1, 4, Atom("p"))), "EG[1,4] (not p)"},
+		{Not(AX(Atom("p"))), "EX (not p)"},
+		{Not(Not(Atom("p"))), "p"},
+		{Implies(Atom("p"), Atom("q")), "(not p) or q"},
+		{Not(True), "false"},
+		{Not(False), "true"},
+		{Not(Deadlock), "not deadlock"},
+	}
+	for _, tt := range tests {
+		if got := NNF(tt.give).String(); got != tt.want {
+			t.Errorf("NNF(%s) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestWeakenForChaos(t *testing.T) {
+	f := AG(Not(And(Atom("a"), Atom("b"))))
+	w := WeakenForChaos(f)
+	want := "AG (((not a) or χ) or ((not b) or χ))"
+	if got := w.String(); got != want {
+		t.Fatalf("WeakenForChaos = %q, want %q", got, want)
+	}
+	// δ must not be weakened.
+	d := WeakenForChaos(NoDeadlock())
+	if got, want := d.String(), "AG (not deadlock)"; got != want {
+		t.Fatalf("WeakenForChaos(¬δ) = %q, want %q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"A[] not (rearRole.convoy and frontRole.noConvoy)",
+		"AG (p -> AF[1,5] q)",
+		"E<> deadlock",
+		"not deadlock",
+		"A[p U q] or E[p U q]",
+		"p && q || !r",
+		"AG[0,3] safe",
+		"EX p and AX q",
+		"noConvoy::default",
+		"true -> false",
+	}
+	for _, in := range inputs {
+		f, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		// Round trip: re-parsing the rendering yields the same rendering.
+		again, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", f.String(), err)
+		}
+		if again.String() != f.String() {
+			t.Fatalf("round trip changed %q -> %q", f.String(), again.String())
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	f := MustParse("A[] not (rearRole.convoy and frontRole.noConvoy)")
+	ag, ok := f.(*agNode)
+	if !ok {
+		t.Fatalf("expected AG at top, got %T", f)
+	}
+	if _, ok := ag.f.(*notNode); !ok {
+		t.Fatalf("expected Not below AG, got %T", ag.f)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// and binds tighter than or, or tighter than ->.
+	f := MustParse("a or b and c -> d")
+	if got, want := f.String(), "(a or (b and c)) -> d"; got != want {
+		t.Fatalf("precedence: %q, want %q", got, want)
+	}
+}
+
+func TestParseAtomNamedAorE(t *testing.T) {
+	// "A" and "E" not followed by "[" parse as plain atoms.
+	f := MustParse("A and E")
+	if got, want := f.String(), "A and E"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(p",
+		"p )",
+		"AG[1] p",
+		"AG[2,1] p",
+		"A[p U",
+		"p and",
+		"@",
+		"p # q",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", in)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package ctl
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+)
+
+// FuzzParse ensures the formula parser never panics and that every
+// successfully parsed formula round-trips through its rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"A[] not (rearRole.convoy and frontRole.noConvoy)",
+		"AG (p -> AF[1,5] q)",
+		"E<> deadlock",
+		"A[p U q] or E[p U q]",
+		"p && q || !r",
+		"AG[0,3] safe",
+		"((((p))))",
+		"AF[9999999,9999999] p",
+		"not not not p",
+		"A and E",
+		"", "(", ")", "[", "]", "U", "->", "A[", "E<>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := formula.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q", rendered, again.String())
+		}
+		// NNF must not panic and must stay renderable.
+		_ = NNF(formula).String()
+		_ = IsACTL(formula)
+		_ = WeakenForChaos(formula).String()
+	})
+}
+
+// FuzzCheck ensures the checker handles arbitrary parsed formulas over a
+// fixed small system without panicking, and that NNF preserves the
+// verdict.
+func FuzzCheck(f *testing.F) {
+	for _, s := range []string{
+		"AG p", "AF q", "E[p U q]", "AX (p or deadlock)", "EG[0,4] not p",
+	} {
+		f.Add(s)
+	}
+	a := automata.New("sys", automata.NewSignalSet("x"), automata.EmptySet)
+	s0 := a.MustAddState("s0", "p")
+	s1 := a.MustAddState("s1", "q")
+	x := automata.Interact([]automata.Signal{"x"}, nil)
+	a.MustAddTransition(s0, x, s1)
+	a.MustAddTransition(s1, x, s0)
+	a.MustAddTransition(s1, automata.Interaction{}, s1)
+	a.MarkInitial(s0)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 256 {
+			return // bound formula size to keep bounded operators cheap
+		}
+		formula, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if b := maxBound(formula); b > 64 {
+			return // keep layered bounded-operator tables small
+		}
+		checker := NewChecker(a)
+		got := checker.Holds(formula)
+		nnf := checker.Holds(NNF(formula))
+		if got != nnf {
+			t.Fatalf("NNF changed verdict of %q: %v vs %v", formula, got, nnf)
+		}
+	})
+}
+
+func maxBound(f Formula) int {
+	max := 0
+	var walk func(Formula)
+	consider := func(b *Bound) {
+		if b != nil && b.Hi > max {
+			max = b.Hi
+		}
+	}
+	walk = func(f Formula) {
+		switch n := f.(type) {
+		case *notNode:
+			walk(n.f)
+		case *andNode:
+			walk(n.l)
+			walk(n.r)
+		case *orNode:
+			walk(n.l)
+			walk(n.r)
+		case *impNode:
+			walk(n.l)
+			walk(n.r)
+		case *axNode:
+			walk(n.f)
+		case *exNode:
+			walk(n.f)
+		case *afNode:
+			consider(n.bound)
+			walk(n.f)
+		case *efNode:
+			consider(n.bound)
+			walk(n.f)
+		case *agNode:
+			consider(n.bound)
+			walk(n.f)
+		case *egNode:
+			consider(n.bound)
+			walk(n.f)
+		case *auNode:
+			walk(n.l)
+			walk(n.r)
+		case *euNode:
+			walk(n.l)
+			walk(n.r)
+		}
+	}
+	walk(f)
+	return max
+}

@@ -1,0 +1,112 @@
+package ctl
+
+import "muml/internal/automata"
+
+// CheckMany evaluates the formula and, when it fails, returns up to max
+// *distinct* counterexamples — shortest paths to distinct violating
+// states. The paper's conclusion (§7) names exactly this as an
+// optimization opportunity: "the interplay between the formal verification
+// and the test could be improved when a number of counterexamples instead
+// [of] only a single one could be derived from the model checker."
+//
+// Supported shapes are those of Check's counterexample generation; for
+// other failing shapes at most the single Check counterexample is
+// returned. Results share the semantics of Check (RunWitnessed etc.).
+func (c *Checker) CheckMany(f Formula, max int) []Result {
+	if max < 1 {
+		max = 1
+	}
+	if c.Holds(f) {
+		return []Result{{Holds: true}}
+	}
+	inner, ok := topLevelAG(f, c)
+	if !ok {
+		return []Result{c.Check(f)}
+	}
+
+	sat := c.Sat(inner)
+	targetsFound := 0
+	var results []Result
+
+	// BFS once, collecting shortest paths to up to max distinct violating
+	// states.
+	n := c.auto.NumStates()
+	parent := make([]automata.Transition, n)
+	visited := make([]bool, n)
+	var queue []automata.StateID
+	for _, q := range c.auto.Initial() {
+		if !visited[q] {
+			visited[q] = true
+			parent[q] = automata.Transition{From: automata.NoState}
+			queue = append(queue, q)
+		}
+	}
+	for len(queue) > 0 && targetsFound < max {
+		s := queue[0]
+		queue = queue[1:]
+		if !sat[s] {
+			run := reconstructPath(s, parent)
+			witnessed := isPropositional(inner)
+			c.extendViolation(run, inner)
+			last := run.States[len(run.States)-1]
+			results = append(results, Result{
+				Holds:          false,
+				Counterexample: run,
+				RunWitnessed:   witnessed,
+				EndsInDeadlock: c.auto.IsDeadlock(last),
+			})
+			targetsFound++
+			continue // don't explore past a violation
+		}
+		for _, t := range c.auto.TransitionsFrom(s) {
+			if !visited[t.To] {
+				visited[t.To] = true
+				parent[t.To] = t
+				queue = append(queue, t.To)
+			}
+		}
+	}
+	if len(results) == 0 {
+		return []Result{c.Check(f)}
+	}
+	return results
+}
+
+// topLevelAG unwraps the shapes CheckMany handles into the inner AG body:
+// AG f, ¬EF f, and failing conjuncts of conjunctions.
+func topLevelAG(f Formula, c *Checker) (Formula, bool) {
+	switch node := f.(type) {
+	case *agNode:
+		if node.bound == nil {
+			return node.f, true
+		}
+	case *notNode:
+		if ef, ok := node.f.(*efNode); ok && ef.bound == nil {
+			return Not(ef.f), true
+		}
+	case *andNode:
+		if !c.Holds(node.l) {
+			return topLevelAG(node.l, c)
+		}
+		return topLevelAG(node.r, c)
+	}
+	return nil, false
+}
+
+func reconstructPath(target automata.StateID, parent []automata.Transition) *automata.Run {
+	var rev []automata.Transition
+	for s := target; parent[s].From != automata.NoState; s = parent[s].From {
+		rev = append(rev, parent[s])
+	}
+	run := &automata.Run{}
+	start := target
+	if len(rev) > 0 {
+		start = rev[len(rev)-1].From
+	}
+	run.States = append(run.States, start)
+	for i := len(rev) - 1; i >= 0; i-- {
+		run.Steps = append(run.Steps, rev[i].Label)
+		run.States = append(run.States, rev[i].To)
+	}
+	return run
+}

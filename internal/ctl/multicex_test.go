@@ -1,0 +1,115 @@
+package ctl
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+)
+
+// fanWorld: s0 branches to three violating states at different depths.
+func fanWorld() *automata.Automaton {
+	a := automata.New("fan", automata.NewSignalSet("x", "y", "z"), automata.EmptySet)
+	s0 := a.MustAddState("s0", "ok")
+	bad1 := a.MustAddState("bad1")
+	bad2 := a.MustAddState("bad2")
+	mid := a.MustAddState("mid", "ok")
+	bad3 := a.MustAddState("bad3")
+	x := automata.Interact([]automata.Signal{"x"}, nil)
+	y := automata.Interact([]automata.Signal{"y"}, nil)
+	z := automata.Interact([]automata.Signal{"z"}, nil)
+	a.MustAddTransition(s0, x, bad1)
+	a.MustAddTransition(s0, y, bad2)
+	a.MustAddTransition(s0, z, mid)
+	a.MustAddTransition(mid, z, bad3)
+	a.MustAddTransition(bad1, x, bad1)
+	a.MustAddTransition(bad2, x, bad2)
+	a.MustAddTransition(bad3, x, bad3)
+	a.MarkInitial(s0)
+	return a
+}
+
+func TestCheckManyDistinctCounterexamples(t *testing.T) {
+	c := NewChecker(fanWorld())
+	results := c.CheckMany(MustParse("A[] ok"), 10)
+	if len(results) != 3 {
+		t.Fatalf("got %d counterexamples, want 3", len(results))
+	}
+	seen := make(map[automata.StateID]bool)
+	for _, r := range results {
+		if r.Holds || r.Counterexample == nil {
+			t.Fatalf("bad result %+v", r)
+		}
+		if !r.RunWitnessed {
+			t.Fatal("propositional violation must be run-witnessed")
+		}
+		last := r.Counterexample.States[len(r.Counterexample.States)-1]
+		if seen[last] {
+			t.Fatalf("duplicate violating state %v", last)
+		}
+		seen[last] = true
+		if err := r.Counterexample.IsRunOf(c.Automaton()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckManyRespectsMax(t *testing.T) {
+	c := NewChecker(fanWorld())
+	results := c.CheckMany(MustParse("A[] ok"), 2)
+	if len(results) != 2 {
+		t.Fatalf("got %d counterexamples, want 2", len(results))
+	}
+	// max < 1 behaves like 1.
+	if got := len(c.CheckMany(MustParse("A[] ok"), 0)); got != 1 {
+		t.Fatalf("max=0 returned %d results", got)
+	}
+}
+
+func TestCheckManyHoldsShortCircuits(t *testing.T) {
+	c := NewChecker(fanWorld())
+	results := c.CheckMany(MustParse("A[] true"), 5)
+	if len(results) != 1 || !results[0].Holds {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestCheckManyFallsBackForUnsupportedShapes(t *testing.T) {
+	c := NewChecker(fanWorld())
+	// Top-level AF is not an AG shape; fall back to the single Check.
+	results := c.CheckMany(MustParse("AF nonexistent"), 5)
+	if len(results) != 1 || results[0].Holds {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestCheckManyConjunction(t *testing.T) {
+	c := NewChecker(fanWorld())
+	results := c.CheckMany(And(MustParse("A[] true"), MustParse("A[] ok")), 10)
+	if len(results) != 3 {
+		t.Fatalf("conjunction dispatch broken: %d results", len(results))
+	}
+}
+
+func TestCheckManyDeadlockShape(t *testing.T) {
+	a := automata.New("d", automata.NewSignalSet("x"), automata.EmptySet)
+	s0 := a.MustAddState("s0")
+	d1 := a.MustAddState("d1")
+	d2 := a.MustAddState("d2")
+	x := automata.Interact([]automata.Signal{"x"}, nil)
+	a.MustAddTransition(s0, x, d1)
+	a.MustAddTransition(s0, automata.Interaction{}, d2)
+	a.MarkInitial(s0)
+	c := NewChecker(a)
+	results := c.CheckMany(NoDeadlock(), 10)
+	if len(results) != 2 {
+		t.Fatalf("got %d deadlock counterexamples, want 2", len(results))
+	}
+	for _, r := range results {
+		if !r.EndsInDeadlock {
+			t.Fatal("deadlock counterexample not flagged")
+		}
+		if r.RunWitnessed {
+			t.Fatal("deadlock violations are refusal-dependent, not run-witnessed")
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package ctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"muml/internal/automata"
+)
+
+// Parse parses a textual CCTL formula. The grammar (loosest binding
+// first):
+//
+//	formula  := or ( "->" formula )?
+//	or       := and ( ("or" | "||") and )*
+//	and      := unary ( ("and" | "&&") unary )*
+//	unary    := ("not" | "!") unary
+//	         | ("AG"|"AF"|"EG"|"EF") bound? unary
+//	         | ("AX"|"EX") unary
+//	         | "A[]" unary | "E<>" unary            (UPPAAL-style aliases)
+//	         | "A" "[" formula "U" formula "]"
+//	         | "E" "[" formula "U" formula "]"
+//	         | primary
+//	bound    := "[" int "," int "]"
+//	primary  := "true" | "false" | "deadlock" | ident | "(" formula ")"
+//	ident    := letter (letter | digit | "." | ":" | "_" )*
+//
+// Identifiers denote atomic propositions, e.g. "rearRole.convoy" or
+// "noConvoy::default". Example from the paper:
+//
+//	A[] not (rearRole.convoy and frontRole.noConvoy)
+func Parse(input string) (Formula, error) {
+	p := &parser{tokens: lex(input)}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("ctl: unexpected trailing input %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse but panics on error; for statically known formulas.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokInt
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokArrow
+	tokAnd
+	tokOr
+	tokNot
+	tokBoxAlias     // "A[]"
+	tokDiamondAlias // "E<>"
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func lex(input string) []token {
+	var tokens []token
+	i := 0
+	emit := func(kind tokenKind, text string) {
+		tokens = append(tokens, token{kind: kind, text: text, pos: i})
+	}
+	for i < len(input) {
+		ch := rune(input[i])
+		switch {
+		case unicode.IsSpace(ch):
+			i++
+		case strings.HasPrefix(input[i:], "A[]"):
+			emit(tokBoxAlias, "A[]")
+			i += 3
+		case strings.HasPrefix(input[i:], "E<>"):
+			emit(tokDiamondAlias, "E<>")
+			i += 3
+		case strings.HasPrefix(input[i:], "->"):
+			emit(tokArrow, "->")
+			i += 2
+		case strings.HasPrefix(input[i:], "&&"):
+			emit(tokAnd, "&&")
+			i += 2
+		case strings.HasPrefix(input[i:], "||"):
+			emit(tokOr, "||")
+			i += 2
+		case ch == '!':
+			emit(tokNot, "!")
+			i++
+		case ch == '(':
+			emit(tokLParen, "(")
+			i++
+		case ch == ')':
+			emit(tokRParen, ")")
+			i++
+		case ch == '[':
+			emit(tokLBracket, "[")
+			i++
+		case ch == ']':
+			emit(tokRBracket, "]")
+			i++
+		case ch == ',':
+			emit(tokComma, ",")
+			i++
+		case unicode.IsDigit(ch):
+			j := i
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			emit(tokInt, input[i:j])
+			i = j
+		case unicode.IsLetter(ch) || ch == '_':
+			j := i
+			for j < len(input) {
+				c := rune(input[j])
+				if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '.' || c == ':' || c == '_' {
+					j++
+					continue
+				}
+				break
+			}
+			word := input[i:j]
+			switch word {
+			case "and":
+				emit(tokAnd, word)
+			case "or":
+				emit(tokOr, word)
+			case "not":
+				emit(tokNot, word)
+			default:
+				emit(tokIdent, word)
+			}
+			i = j
+		default:
+			emit(tokEOF, string(ch)) // lex error surfaces as parse error
+			i = len(input)
+		}
+	}
+	tokens = append(tokens, token{kind: tokEOF, text: "", pos: len(input)})
+	return tokens
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token   { return p.tokens[p.pos] }
+func (p *parser) next() token   { t := p.tokens[p.pos]; p.pos++; return t }
+func (p *parser) atEnd() bool   { return p.peek().kind == tokEOF && p.peek().text == "" }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(n int) { p.pos = n }
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("ctl: expected %s at position %d, found %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokArrow {
+		p.next()
+		r, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case tokBoxAlias:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return AG(f), nil
+	case tokDiamondAlias:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return EF(f), nil
+	case tokIdent:
+		switch t.text {
+		case "AG", "AF", "EG", "EF":
+			p.next()
+			return p.parseBoundedTemporal(t.text)
+		case "AX", "EX":
+			p.next()
+			f, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "AX" {
+				return AX(f), nil
+			}
+			return EX(f), nil
+		case "A", "E":
+			// Try the until form A[ f U g ]; on failure fall back to an
+			// atom named "A"/"E".
+			mark := p.save()
+			p.next()
+			if u, err := p.parseUntil(t.text); err == nil {
+				return u, nil
+			}
+			p.restore(mark)
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parseBoundedTemporal(op string) (Formula, error) {
+	var bound *Bound
+	if p.peek().kind == tokLBracket {
+		p.next()
+		lo, err := p.expect(tokInt, "lower bound")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma, "comma"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expect(tokInt, "upper bound")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		loV, _ := strconv.Atoi(lo.text)
+		hiV, _ := strconv.Atoi(hi.text)
+		b := Bound{Lo: loV, Hi: hiV}
+		if !b.Valid() {
+			return nil, fmt.Errorf("ctl: invalid bound %s", b)
+		}
+		bound = &b
+	}
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "AG":
+		return &agNode{f: f, bound: bound}, nil
+	case "AF":
+		return &afNode{f: f, bound: bound}, nil
+	case "EG":
+		return &egNode{f: f, bound: bound}, nil
+	default:
+		return &efNode{f: f, bound: bound}, nil
+	}
+}
+
+func (p *parser) parseUntil(quantifier string) (Formula, error) {
+	if _, err := p.expect(tokLBracket, "["); err != nil {
+		return nil, err
+	}
+	l, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	u := p.next()
+	if u.kind != tokIdent || u.text != "U" {
+		return nil, fmt.Errorf("ctl: expected U at position %d", u.pos)
+	}
+	r, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket, "]"); err != nil {
+		return nil, err
+	}
+	if quantifier == "A" {
+		return AU(l, r), nil
+	}
+	return EU(l, r), nil
+}
+
+func (p *parser) parsePrimary() (Formula, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLParen:
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return True, nil
+		case "false":
+			return False, nil
+		case "deadlock":
+			return Deadlock, nil
+		default:
+			return Atom(automata.Proposition(t.text)), nil
+		}
+	default:
+		return nil, fmt.Errorf("ctl: unexpected token %q at position %d", t.text, t.pos)
+	}
+}

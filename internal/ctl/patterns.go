@@ -1,0 +1,62 @@
+package ctl
+
+import "muml/internal/automata"
+
+// This file provides specification-pattern helpers in the style of Dwyer,
+// Avrunin, and Corbett's property patterns, restricted to the timed ACTL
+// fragment that is compositional in the sense of Section 2.4. They cover
+// the constraint forms that occur in Mechatronic UML pattern constraints
+// and role invariants, so models can be annotated without hand-writing
+// CCTL.
+
+// Absence states that the proposition never holds: AG ¬p. The RailCab
+// pattern constraint is an Absence over a conjunction.
+func Absence(p Formula) Formula { return AG(Not(p)) }
+
+// Universality states that the proposition always holds: AG p — the shape
+// of the paper's role invariants.
+func Universality(p Formula) Formula { return AG(p) }
+
+// MutualExclusion states that the propositions never hold together:
+// AG ¬(p ∧ q), e.g. A[] not (rearRole.convoy and frontRole.noConvoy).
+func MutualExclusion(p, q automata.Proposition) Formula {
+	return AG(Not(And(Atom(p), Atom(q))))
+}
+
+// Response states that every trigger is followed by the reaction within
+// the window [lo, hi] — the paper's maximal-delay constraint family
+// (Section 2.4): AG(trigger → AF[lo,hi] reaction). A path that deadlocks
+// inside the window violates the property.
+func Response(trigger, reaction Formula, lo, hi int) Formula {
+	return AG(Implies(trigger, AFWithin(lo, hi, reaction)))
+}
+
+// MinimalDelay states that the reaction never occurs earlier than lo steps
+// after the trigger: AG(trigger → AG[1,lo-1] ¬reaction). With lo ≤ 1 it is
+// trivially true.
+func MinimalDelay(trigger, reaction Formula, lo int) Formula {
+	if lo <= 1 {
+		return True
+	}
+	return AG(Implies(trigger, AGWithin(1, lo-1, Not(reaction))))
+}
+
+// Precedence states that the guard must hold strictly before any
+// occurrence of the event: the event cannot occur while the guard has
+// never held, expressed as A[(¬event) U (guard ∧ ¬event)] weakened to
+// tolerate runs where neither ever occurs:
+//
+//	¬ E[ ¬guard U (event ∧ ¬guard) ]
+//
+// The result is ACTL after NNF.
+func Precedence(event, guard Formula) Formula {
+	return Not(EU(Not(guard), And(event, Not(guard))))
+}
+
+// StatePrecedence is Precedence over state propositions: the system is
+// never in the event state unless it passed through the guard state
+// first. For the RailCab example: rearRole.convoy is preceded by
+// a state in which startConvoy was granted.
+func StatePrecedence(event, guard automata.Proposition) Formula {
+	return Precedence(Atom(event), Atom(guard))
+}

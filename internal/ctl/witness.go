@@ -1,0 +1,130 @@
+package ctl
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+)
+
+// Witness constructs, for a *satisfied* existential reachability formula,
+// a run demonstrating it from some initial state:
+//
+//   - EF f (bounded or not): a shortest path to a state satisfying f;
+//   - EX f: one step to a satisfying successor;
+//   - E[g U f]: a shortest path to f through g-states.
+//
+// It returns an error for unsupported shapes or when the formula does not
+// hold in any initial state. Universal formulas have counterexamples (see
+// Check), not witnesses.
+func (c *Checker) Witness(f Formula) (*automata.Run, error) {
+	switch node := f.(type) {
+	case *efNode:
+		return c.reachWitness(c.Sat(node.f), nil, boundOrNil(node.bound))
+	case *exNode:
+		inner := c.Sat(node.f)
+		for _, q := range c.auto.Initial() {
+			for _, t := range c.auto.TransitionsFrom(q) {
+				if inner[t.To] {
+					return &automata.Run{
+						States: []automata.StateID{q, t.To},
+						Steps:  []automata.Interaction{t.Label},
+					}, nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("ctl: %s has no witness from the initial states", f)
+	case *euNode:
+		return c.reachWitness(c.Sat(node.r), c.Sat(node.l), nil)
+	default:
+		return nil, fmt.Errorf("ctl: witness generation not supported for %s", f)
+	}
+}
+
+func boundOrNil(b *Bound) *Bound {
+	if b == nil {
+		return nil
+	}
+	bb := *b
+	return &bb
+}
+
+// reachWitness BFSes from the initial states to a target-set state,
+// optionally restricted to via-states and to a depth window.
+func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automata.Run, error) {
+	n := c.auto.NumStates()
+	// visited by (state, depth) only matters with bounds; without bounds
+	// visit each state once.
+	visited := make(map[entry]struct{})
+	parent := make(map[entry]automata.Transition)
+	parentEntry := make(map[entry]entry)
+	var queue []entry
+
+	inWindow := func(d int) bool {
+		if bound == nil {
+			return true
+		}
+		return d >= bound.Lo && d <= bound.Hi
+	}
+	maxDepth := n
+	if bound != nil {
+		maxDepth = bound.Hi
+	}
+
+	for _, q := range c.auto.Initial() {
+		e := entry{q, 0}
+		visited[e] = struct{}{}
+		queue = append(queue, e)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if target[cur.s] && inWindow(cur.depth) {
+			return c.buildRun(cur, parent, parentEntry), nil
+		}
+		if cur.depth >= maxDepth {
+			continue
+		}
+		if via != nil && !via[cur.s] {
+			continue
+		}
+		for _, t := range c.auto.TransitionsFrom(cur.s) {
+			next := entry{t.To, cur.depth + 1}
+			if bound == nil {
+				next.depth = 0 // collapse depths when unbounded
+			}
+			if _, seen := visited[next]; seen {
+				continue
+			}
+			visited[next] = struct{}{}
+			parent[next] = t
+			parentEntry[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	return nil, fmt.Errorf("ctl: no witness path found")
+}
+
+func (c *Checker) buildRun(end entry, parent map[entry]automata.Transition, parentEntry map[entry]entry) *automata.Run {
+	var rev []automata.Transition
+	cur := end
+	for {
+		t, ok := parent[cur]
+		if !ok {
+			break
+		}
+		rev = append(rev, t)
+		cur = parentEntry[cur]
+	}
+	run := &automata.Run{States: []automata.StateID{cur.s}}
+	for i := len(rev) - 1; i >= 0; i-- {
+		run.Steps = append(run.Steps, rev[i].Label)
+		run.States = append(run.States, rev[i].To)
+	}
+	return run
+}
+
+// entry is shared between reachWitness and buildRun.
+type entry struct {
+	s     automata.StateID
+	depth int
+}

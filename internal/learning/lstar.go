@@ -1,0 +1,308 @@
+// Package learning implements Angluin's L* regular inference algorithm
+// [Angluin 1987] in its Mealy-machine variant, the classical baseline the
+// paper compares against (Section 6, "Regular Inference").
+//
+// A Learner infers the reactive behavior of a black box from output
+// queries (the Mealy analogue of membership queries) organized in an
+// observation table, and asks an equivalence oracle to confirm each
+// hypothesis or supply a counterexample. Partial machines (components that
+// refuse inputs) are completed with a stuck semantics: a refusal outputs ⊥
+// and every later input outputs ⊥ too.
+//
+// Complexity (Section 6): at most n equivalence queries and O(|Σ|·n²·m)
+// membership queries, n the state count and m the longest counterexample.
+// In contrast to the paper's context-guided synthesis the inferred model
+// is an under-approximation until the final equivalence query succeeds,
+// and equivalence itself needs conformance testing with cost exponential
+// in the state-count gap (package conformance).
+package learning
+
+import (
+	"fmt"
+	"strings"
+
+	"muml/internal/automata"
+	"muml/internal/conformance"
+	"muml/internal/legacy"
+)
+
+// Bottom is the stuck-completion output, re-exported from conformance.
+const Bottom = conformance.Bottom
+
+// Word is an input word, re-exported from conformance.
+type Word = conformance.Word
+
+// OutputOracle answers output queries: the outputs produced by the system
+// under learning on an input word, with Bottom from the first refusal.
+type OutputOracle interface {
+	Query(w Word) []string
+}
+
+// EquivalenceOracle decides whether a hypothesis matches the system under
+// learning, returning a counterexample word otherwise.
+type EquivalenceOracle interface {
+	Counterexample(h *automata.Automaton, alphabet []automata.SignalSet) (Word, bool, error)
+}
+
+// Stats counts the effort spent by the learner and its oracles.
+type Stats struct {
+	MembershipQueries  int
+	EquivalenceQueries int
+	Resets             int
+	SymbolsExecuted    int
+	Rounds             int
+}
+
+// ComponentOracle adapts a legacy component to an OutputOracle, counting
+// queries.
+type ComponentOracle struct {
+	comp  legacy.Component
+	stats *Stats
+	cache map[string][]string
+}
+
+var _ OutputOracle = (*ComponentOracle)(nil)
+
+// NewComponentOracle wraps the component. Queries are cached; the cache
+// models the standard assumption that repeated membership queries are
+// free.
+func NewComponentOracle(comp legacy.Component, stats *Stats) *ComponentOracle {
+	return &ComponentOracle{comp: comp, stats: stats, cache: make(map[string][]string)}
+}
+
+// Query implements OutputOracle.
+func (o *ComponentOracle) Query(w Word) []string {
+	key := w.Key()
+	if cached, ok := o.cache[key]; ok {
+		return cached
+	}
+	o.stats.MembershipQueries++
+	o.stats.Resets++
+	o.comp.Reset()
+	outs := make([]string, len(w))
+	stuck := false
+	for i, in := range w {
+		if stuck {
+			outs[i] = Bottom
+			continue
+		}
+		o.stats.SymbolsExecuted++
+		out, ok := o.comp.Step(in)
+		if !ok {
+			outs[i] = Bottom
+			stuck = true
+			continue
+		}
+		outs[i] = out.Key()
+	}
+	o.cache[key] = outs
+	return outs
+}
+
+// Learner runs L* over an output oracle.
+type Learner struct {
+	oracle   OutputOracle
+	alphabet []automata.SignalSet
+	stats    *Stats
+
+	prefixes []Word // S, closed under prefixes of added rows
+	suffixes []Word // E, initialized with single letters
+}
+
+// NewLearner prepares an L* learner over the given input alphabet.
+func NewLearner(oracle OutputOracle, alphabet []automata.SignalSet, stats *Stats) *Learner {
+	l := &Learner{oracle: oracle, alphabet: alphabet, stats: stats}
+	l.prefixes = []Word{{}}
+	for _, a := range alphabet {
+		l.suffixes = append(l.suffixes, Word{a})
+	}
+	return l
+}
+
+// Learn runs the full L* loop: build a closed and consistent observation
+// table, form a hypothesis, ask the equivalence oracle, refine on
+// counterexamples; stops when the oracle accepts or maxRounds is hit.
+func (l *Learner) Learn(equiv EquivalenceOracle, maxRounds int) (*automata.Automaton, error) {
+	for round := 0; round < maxRounds; round++ {
+		l.stats.Rounds++
+		l.makeClosedAndConsistent()
+		// Trim: dropping ⊥ (refusal) transitions can leave the stuck-sink
+		// row unreachable; the reported hypothesis is the reachable part.
+		hyp := l.hypothesis(fmt.Sprintf("hypothesis%d", round)).Trim(fmt.Sprintf("hypothesis%d", round))
+		l.stats.EquivalenceQueries++
+		cex, found, err := equiv.Counterexample(hyp, l.alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("learning: equivalence oracle: %w", err)
+		}
+		if !found {
+			return hyp, nil
+		}
+		l.addCounterexample(cex)
+	}
+	return nil, fmt.Errorf("learning: no stable hypothesis after %d rounds", maxRounds)
+}
+
+// row returns the table row of a prefix: concatenated outputs over all
+// suffixes.
+func (l *Learner) row(prefix Word) string {
+	var parts []string
+	for _, e := range l.suffixes {
+		parts = append(parts, l.cell(prefix, e))
+	}
+	return strings.Join(parts, ";")
+}
+
+// cell returns the output sequence for suffix e after prefix s.
+func (l *Learner) cell(prefix, e Word) string {
+	outs := l.oracle.Query(conformance.Concat(prefix, e))
+	return strings.Join(outs[len(prefix):], ",")
+}
+
+// makeClosedAndConsistent iterates the two L* table repairs.
+func (l *Learner) makeClosedAndConsistent() {
+	for {
+		if l.closeTable() {
+			continue
+		}
+		if l.makeConsistent() {
+			continue
+		}
+		return
+	}
+}
+
+// closeTable ensures every one-letter extension of a prefix has a
+// representative row among the prefixes; returns true if it changed the
+// table.
+func (l *Learner) closeTable() bool {
+	rows := make(map[string]struct{}, len(l.prefixes))
+	for _, s := range l.prefixes {
+		rows[l.row(s)] = struct{}{}
+	}
+	for _, s := range l.prefixes {
+		for _, a := range l.alphabet {
+			ext := conformance.Concat(s, Word{a})
+			if _, ok := rows[l.row(ext)]; !ok {
+				l.addPrefix(ext)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// makeConsistent ensures prefixes with equal rows stay equal under every
+// extension; adds a distinguishing suffix otherwise.
+func (l *Learner) makeConsistent() bool {
+	for i := 0; i < len(l.prefixes); i++ {
+		for j := i + 1; j < len(l.prefixes); j++ {
+			s1, s2 := l.prefixes[i], l.prefixes[j]
+			if l.row(s1) != l.row(s2) {
+				continue
+			}
+			for _, a := range l.alphabet {
+				e1 := conformance.Concat(s1, Word{a})
+				e2 := conformance.Concat(s2, Word{a})
+				for _, e := range l.suffixes {
+					if l.cell(e1, e) != l.cell(e2, e) {
+						l.suffixes = append(l.suffixes, conformance.Concat(Word{a}, e))
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// addCounterexample adds all prefixes of the counterexample to S
+// (Angluin's original treatment).
+func (l *Learner) addCounterexample(cex Word) {
+	for i := 1; i <= len(cex); i++ {
+		l.addPrefix(append(Word{}, cex[:i]...))
+	}
+}
+
+func (l *Learner) addPrefix(p Word) {
+	key := p.Key()
+	for _, existing := range l.prefixes {
+		if existing.Key() == key {
+			return
+		}
+	}
+	l.prefixes = append(l.prefixes, p)
+}
+
+// hypothesis builds the Mealy automaton from the closed, consistent table.
+// Transitions whose output is ⊥ model refusals and are omitted, yielding a
+// partial (function-deterministic) automaton comparable with the learned
+// models of the synthesis loop.
+func (l *Learner) hypothesis(name string) *automata.Automaton {
+	// Distinct rows become states; the empty prefix's row is initial.
+	repr := make(map[string]Word)
+	order := make([]string, 0, len(l.prefixes))
+	for _, s := range l.prefixes {
+		key := l.row(s)
+		if _, ok := repr[key]; !ok {
+			repr[key] = s
+			order = append(order, key)
+		}
+	}
+	outputs := collectOutputs(l)
+	a := automata.New(name, inputsUnion(l.alphabet), outputs)
+	ids := make(map[string]automata.StateID, len(order))
+	for i, key := range order {
+		ids[key] = a.MustAddState(fmt.Sprintf("q%d", i))
+	}
+	a.MarkInitial(ids[l.row(Word{})])
+	for _, key := range order {
+		s := repr[key]
+		from := ids[key]
+		for _, in := range l.alphabet {
+			outKey := l.cell(s, Word{in})
+			if outKey == Bottom {
+				continue
+			}
+			toKey := l.row(conformance.Concat(s, Word{in}))
+			label := automata.Interaction{In: in, Out: signalSetFromKey(outKey)}
+			if len(a.Successors(from, label)) == 0 {
+				a.MustAddTransition(from, label, ids[toKey])
+			}
+		}
+	}
+	return a
+}
+
+func collectOutputs(l *Learner) automata.SignalSet {
+	out := automata.EmptySet
+	for _, s := range l.prefixes {
+		for _, in := range l.alphabet {
+			key := l.cell(s, Word{in})
+			if key == Bottom {
+				continue
+			}
+			out = out.Union(signalSetFromKey(key))
+		}
+	}
+	return out
+}
+
+func inputsUnion(alphabet []automata.SignalSet) automata.SignalSet {
+	u := automata.EmptySet
+	for _, in := range alphabet {
+		u = u.Union(in)
+	}
+	return u
+}
+
+func signalSetFromKey(key string) automata.SignalSet {
+	if key == "" {
+		return automata.EmptySet
+	}
+	parts := strings.Split(key, ",")
+	signals := make([]automata.Signal, len(parts))
+	for i, p := range parts {
+		signals[i] = automata.Signal(p)
+	}
+	return automata.NewSignalSet(signals...)
+}

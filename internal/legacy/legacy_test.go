@@ -1,0 +1,143 @@
+package legacy
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+)
+
+func protoAutomaton(t *testing.T) *automata.Automaton {
+	t.Helper()
+	a := automata.New("proto", automata.NewSignalSet("req"), automata.NewSignalSet("ack"))
+	idle := a.MustAddState("idle")
+	busy := a.MustAddState("busy")
+	a.MustAddTransition(idle, automata.Interact([]automata.Signal{"req"}, []automata.Signal{"ack"}), busy)
+	a.MustAddTransition(busy, automata.Interaction{}, idle)
+	a.MarkInitial(idle)
+	return a
+}
+
+func TestInterfaceValidate(t *testing.T) {
+	good := Interface{Name: "c", Inputs: automata.NewSignalSet("a"), Outputs: automata.NewSignalSet("b")}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Interface{}).Validate(); err == nil {
+		t.Fatal("empty interface accepted")
+	}
+	bad := Interface{Name: "c", Inputs: automata.NewSignalSet("a"), Outputs: automata.NewSignalSet("a")}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overlapping alphabets accepted")
+	}
+}
+
+func TestInterfacePortOf(t *testing.T) {
+	i := Interface{Name: "c", Ports: map[automata.Signal]string{"a": "p"}}
+	if got := i.PortOf("a"); got != "p" {
+		t.Fatalf("PortOf = %q", got)
+	}
+	if got := i.PortOf("zz"); got != "" {
+		t.Fatalf("PortOf unknown = %q", got)
+	}
+	var empty Interface
+	if got := empty.PortOf("a"); got != "" {
+		t.Fatalf("PortOf on nil map = %q", got)
+	}
+}
+
+func TestAutomatonComponentStepAndReset(t *testing.T) {
+	comp := MustWrapAutomaton(protoAutomaton(t))
+	if got := comp.StateName(); got != "idle" {
+		t.Fatalf("initial state = %q", got)
+	}
+	out, ok := comp.Step(automata.NewSignalSet("req"))
+	if !ok || !out.Contains("ack") {
+		t.Fatalf("Step = %v/%v", out, ok)
+	}
+	if got := comp.StateName(); got != "busy" {
+		t.Fatalf("state after step = %q", got)
+	}
+	// Refusal keeps the state.
+	if _, ok := comp.Step(automata.NewSignalSet("req")); ok {
+		t.Fatal("busy state accepted req")
+	}
+	if got := comp.StateName(); got != "busy" {
+		t.Fatal("refusal changed the state")
+	}
+	comp.Reset()
+	if got := comp.StateName(); got != "idle" {
+		t.Fatalf("state after reset = %q", got)
+	}
+}
+
+func TestWrapAutomatonRejectsNondeterminism(t *testing.T) {
+	a := protoAutomaton(t)
+	idle := a.State("idle")
+	// Same input, different output: not function-deterministic.
+	a.MustAddTransition(idle, automata.Interact([]automata.Signal{"req"}, nil), idle)
+	if _, err := WrapAutomaton(a); err == nil {
+		t.Fatal("function-nondeterministic automaton accepted")
+	}
+
+	b := protoAutomaton(t)
+	bidle := b.State("idle")
+	// Same label, two successors.
+	b.MustAddTransition(bidle, automata.Interact([]automata.Signal{"req"}, []automata.Signal{"ack"}), bidle)
+	if _, err := WrapAutomaton(b); err == nil {
+		t.Fatal("nondeterministic automaton accepted")
+	}
+
+	c := protoAutomaton(t)
+	c.MarkInitial(c.State("busy"))
+	if _, err := WrapAutomaton(c); err == nil {
+		t.Fatal("two initial states accepted")
+	}
+}
+
+func TestInitialStateName(t *testing.T) {
+	comp := MustWrapAutomaton(protoAutomaton(t))
+	// Move away from initial, then check InitialStateName resets.
+	comp.Step(automata.NewSignalSet("req"))
+	if got := InitialStateName(comp); got != "idle" {
+		t.Fatalf("InitialStateName = %q", got)
+	}
+}
+
+func TestFuncComponent(t *testing.T) {
+	f := &FuncComponent{
+		Name:    "f",
+		Initial: "a",
+		Next: map[string]map[string]FuncStep{
+			"a": {"": {Out: []automata.Signal{"hello"}, To: "b"}},
+			"b": {"x": {To: "a"}},
+		},
+	}
+	f.Reset()
+	out, ok := f.Step(automata.EmptySet)
+	if !ok || !out.Contains("hello") {
+		t.Fatalf("Step = %v/%v", out, ok)
+	}
+	if f.StateName() != "b" {
+		t.Fatalf("state = %q", f.StateName())
+	}
+	if _, ok := f.Step(automata.EmptySet); ok {
+		t.Fatal("undefined input accepted")
+	}
+	if _, ok := f.Step(automata.NewSignalSet("x")); !ok {
+		t.Fatal("defined input refused")
+	}
+	states := f.States()
+	if len(states) != 2 || states[0] != "a" || states[1] != "b" {
+		t.Fatalf("States = %v", states)
+	}
+}
+
+func TestFuncComponentUsableWithoutReset(t *testing.T) {
+	f := &FuncComponent{Initial: "a", Next: map[string]map[string]FuncStep{}}
+	if got := f.StateName(); got != "a" {
+		t.Fatalf("StateName before Reset = %q", got)
+	}
+	if _, ok := f.Step(automata.EmptySet); ok {
+		t.Fatal("empty table accepted a step")
+	}
+}

@@ -1,0 +1,231 @@
+// Package muml implements the Mechatronic UML architectural layer of the
+// paper: reusable coordination patterns made of roles and connectors, with
+// pattern constraints and role invariants, and components whose ports
+// refine the roles of the patterns they participate in.
+//
+// A pattern (Section "Modeling", Fig. 1) consists of roles whose behavior
+// is given by real-time statecharts (flattened to I/O automata), a
+// connector modeling channel delay and reliability, a pattern constraint
+// restricting the overall behavior, and per-role invariants. Verification
+// composes the role and connector automata and model checks the constraint
+// together with deadlock freedom; role invariants are checked on the role
+// automata in isolation (they are compositional ACTL properties, Section
+// 2.4).
+package muml
+
+import (
+	"errors"
+	"fmt"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+)
+
+// Role is one communication partner of a coordination pattern.
+type Role struct {
+	// Name of the role, e.g. "frontRole".
+	Name string
+	// Behavior is the role protocol automaton (a flattened RTSC). Its
+	// states should be labeled (LabelStatesByName or WithStateLabels) so
+	// constraints can refer to "role.state" propositions.
+	Behavior *automata.Automaton
+	// Invariant is the role invariant (timed ACTL), or nil.
+	Invariant ctl.Formula
+}
+
+// Pattern is a reusable coordination pattern.
+type Pattern struct {
+	// Name of the pattern, e.g. "DistanceCoordination".
+	Name string
+	// Roles of the pattern, in a fixed order.
+	Roles []Role
+	// Connectors are optional channel automata composed between the
+	// roles. An empty list means the roles communicate synchronously
+	// (shared signals, zero delay).
+	Connectors []*automata.Automaton
+	// Constraint is the pattern constraint (timed ACTL), e.g.
+	// "A[] not (rearRole.convoy and frontRole.noConvoy)".
+	Constraint ctl.Formula
+}
+
+// Verification reports the outcome of a pattern or integration check.
+type Verification struct {
+	// Satisfied reports whether every checked property held.
+	Satisfied bool
+	// Failures lists the violated properties with witnesses.
+	Failures []PropertyFailure
+	// System is the composed automaton that was analyzed.
+	System *automata.Automaton
+}
+
+// PropertyFailure is one violated property with its counterexample.
+type PropertyFailure struct {
+	Property    ctl.Formula
+	Description string
+	Result      ctl.Result
+}
+
+func (f PropertyFailure) String() string {
+	return fmt.Sprintf("%s: %s violated: %s", f.Description, f.Property, f.Result.Explanation)
+}
+
+// Compose builds the pattern's closed system: all role behaviors and
+// connectors in parallel.
+func (p *Pattern) Compose() (*automata.Automaton, error) {
+	if len(p.Roles) == 0 {
+		return nil, fmt.Errorf("muml: pattern %q has no roles", p.Name)
+	}
+	parts := make([]*automata.Automaton, 0, len(p.Roles)+len(p.Connectors))
+	for _, r := range p.Roles {
+		if r.Behavior == nil {
+			return nil, fmt.Errorf("muml: role %q has no behavior", r.Name)
+		}
+		parts = append(parts, r.Behavior)
+	}
+	parts = append(parts, p.Connectors...)
+	return automata.ComposeAll(p.Name, parts...)
+}
+
+// Verify checks the pattern: every role invariant on its role automaton,
+// then the pattern constraint and deadlock freedom on the composition.
+// Non-ACTL constraints are rejected because only ACTL survives refinement
+// and composition (Section 2.4).
+func (p *Pattern) Verify() (*Verification, error) {
+	if len(p.Roles) == 0 {
+		return nil, fmt.Errorf("muml: pattern %q has no roles", p.Name)
+	}
+	for _, r := range p.Roles {
+		if r.Behavior == nil {
+			return nil, fmt.Errorf("muml: role %q has no behavior", r.Name)
+		}
+		if r.Invariant != nil && !ctl.IsACTL(r.Invariant) {
+			return nil, fmt.Errorf("muml: role %q invariant %s is not ACTL", r.Name, r.Invariant)
+		}
+	}
+	if p.Constraint != nil && !ctl.IsACTL(p.Constraint) {
+		return nil, fmt.Errorf("muml: pattern constraint %s is not ACTL", p.Constraint)
+	}
+
+	v := &Verification{Satisfied: true}
+
+	// Role invariants are verified per role; by compositionality they
+	// carry over to every deadlock-free composition and refinement.
+	for _, r := range p.Roles {
+		if r.Invariant == nil {
+			continue
+		}
+		res := ctl.Check(r.Behavior, r.Invariant)
+		if !res.Holds {
+			v.Satisfied = false
+			v.Failures = append(v.Failures, PropertyFailure{
+				Property:    r.Invariant,
+				Description: fmt.Sprintf("role invariant of %q", r.Name),
+				Result:      res,
+			})
+		}
+	}
+
+	sys, err := p.Compose()
+	if err != nil {
+		return nil, err
+	}
+	v.System = sys
+	checker := ctl.NewChecker(sys)
+
+	deadlock := checker.Check(ctl.NoDeadlock())
+	if !deadlock.Holds {
+		v.Satisfied = false
+		v.Failures = append(v.Failures, PropertyFailure{
+			Property:    ctl.NoDeadlock(),
+			Description: "deadlock freedom",
+			Result:      deadlock,
+		})
+	}
+	if p.Constraint != nil {
+		res := checker.Check(p.Constraint)
+		if !res.Holds {
+			v.Satisfied = false
+			v.Failures = append(v.Failures, PropertyFailure{
+				Property:    p.Constraint,
+				Description: "pattern constraint",
+				Result:      res,
+			})
+		}
+	}
+	return v, nil
+}
+
+// Port is a component port: the refinement of one pattern role.
+type Port struct {
+	// Role names the refined role.
+	Role string
+	// Behavior is the port's automaton. It must refine the role behavior
+	// (Definition 4): no added observable behavior, no new refusals.
+	Behavior *automata.Automaton
+}
+
+// Component is a concrete software component participating in patterns
+// through its ports.
+type Component struct {
+	Name  string
+	Ports []Port
+	// Internal is an optional internal synchronization automaton composed
+	// with the ports (the "additional internal RTSC for coordination").
+	Internal *automata.Automaton
+}
+
+// Behavior composes the component's ports and internal automaton.
+func (c *Component) Behavior() (*automata.Automaton, error) {
+	if len(c.Ports) == 0 {
+		return nil, fmt.Errorf("muml: component %q has no ports", c.Name)
+	}
+	parts := make([]*automata.Automaton, 0, len(c.Ports)+1)
+	for _, p := range c.Ports {
+		parts = append(parts, p.Behavior)
+	}
+	if c.Internal != nil {
+		parts = append(parts, c.Internal)
+	}
+	return automata.ComposeAll(c.Name, parts...)
+}
+
+// VerifyAgainst checks that the component conforms to the pattern: every
+// port refines its role behavior (exact check, Definition 4) and satisfies
+// the role's invariant.
+func (c *Component) VerifyAgainst(p *Pattern) error {
+	var errs []error
+	for _, port := range c.Ports {
+		role, ok := findRole(p, port.Role)
+		if !ok {
+			errs = append(errs, fmt.Errorf("muml: component %q port refines unknown role %q", c.Name, port.Role))
+			continue
+		}
+		ok, cex, err := automata.Refines(port.Behavior, role.Behavior)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("muml: refinement check for port %q: %w", port.Role, err))
+			continue
+		}
+		if !ok {
+			errs = append(errs, fmt.Errorf("muml: port %q does not refine role %q (trace %v)",
+				port.Role, role.Name, cex))
+			continue
+		}
+		if role.Invariant != nil {
+			res := ctl.Check(port.Behavior, role.Invariant)
+			if !res.Holds {
+				errs = append(errs, fmt.Errorf("muml: port %q violates role invariant %s: %s",
+					port.Role, role.Invariant, res.Explanation))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func findRole(p *Pattern, name string) (Role, bool) {
+	for _, r := range p.Roles {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Role{}, false
+}

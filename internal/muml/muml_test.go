@@ -1,0 +1,177 @@
+package muml
+
+import (
+	"strings"
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+)
+
+// tinyProtocol builds a requester/responder pattern for the unit tests.
+func tinyProtocol(t *testing.T, responderAcks bool) *Pattern {
+	t.Helper()
+	req := automata.New("requester", automata.NewSignalSet("ack"), automata.NewSignalSet("req"))
+	r0 := req.MustAddState("idle")
+	r1 := req.MustAddState("waiting")
+	req.MustAddTransition(r0, automata.Interact(nil, []automata.Signal{"req"}), r1)
+	req.MustAddTransition(r1, automata.Interact([]automata.Signal{"ack"}, nil), r0)
+	req.MarkInitial(r0)
+	req.LabelStatesByName()
+
+	resp := automata.New("responder", automata.NewSignalSet("req"), automata.NewSignalSet("ack"))
+	s0 := resp.MustAddState("ready")
+	s1 := resp.MustAddState("handling")
+	resp.MustAddTransition(s0, automata.Interact([]automata.Signal{"req"}, nil), s1)
+	if responderAcks {
+		resp.MustAddTransition(s1, automata.Interact(nil, []automata.Signal{"ack"}), s0)
+	}
+	resp.MarkInitial(s0)
+	resp.LabelStatesByName()
+
+	return &Pattern{
+		Name: "ReqAck",
+		Roles: []Role{
+			{Name: "requester", Behavior: req, Invariant: ctl.MustParse("A[] (requester.idle or requester.waiting)")},
+			{Name: "responder", Behavior: resp},
+		},
+		Constraint: ctl.MustParse("A[] not (requester.idle and responder.handling)"),
+	}
+}
+
+func TestPatternVerifySatisfied(t *testing.T) {
+	v, err := tinyProtocol(t, true).Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Satisfied {
+		for _, f := range v.Failures {
+			t.Logf("failure: %s", f)
+		}
+		t.Fatal("pattern should verify")
+	}
+	if v.System == nil || v.System.NumStates() == 0 {
+		t.Fatal("missing composed system")
+	}
+}
+
+func TestPatternVerifyFindsDeadlock(t *testing.T) {
+	v, err := tinyProtocol(t, false).Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Satisfied {
+		t.Fatal("deadlocking pattern verified")
+	}
+	found := false
+	for _, f := range v.Failures {
+		if strings.Contains(f.Description, "deadlock") {
+			found = true
+			if f.Result.Counterexample == nil {
+				t.Fatal("deadlock failure without counterexample")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no deadlock failure among %v", v.Failures)
+	}
+}
+
+func TestPatternVerifyFindsConstraintViolation(t *testing.T) {
+	p := tinyProtocol(t, true)
+	// An impossible constraint.
+	p.Constraint = ctl.MustParse("A[] requester.idle")
+	v, err := p.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Satisfied {
+		t.Fatal("violated constraint reported satisfied")
+	}
+}
+
+func TestPatternVerifyChecksRoleInvariants(t *testing.T) {
+	p := tinyProtocol(t, true)
+	p.Roles[0].Invariant = ctl.MustParse("A[] requester.idle")
+	v, err := p.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Satisfied {
+		t.Fatal("violated role invariant reported satisfied")
+	}
+	if !strings.Contains(v.Failures[0].Description, "role invariant") {
+		t.Fatalf("failure = %v", v.Failures[0])
+	}
+}
+
+func TestPatternRejectsNonACTL(t *testing.T) {
+	p := tinyProtocol(t, true)
+	p.Constraint = ctl.EF(ctl.Atom("x"))
+	if _, err := p.Verify(); err == nil {
+		t.Fatal("non-ACTL constraint accepted")
+	}
+	p = tinyProtocol(t, true)
+	p.Roles[0].Invariant = ctl.EF(ctl.Atom("x"))
+	if _, err := p.Verify(); err == nil {
+		t.Fatal("non-ACTL invariant accepted")
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	if _, err := (&Pattern{Name: "empty"}).Verify(); err == nil {
+		t.Fatal("pattern without roles accepted")
+	}
+	p := tinyProtocol(t, true)
+	p.Roles[0].Behavior = nil
+	if _, err := p.Verify(); err == nil {
+		t.Fatal("role without behavior accepted")
+	}
+}
+
+func TestComponentRefinementCheck(t *testing.T) {
+	p := tinyProtocol(t, true)
+
+	// A port that exactly matches the role refines it.
+	okPort := p.Roles[1].Behavior.Clone("responderImpl")
+	comp := &Component{Name: "impl", Ports: []Port{{Role: "responder", Behavior: okPort}}}
+	if err := comp.VerifyAgainst(p); err != nil {
+		t.Fatalf("conforming component rejected: %v", err)
+	}
+
+	// A port with extra behavior does not refine.
+	bad := p.Roles[1].Behavior.Clone("bad")
+	s0 := bad.State("ready")
+	bad.MustAddTransition(s0, automata.Interaction{}, s0) // added idle loop
+	comp = &Component{Name: "impl", Ports: []Port{{Role: "responder", Behavior: bad}}}
+	if err := comp.VerifyAgainst(p); err == nil {
+		t.Fatal("non-refining component accepted")
+	}
+
+	// Unknown role.
+	comp = &Component{Name: "impl", Ports: []Port{{Role: "ghost", Behavior: okPort}}}
+	if err := comp.VerifyAgainst(p); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestComponentBehaviorComposesPorts(t *testing.T) {
+	p := tinyProtocol(t, true)
+	comp := &Component{
+		Name: "impl",
+		Ports: []Port{
+			{Role: "requester", Behavior: p.Roles[0].Behavior},
+			{Role: "responder", Behavior: p.Roles[1].Behavior},
+		},
+	}
+	b, err := comp.Behavior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumStates() == 0 {
+		t.Fatal("empty composed behavior")
+	}
+	if _, err := (&Component{Name: "none"}).Behavior(); err == nil {
+		t.Fatal("component without ports accepted")
+	}
+}

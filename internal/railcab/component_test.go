@@ -1,0 +1,92 @@
+package railcab
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/muml"
+	"muml/internal/rtsc"
+)
+
+// TestShuttleComponentConformsToBothRoles reproduces the paper's modeling
+// requirement: "the shuttle component must conform to the
+// DistanceCoordination pattern and has to operate as both a rearRole and a
+// frontRole as it may follow, or be followed by, another shuttle." Each
+// port must refine its role (Definition 4) and satisfy the role invariant.
+func TestShuttleComponentConformsToBothRoles(t *testing.T) {
+	p := Pattern()
+	shuttle := &muml.Component{
+		Name: "shuttle",
+		Ports: []muml.Port{
+			{Role: FrontRoleName, Behavior: FrontRole()},
+			{Role: RearRoleName, Behavior: RearRole()},
+		},
+	}
+	if err := shuttle.VerifyAgainst(p); err != nil {
+		t.Fatalf("shuttle component does not conform: %v", err)
+	}
+}
+
+// TestRestrictedRearPortDoesNotRefine documents a defining property of the
+// paper's refinement notion (Definition 4): unlike plain simulation, it
+// also forbids *dropping* interactions the role offers. A port that never
+// proposes to break a convoy introduces a refusal of breakConvoyProposal
+// at cruise that no same-trace run of the role matches (condition 2), so
+// it is NOT a refinement — this is precisely what makes deadlock freedom
+// compositional (Lemma 1): partners may rely on the role's readiness.
+func TestRestrictedRearPortDoesNotRefine(t *testing.T) {
+	c := rtsc.NewChart(RearRoleName)
+	c.MustAddState("noConvoy", rtsc.Initial())
+	c.MustAddState("default", rtsc.Initial(), rtsc.Parent("noConvoy"))
+	c.MustAddState("wait", rtsc.Parent("noConvoy"))
+	c.MustAddState("convoy")
+	c.MustAddState("cruise", rtsc.Initial(), rtsc.Parent("convoy"))
+	c.MustAddTransition("default", "wait", rtsc.Raise(ConvoyProposal))
+	c.MustAddTransition("wait", "default", rtsc.Trigger(ConvoyProposalRejected))
+	c.MustAddTransition("wait", "convoy", rtsc.Trigger(StartConvoy))
+	// Once in the convoy it stays (idle loop only): the breakWait branch
+	// of the role is never exercised.
+	restricted := c.MustFlatten(rtsc.WithStateLabels())
+
+	ok, cex, err := automata.Refines(restricted, RearRole())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("dropping the break-convoy offer must break refinement (condition 2 of Definition 4)")
+	}
+	if len(cex) == 0 {
+		t.Fatal("expected a counterexample trace")
+	}
+
+	shuttle := &muml.Component{
+		Name:  "restrictedShuttle",
+		Ports: []muml.Port{{Role: RearRoleName, Behavior: restricted}},
+	}
+	if err := shuttle.VerifyAgainst(Pattern()); err == nil {
+		t.Fatal("restricted shuttle accepted despite the readiness violation")
+	}
+}
+
+// TestEagerPortViolatesRefinement shows the flip side: the eager behavior
+// (convoy entered without startConvoy) is not a refinement of the rear
+// role, so the conformance check of the modeling layer rejects it even
+// before any legacy-integration testing.
+func TestEagerPortViolatesRefinement(t *testing.T) {
+	eager := automata.New(RearRoleName, FrontToRear(), RearToFront())
+	noConvoy := eager.MustAddState("noConvoy", "rearRole.noConvoy")
+	convoy := eager.MustAddState("convoy", "rearRole.convoy")
+	eager.MustAddTransition(noConvoy,
+		automata.Interact(nil, []automata.Signal{ConvoyProposal}), convoy)
+	eager.MustAddTransition(convoy,
+		automata.Interact([]automata.Signal{ConvoyProposalRejected}, nil), noConvoy)
+	eager.MarkInitial(noConvoy)
+
+	shuttle := &muml.Component{
+		Name:  "eagerShuttle",
+		Ports: []muml.Port{{Role: RearRoleName, Behavior: eager}},
+	}
+	if err := shuttle.VerifyAgainst(Pattern()); err == nil {
+		t.Fatal("eager port accepted as a refinement of the rear role")
+	}
+}

@@ -1,0 +1,212 @@
+package railcab
+
+import (
+	"muml/internal/automata"
+	"muml/internal/legacy"
+)
+
+// The legacy rear-shuttle controllers below are deliberately hand-written
+// reactive state machines, not derived from any Mechatronic UML model —
+// they play the role of the independently developed legacy components the
+// paper integrates. All are deterministic (Section 4.3): the reaction to a
+// given input in a given state is a function.
+
+// CorrectShuttle is a rear-shuttle controller that follows the
+// DistanceCoordination protocol: it proposes a convoy, waits for the
+// decision, and — once in a convoy — proposes to break it and waits for
+// the decision. Integration of this controller is provably correct; the
+// synthesis loop terminates with a proof (Fig. 7 / Listing 1.5).
+type CorrectShuttle struct {
+	state string
+}
+
+var (
+	_ legacy.Component    = (*CorrectShuttle)(nil)
+	_ legacy.Introspector = (*CorrectShuttle)(nil)
+)
+
+// Correct controller state names (reported through introspection during
+// deterministic replay, hence part of the learned models).
+const (
+	stDefault   = "noConvoy::default"
+	stWait      = "noConvoy::wait"
+	stCruise    = "convoy::cruise"
+	stBreakWait = "convoy::breakWait"
+)
+
+// Reset implements legacy.Component.
+func (s *CorrectShuttle) Reset() { s.state = stDefault }
+
+// StateName implements legacy.Introspector.
+func (s *CorrectShuttle) StateName() string {
+	if s.state == "" {
+		return stDefault
+	}
+	return s.state
+}
+
+// Step implements legacy.Component.
+func (s *CorrectShuttle) Step(in automata.SignalSet) (automata.SignalSet, bool) {
+	if s.state == "" {
+		s.state = stDefault
+	}
+	switch s.state {
+	case stDefault:
+		if in.IsEmpty() {
+			// Energy optimization: always seek a convoy partner.
+			s.state = stWait
+			return automata.NewSignalSet(ConvoyProposal), true
+		}
+	case stWait:
+		switch {
+		case in.IsEmpty():
+			return automata.EmptySet, true // keep waiting
+		case in.Equal(automata.NewSignalSet(ConvoyProposalRejected)):
+			s.state = stDefault
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(StartConvoy)):
+			s.state = stCruise
+			return automata.EmptySet, true
+		}
+	case stCruise:
+		if in.IsEmpty() {
+			// The route segment with convoy benefit ends; ask to leave.
+			s.state = stBreakWait
+			return automata.NewSignalSet(BreakConvoyProposal), true
+		}
+	case stBreakWait:
+		switch {
+		case in.IsEmpty():
+			return automata.EmptySet, true // keep waiting
+		case in.Equal(automata.NewSignalSet(BreakConvoyProposalRejected)):
+			s.state = stCruise
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(BreakConvoyAccepted)):
+			s.state = stDefault
+			return automata.EmptySet, true
+		}
+	}
+	return automata.EmptySet, false
+}
+
+// EagerShuttle is a faulty rear-shuttle controller: after sending a
+// convoyProposal it immediately reduces the distance — it switches to
+// convoy mode without waiting for the startConvoy confirmation. This is
+// the conflicting behavior of Fig. 6: the pattern constraint
+// A[] not (rearRole.convoy and frontRole.noConvoy) is violated, and the
+// violation lies entirely in learned behavior, so the loop reports a real
+// conflict without a further test (Listing 1.4, "fast conflict
+// detection").
+type EagerShuttle struct {
+	state string
+}
+
+var (
+	_ legacy.Component    = (*EagerShuttle)(nil)
+	_ legacy.Introspector = (*EagerShuttle)(nil)
+)
+
+const (
+	stEagerNoConvoy = "noConvoy"
+	stEagerConvoy   = "convoy"
+)
+
+// Reset implements legacy.Component.
+func (s *EagerShuttle) Reset() { s.state = stEagerNoConvoy }
+
+// StateName implements legacy.Introspector.
+func (s *EagerShuttle) StateName() string {
+	if s.state == "" {
+		return stEagerNoConvoy
+	}
+	return s.state
+}
+
+// Step implements legacy.Component.
+func (s *EagerShuttle) Step(in automata.SignalSet) (automata.SignalSet, bool) {
+	if s.state == "" {
+		s.state = stEagerNoConvoy
+	}
+	switch s.state {
+	case stEagerNoConvoy:
+		if in.IsEmpty() {
+			// BUG: reduces the distance while proposing, assuming consent.
+			s.state = stEagerConvoy
+			return automata.NewSignalSet(ConvoyProposal), true
+		}
+	case stEagerConvoy:
+		switch {
+		case in.IsEmpty():
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(ConvoyProposalRejected)):
+			s.state = stEagerNoConvoy
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(StartConvoy)):
+			return automata.EmptySet, true // already there
+		}
+	}
+	return automata.EmptySet, false
+}
+
+// BlockingShuttle is a faulty rear-shuttle controller that follows the
+// protocol up to the convoy, then requests to break it and immediately
+// shuts down its coordination task: in the terminated state it refuses
+// every interaction, including the empty time step. The front role, whose
+// break-handling state is urgent, can neither accept nor reject the break
+// proposal — a real deadlock, which the synthesis loop confirms by
+// testing (the blocking state of Listings 1.2/1.3).
+type BlockingShuttle struct {
+	state string
+}
+
+var (
+	_ legacy.Component    = (*BlockingShuttle)(nil)
+	_ legacy.Introspector = (*BlockingShuttle)(nil)
+)
+
+const stTerminated = "terminated"
+
+// Reset implements legacy.Component.
+func (s *BlockingShuttle) Reset() { s.state = stDefault }
+
+// StateName implements legacy.Introspector.
+func (s *BlockingShuttle) StateName() string {
+	if s.state == "" {
+		return stDefault
+	}
+	return s.state
+}
+
+// Step implements legacy.Component.
+func (s *BlockingShuttle) Step(in automata.SignalSet) (automata.SignalSet, bool) {
+	if s.state == "" {
+		s.state = stDefault
+	}
+	switch s.state {
+	case stDefault:
+		if in.IsEmpty() {
+			s.state = stWait
+			return automata.NewSignalSet(ConvoyProposal), true
+		}
+	case stWait:
+		switch {
+		case in.IsEmpty():
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(ConvoyProposalRejected)):
+			s.state = stDefault
+			return automata.EmptySet, true
+		case in.Equal(automata.NewSignalSet(StartConvoy)):
+			s.state = stCruise
+			return automata.EmptySet, true
+		}
+	case stCruise:
+		if in.IsEmpty() {
+			// BUG: fire-and-forget break request, then shut down.
+			s.state = stTerminated
+			return automata.NewSignalSet(BreakConvoyProposal), true
+		}
+	case stTerminated:
+		return automata.EmptySet, false
+	}
+	return automata.EmptySet, false
+}

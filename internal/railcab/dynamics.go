@@ -1,0 +1,186 @@
+package railcab
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the kinematic substrate behind the pattern
+// constraint: a discrete-time longitudinal dynamics simulation of two
+// shuttles on the same track. It makes the safety argument of the paper's
+// application example measurable: in convoy mode the rear shuttle closes
+// up to the reduced convoy gap and the front shuttle restricts itself to
+// reduced braking force; if the front shuttle believes it is *not* in a
+// convoy (mode mismatch — exactly what the pattern constraint forbids) it
+// brakes with full force during an emergency and the rear shuttle's
+// delayed reaction leads to a rear-end collision.
+
+// Mode is a shuttle coordination mode.
+type Mode int
+
+// Coordination modes.
+const (
+	ModeNoConvoy Mode = iota + 1
+	ModeConvoy
+)
+
+func (m Mode) String() string {
+	if m == ModeConvoy {
+		return "convoy"
+	}
+	return "noConvoy"
+}
+
+// DynamicsConfig holds the physical parameters of the simulation. All
+// units are SI; one simulation step is StepSeconds.
+type DynamicsConfig struct {
+	StepSeconds float64
+	// CruiseSpeed both shuttles travel at initially (m/s).
+	CruiseSpeed float64
+	// FullBrake and ReducedBrake are deceleration magnitudes (m/s²). A
+	// convoy-mode front shuttle may only use ReducedBrake so that the
+	// follower can react in time.
+	FullBrake    float64
+	ReducedBrake float64
+	// ConvoyGap is the reduced distance held in convoy mode; NormalGap the
+	// distance held otherwise (m).
+	ConvoyGap float64
+	NormalGap float64
+	// ReactionSteps is the follower's reaction delay in steps.
+	ReactionSteps int
+}
+
+// DefaultDynamics returns parameters in the RailCab ballpark (shuttles at
+// 30 m/s ≈ 108 km/h).
+func DefaultDynamics() DynamicsConfig {
+	return DynamicsConfig{
+		StepSeconds:   0.1,
+		CruiseSpeed:   30,
+		FullBrake:     5,
+		ReducedBrake:  2,
+		ConvoyGap:     10,
+		NormalGap:     120,
+		ReactionSteps: 8,
+	}
+}
+
+// ShuttleState is the kinematic state of one shuttle.
+type ShuttleState struct {
+	Position float64 // m along the track
+	Speed    float64 // m/s
+}
+
+// SimResult is the outcome of an emergency braking scenario.
+type SimResult struct {
+	Collision bool
+	// MinGap is the smallest front-rear distance observed (negative if
+	// they collided).
+	MinGap float64
+	// StopSteps is the number of steps until both shuttles stood still.
+	StopSteps int
+	// Trajectory records the gap per step for plotting.
+	Trajectory []float64
+}
+
+// EmergencyBrakeScenario simulates an emergency stop of the front shuttle:
+//
+//   - frontMode determines the front shuttle's braking force: full in
+//     noConvoy mode, reduced in convoy mode (its role invariant);
+//   - rearMode determines the initial gap: the reduced convoy gap in
+//     convoy mode, the normal gap otherwise — and the rear shuttle always
+//     brakes with full force (its role invariant), after its reaction
+//     delay.
+//
+// The mode combination forbidden by the pattern constraint — rear in
+// convoy (small gap), front in noConvoy (full braking) — is exactly the
+// one that produces a collision under the default parameters.
+func EmergencyBrakeScenario(cfg DynamicsConfig, frontMode, rearMode Mode) SimResult {
+	gap := cfg.NormalGap
+	if rearMode == ModeConvoy {
+		gap = cfg.ConvoyGap
+	}
+	frontBrake := cfg.FullBrake
+	if frontMode == ModeConvoy {
+		frontBrake = cfg.ReducedBrake
+	}
+
+	front := ShuttleState{Position: gap, Speed: cfg.CruiseSpeed}
+	rear := ShuttleState{Position: 0, Speed: cfg.CruiseSpeed}
+
+	res := SimResult{MinGap: gap}
+	for step := 0; ; step++ {
+		// Front brakes from step 0; rear from ReactionSteps on.
+		front = integrate(front, frontBrake, cfg.StepSeconds)
+		rearBrake := 0.0
+		if step >= cfg.ReactionSteps {
+			rearBrake = cfg.FullBrake
+		}
+		rear = integrate(rear, rearBrake, cfg.StepSeconds)
+
+		g := front.Position - rear.Position
+		res.Trajectory = append(res.Trajectory, g)
+		if g < res.MinGap {
+			res.MinGap = g
+		}
+		if g <= 0 {
+			res.Collision = true
+			res.StopSteps = step + 1
+			return res
+		}
+		if front.Speed == 0 && rear.Speed == 0 {
+			res.StopSteps = step + 1
+			return res
+		}
+		if step > 100000 {
+			// Defensive bound; unreachable with sane parameters.
+			res.StopSteps = step
+			return res
+		}
+	}
+}
+
+// integrate advances one shuttle one step under the given deceleration.
+func integrate(s ShuttleState, brake, dt float64) ShuttleState {
+	speed := math.Max(0, s.Speed-brake*dt)
+	// Trapezoidal position update.
+	s.Position += (s.Speed + speed) / 2 * dt
+	s.Speed = speed
+	return s
+}
+
+// ModeTable runs the emergency scenario for all four mode combinations and
+// reports which ones are safe; the unsafe ones must be exactly the ones
+// the pattern constraint forbids.
+func ModeTable(cfg DynamicsConfig) []ModeOutcome {
+	var out []ModeOutcome
+	for _, front := range []Mode{ModeNoConvoy, ModeConvoy} {
+		for _, rear := range []Mode{ModeNoConvoy, ModeConvoy} {
+			res := EmergencyBrakeScenario(cfg, front, rear)
+			out = append(out, ModeOutcome{
+				FrontMode: front,
+				RearMode:  rear,
+				Forbidden: rear == ModeConvoy && front == ModeNoConvoy,
+				Result:    res,
+			})
+		}
+	}
+	return out
+}
+
+// ModeOutcome is one row of the mode/safety table.
+type ModeOutcome struct {
+	FrontMode, RearMode Mode
+	// Forbidden reports whether the pattern constraint forbids this
+	// combination.
+	Forbidden bool
+	Result    SimResult
+}
+
+func (o ModeOutcome) String() string {
+	status := "safe"
+	if o.Result.Collision {
+		status = "COLLISION"
+	}
+	return fmt.Sprintf("front=%s rear=%s forbidden=%v minGap=%.1fm %s",
+		o.FrontMode, o.RearMode, o.Forbidden, o.Result.MinGap, status)
+}

@@ -1,0 +1,58 @@
+package railcab
+
+import "testing"
+
+func TestForbiddenModeCombinationCollides(t *testing.T) {
+	cfg := DefaultDynamics()
+	res := EmergencyBrakeScenario(cfg, ModeNoConvoy, ModeConvoy)
+	if !res.Collision {
+		t.Fatalf("forbidden mode combination did not collide: minGap=%.2f", res.MinGap)
+	}
+}
+
+func TestConsistentConvoyModesAreSafe(t *testing.T) {
+	cfg := DefaultDynamics()
+	res := EmergencyBrakeScenario(cfg, ModeConvoy, ModeConvoy)
+	if res.Collision {
+		t.Fatalf("convoy/convoy collided: minGap=%.2f", res.MinGap)
+	}
+	if res.MinGap <= 0 {
+		t.Fatalf("minGap = %.2f", res.MinGap)
+	}
+}
+
+func TestNoConvoyModesAreSafe(t *testing.T) {
+	cfg := DefaultDynamics()
+	for _, rear := range []Mode{ModeNoConvoy} {
+		for _, front := range []Mode{ModeNoConvoy, ModeConvoy} {
+			res := EmergencyBrakeScenario(cfg, front, rear)
+			if res.Collision {
+				t.Fatalf("front=%v rear=%v collided at normal gap", front, rear)
+			}
+		}
+	}
+}
+
+func TestModeTableMatchesConstraint(t *testing.T) {
+	// The pattern constraint forbids exactly the mode combinations that
+	// collide: collision ⇒ forbidden and forbidden ⇒ collision under the
+	// default parameters.
+	for _, row := range ModeTable(DefaultDynamics()) {
+		if row.Result.Collision != row.Forbidden {
+			t.Fatalf("mode table mismatch: %s", row)
+		}
+	}
+}
+
+func TestSimulationTerminatesAndRecords(t *testing.T) {
+	res := EmergencyBrakeScenario(DefaultDynamics(), ModeConvoy, ModeConvoy)
+	if res.StopSteps == 0 || len(res.Trajectory) != res.StopSteps {
+		t.Fatalf("trajectory bookkeeping: stop=%d len=%d", res.StopSteps, len(res.Trajectory))
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeConvoy.String() != "convoy" || ModeNoConvoy.String() != "noConvoy" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,281 @@
+// Package railcab models the paper's running example: the RailCab shuttle
+// convoy coordination (Section "Application Example").
+//
+// Autonomous shuttles reduce air-resistance energy losses by forming
+// convoys with small distances. Convoy operation is safety-critical: the
+// front shuttle of a convoy must not brake with full force, and the
+// controlling software must guarantee that the rear shuttle is never in
+// convoy mode while the front shuttle is in noConvoy mode (the pattern
+// constraint of Fig. 1):
+//
+//	A[] not (rearRole.convoy and frontRole.noConvoy)
+//
+// The package provides the DistanceCoordination pattern (frontRole,
+// rearRole, connector), the front-role context automaton of Fig. 5, and
+// three hand-written legacy rear-shuttle controllers (deliberately not
+// derived from the models):
+//
+//   - CorrectShuttle: follows the protocol; the synthesis loop ends with a
+//     proof of correct integration (Listing 1.5, Fig. 7);
+//   - EagerShuttle: enters convoy mode right after proposing, without
+//     waiting for startConvoy — the conflict of Fig. 6 / Listing 1.4;
+//   - BlockingShuttle: shuts down after requesting to break the convoy,
+//     refusing every further interaction — a real deadlock that the loop
+//     confirms by testing (the "blocking state" of Listings 1.2/1.3).
+package railcab
+
+import (
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/muml"
+	"muml/internal/rtsc"
+)
+
+// Message types of the DistanceCoordination pattern.
+const (
+	// Rear → front.
+	ConvoyProposal      automata.Signal = "convoyProposal"
+	BreakConvoyProposal automata.Signal = "breakConvoyProposal"
+	// Front → rear.
+	ConvoyProposalRejected      automata.Signal = "convoyProposalRejected"
+	StartConvoy                 automata.Signal = "startConvoy"
+	BreakConvoyProposalRejected automata.Signal = "breakConvoyProposalRejected"
+	BreakConvoyAccepted         automata.Signal = "breakConvoyAccepted"
+)
+
+// Role and component names.
+const (
+	FrontRoleName = "frontRole"
+	RearRoleName  = "rearRole"
+)
+
+// RearToFront returns the signals sent by the rear shuttle.
+func RearToFront() automata.SignalSet {
+	return automata.NewSignalSet(ConvoyProposal, BreakConvoyProposal)
+}
+
+// FrontToRear returns the signals sent by the front shuttle.
+func FrontToRear() automata.SignalSet {
+	return automata.NewSignalSet(
+		ConvoyProposalRejected, StartConvoy, BreakConvoyProposalRejected, BreakConvoyAccepted)
+}
+
+// Constraint returns the pattern constraint of Fig. 1.
+func Constraint() ctl.Formula {
+	return ctl.MustParse("A[] not (rearRole.convoy and frontRole.noConvoy)")
+}
+
+// FrontRoleChart builds the front-role real-time statechart of Fig. 5.
+// The answering and break-handling states are urgent: the front shuttle
+// decides within one period, which is how the hard real-time deadlines of
+// the speed control units enter the discrete model.
+//
+// The role starts in noConvoy and enters the answer substate when a
+// convoyProposal arrives; it nondeterministically rejects the proposal or
+// starts the convoy. In convoy mode it remains until a breakConvoyProposal
+// arrives, which it nondeterministically rejects or accepts.
+func FrontRoleChart() *rtsc.Chart {
+	c := rtsc.NewChart(FrontRoleName)
+	c.MustAddState("noConvoy", rtsc.Initial())
+	c.MustAddState("default", rtsc.Initial(), rtsc.Parent("noConvoy"))
+	c.MustAddState("answer", rtsc.Parent("noConvoy"), rtsc.Urgent())
+	c.MustAddState("convoy")
+	c.MustAddState("cruise", rtsc.Initial(), rtsc.Parent("convoy"))
+	c.MustAddState("break", rtsc.Parent("convoy"), rtsc.Urgent())
+
+	c.MustAddTransition("default", "answer", rtsc.Trigger(ConvoyProposal))
+	c.MustAddTransition("answer", "default", rtsc.Raise(ConvoyProposalRejected))
+	c.MustAddTransition("answer", "convoy", rtsc.Raise(StartConvoy))
+	c.MustAddTransition("cruise", "break", rtsc.Trigger(BreakConvoyProposal))
+	c.MustAddTransition("break", "cruise", rtsc.Raise(BreakConvoyProposalRejected))
+	c.MustAddTransition("break", "noConvoy", rtsc.Raise(BreakConvoyAccepted))
+	return c
+}
+
+// FrontRole flattens the front-role chart with state labels
+// ("frontRole.noConvoy" holds in both noConvoy substates). This automaton
+// is the known behavioral model of the context (Fig. 5).
+func FrontRole() *automata.Automaton {
+	return FrontRoleChart().MustFlatten(rtsc.WithStateLabels())
+}
+
+// RearRoleChart builds the rear-role protocol: the specification a correct
+// rear shuttle must refine.
+func RearRoleChart() *rtsc.Chart {
+	c := rtsc.NewChart(RearRoleName)
+	c.MustAddState("noConvoy", rtsc.Initial())
+	c.MustAddState("default", rtsc.Initial(), rtsc.Parent("noConvoy"))
+	c.MustAddState("wait", rtsc.Parent("noConvoy"))
+	c.MustAddState("convoy")
+	c.MustAddState("cruise", rtsc.Initial(), rtsc.Parent("convoy"))
+	c.MustAddState("breakWait", rtsc.Parent("convoy"))
+
+	c.MustAddTransition("default", "wait", rtsc.Raise(ConvoyProposal))
+	c.MustAddTransition("wait", "default", rtsc.Trigger(ConvoyProposalRejected))
+	c.MustAddTransition("wait", "convoy", rtsc.Trigger(StartConvoy))
+	c.MustAddTransition("cruise", "breakWait", rtsc.Raise(BreakConvoyProposal))
+	c.MustAddTransition("breakWait", "cruise", rtsc.Trigger(BreakConvoyProposalRejected))
+	c.MustAddTransition("breakWait", "noConvoy", rtsc.Trigger(BreakConvoyAccepted))
+	return c
+}
+
+// RearRole flattens the rear-role protocol with state labels.
+func RearRole() *automata.Automaton {
+	return RearRoleChart().MustFlatten(rtsc.WithStateLabels())
+}
+
+// Pattern assembles the DistanceCoordination pattern of Fig. 1 with
+// synchronous (direct) role communication. The role invariants about
+// braking force are represented on the mode level: the rear role must be
+// in convoy mode only after a startConvoy, which the pattern constraint
+// captures; the braking-force consequences are modeled in the kinematics
+// simulation (see Dynamics).
+func Pattern() *muml.Pattern {
+	return &muml.Pattern{
+		Name: "DistanceCoordination",
+		Roles: []muml.Role{
+			{
+				Name:     FrontRoleName,
+				Behavior: FrontRole(),
+				// The front shuttle may only leave noConvoy mode by
+				// explicitly starting a convoy; answering a proposal keeps
+				// it in noConvoy (full braking remains allowed until the
+				// convoy is committed).
+				Invariant: ctl.MustParse("A[] (frontRole.noConvoy or frontRole.convoy)"),
+			},
+			{
+				Name:     RearRoleName,
+				Behavior: RearRole(),
+				// The rear shuttle brakes with full power unless in
+				// convoy mode; mode-wise it is always in a defined mode.
+				Invariant: ctl.MustParse("A[] (rearRole.noConvoy or rearRole.convoy)"),
+			},
+		},
+		Constraint: Constraint(),
+	}
+}
+
+// DelayedPattern is the pattern with an explicit wireless-link connector
+// of the given delay (and optional loss), exercising the QoS modeling of
+// Section 2.2. Role behaviors are renamed onto the connector's channel
+// signals.
+func DelayedPattern(delay int, lossy bool) (*muml.Pattern, error) {
+	// Rear side sends *_snd; front receives *_rcv, and vice versa.
+	rearRen := map[automata.Signal]automata.Signal{
+		ConvoyProposal:              ConvoyProposal + "_snd",
+		BreakConvoyProposal:         BreakConvoyProposal + "_snd",
+		ConvoyProposalRejected:      ConvoyProposalRejected + "_rcv",
+		StartConvoy:                 StartConvoy + "_rcv",
+		BreakConvoyProposalRejected: BreakConvoyProposalRejected + "_rcv",
+		BreakConvoyAccepted:         BreakConvoyAccepted + "_rcv",
+	}
+	frontRen := map[automata.Signal]automata.Signal{
+		ConvoyProposal:              ConvoyProposal + "_rcv",
+		BreakConvoyProposal:         BreakConvoyProposal + "_rcv",
+		ConvoyProposalRejected:      ConvoyProposalRejected + "_snd",
+		StartConvoy:                 StartConvoy + "_snd",
+		BreakConvoyProposalRejected: BreakConvoyProposalRejected + "_snd",
+		BreakConvoyAccepted:         BreakConvoyAccepted + "_snd",
+	}
+	front, err := FrontRole().Rename(FrontRoleName, frontRen)
+	if err != nil {
+		return nil, err
+	}
+	rear, err := RearRole().Rename(RearRoleName, rearRen)
+	if err != nil {
+		return nil, err
+	}
+	var routes []rtsc.Route
+	for _, sig := range append(RearToFront().Signals(), FrontToRear().Signals()...) {
+		routes = append(routes, rtsc.Route{Src: sig + "_snd", Dst: sig + "_rcv"})
+	}
+	conn, err := rtsc.ConnectorSpec{
+		Name:    "wirelessLink",
+		Routes:  routes,
+		Delay:   delay,
+		Lossy:   lossy,
+		Patient: true,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &muml.Pattern{
+		Name: "DistanceCoordinationDelayed",
+		Roles: []muml.Role{
+			{Name: FrontRoleName, Behavior: front},
+			{Name: RearRoleName, Behavior: rear},
+		},
+		Connectors: []*automata.Automaton{conn},
+		Constraint: Constraint(),
+	}, nil
+}
+
+// DelayedEntryPattern is the convoy-*entry* phase of the protocol with an
+// explicit connector of the given delay: proposal, rejection, and start,
+// but no break messages. Unlike the full DelayedPattern — whose
+// break-convoy handshake genuinely violates the mode-consistency
+// constraint while breakConvoyAccepted is in flight — the entry phase is
+// safe under any delay: the rear role commits to convoy mode only after
+// startConvoy is delivered, at which point the front role has long been in
+// convoy mode.
+func DelayedEntryPattern(delay int) (*muml.Pattern, error) {
+	front := rtsc.NewChart(FrontRoleName)
+	front.MustAddState("noConvoy", rtsc.Initial())
+	front.MustAddState("default", rtsc.Initial(), rtsc.Parent("noConvoy"))
+	front.MustAddState("answer", rtsc.Parent("noConvoy"), rtsc.Urgent())
+	front.MustAddState("convoy")
+	front.MustAddTransition("default", "answer", rtsc.Trigger(ConvoyProposal+"_rcv"))
+	front.MustAddTransition("answer", "default", rtsc.Raise(ConvoyProposalRejected+"_snd"))
+	front.MustAddTransition("answer", "convoy", rtsc.Raise(StartConvoy+"_snd"))
+	front.MustAddTransition("convoy", "convoy")
+
+	rear := rtsc.NewChart(RearRoleName)
+	rear.MustAddState("noConvoy", rtsc.Initial())
+	rear.MustAddState("default", rtsc.Initial(), rtsc.Parent("noConvoy"))
+	rear.MustAddState("wait", rtsc.Parent("noConvoy"))
+	rear.MustAddState("convoy")
+	rear.MustAddTransition("default", "wait", rtsc.Raise(ConvoyProposal+"_snd"))
+	rear.MustAddTransition("wait", "default", rtsc.Trigger(ConvoyProposalRejected+"_rcv"))
+	rear.MustAddTransition("wait", "convoy", rtsc.Trigger(StartConvoy+"_rcv"))
+	rear.MustAddTransition("convoy", "convoy")
+
+	routes := []rtsc.Route{
+		{Src: ConvoyProposal + "_snd", Dst: ConvoyProposal + "_rcv"},
+		{Src: ConvoyProposalRejected + "_snd", Dst: ConvoyProposalRejected + "_rcv"},
+		{Src: StartConvoy + "_snd", Dst: StartConvoy + "_rcv"},
+	}
+	conn, err := rtsc.ConnectorSpec{
+		Name:    "wirelessLink",
+		Routes:  routes,
+		Delay:   delay,
+		Patient: true,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &muml.Pattern{
+		Name: "DistanceCoordinationEntry",
+		Roles: []muml.Role{
+			{Name: FrontRoleName, Behavior: front.MustFlatten(rtsc.WithStateLabels())},
+			{Name: RearRoleName, Behavior: rear.MustFlatten(rtsc.WithStateLabels())},
+		},
+		Connectors: []*automata.Automaton{conn},
+		Constraint: Constraint(),
+	}, nil
+}
+
+// RearInterface is the structural interface description of a legacy rear
+// shuttle — the only a-priori knowledge of the synthesis loop (Section 3).
+func RearInterface(name string) legacy.Interface {
+	ports := make(map[automata.Signal]string)
+	for _, sig := range append(RearToFront().Signals(), FrontToRear().Signals()...) {
+		ports[sig] = RearRoleName
+	}
+	return legacy.Interface{
+		Name:    name,
+		Inputs:  FrontToRear(),
+		Outputs: RearToFront(),
+		Ports:   ports,
+	}
+}

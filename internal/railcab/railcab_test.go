@@ -1,0 +1,247 @@
+package railcab
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+)
+
+func TestFrontRoleShape(t *testing.T) {
+	front := FrontRole()
+	// Fig. 5: noConvoy(default, answer), convoy(cruise, break).
+	for _, name := range []string{"noConvoy::default", "noConvoy::answer", "convoy::cruise", "convoy::break"} {
+		if front.State(name) == automata.NoState {
+			t.Fatalf("missing state %q in front role:\n%s", name, front.Dot())
+		}
+	}
+	// Labels cover the composite states.
+	if !front.HasLabel(front.State("noConvoy::answer"), "frontRole.noConvoy") {
+		t.Fatal("answer lacks frontRole.noConvoy label")
+	}
+	if !front.HasLabel(front.State("convoy::break"), "frontRole.convoy") {
+		t.Fatal("break lacks frontRole.convoy label")
+	}
+	if err := front.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Urgent answer state: no idle step.
+	for _, tr := range front.TransitionsFrom(front.State("noConvoy::answer")) {
+		if tr.Label.In.IsEmpty() && tr.Label.Out.IsEmpty() {
+			t.Fatal("urgent answer state has an idle step")
+		}
+	}
+}
+
+func TestPatternVerifies(t *testing.T) {
+	v, err := Pattern().Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Satisfied {
+		for _, f := range v.Failures {
+			t.Logf("failure: %s\n%s", f, f.Result.Explanation)
+		}
+		t.Fatal("DistanceCoordination pattern must verify (Fig. 1)")
+	}
+}
+
+func TestDelayedPatternRevealsBreakWindow(t *testing.T) {
+	// With an explicit delaying connector the pattern constraint is
+	// genuinely violated: the front role leaves convoy mode the moment it
+	// sends breakConvoyAccepted, but the message is still in flight, so
+	// the rear role is still in convoy — exactly the transient hazard the
+	// QoS modeling of Section 2.2 exists to uncover. The synchronous
+	// pattern hides this window (TestPatternVerifies); the delayed one
+	// must expose it.
+	p, err := DelayedPattern(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var constraintViolated bool
+	for _, f := range v.Failures {
+		if f.Description == "pattern constraint" {
+			constraintViolated = true
+			if f.Result.Counterexample == nil {
+				t.Fatal("violation without counterexample")
+			}
+		}
+	}
+	if !constraintViolated {
+		t.Fatal("delayed pattern failed to expose the break-convoy delivery window")
+	}
+
+	// Entering a convoy is safe even with delay: the rear commits only
+	// after startConvoy is delivered, at which point the front is already
+	// in convoy mode. Restricting the check to the entry phase (break
+	// messages removed from the roles) must verify.
+	entry, err := DelayedEntryPattern(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := entry.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ve.Failures {
+		if f.Description == "pattern constraint" {
+			t.Fatalf("entry-only delayed pattern violated the constraint:\n%s", f.Result.Explanation)
+		}
+	}
+}
+
+func TestRearRoleRefinesItself(t *testing.T) {
+	rear := RearRole()
+	ok, cex, err := automata.Refines(rear, rear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("rear role does not refine itself: %v", cex)
+	}
+}
+
+func TestControllersAreDeterministicComponents(t *testing.T) {
+	comps := map[string]legacy.Component{
+		"correct":  &CorrectShuttle{},
+		"eager":    &EagerShuttle{},
+		"blocking": &BlockingShuttle{},
+	}
+	for name, comp := range comps {
+		t.Run(name, func(t *testing.T) {
+			// Determinism: two runs over the same inputs agree.
+			inputs := []automata.SignalSet{
+				automata.EmptySet,
+				automata.NewSignalSet(StartConvoy),
+				automata.EmptySet,
+				automata.NewSignalSet(BreakConvoyAccepted),
+			}
+			run := func() ([]string, []string) {
+				comp.Reset()
+				var outs, states []string
+				for _, in := range inputs {
+					out, ok := comp.Step(in)
+					if !ok {
+						outs = append(outs, "<blocked>")
+						break
+					}
+					outs = append(outs, out.Key())
+					states = append(states, comp.(legacy.Introspector).StateName())
+				}
+				return outs, states
+			}
+			o1, s1 := run()
+			o2, s2 := run()
+			if len(o1) != len(o2) {
+				t.Fatal("runs differ in length")
+			}
+			for i := range o1 {
+				if o1[i] != o2[i] || (i < len(s1) && s1[i] != s2[i]) {
+					t.Fatalf("nondeterministic at step %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestCorrectShuttleWalksProtocol(t *testing.T) {
+	s := &CorrectShuttle{}
+	s.Reset()
+	out, ok := s.Step(automata.EmptySet)
+	if !ok || !out.Contains(ConvoyProposal) {
+		t.Fatalf("step1 = %v/%v", out, ok)
+	}
+	if _, ok := s.Step(automata.NewSignalSet(StartConvoy)); !ok {
+		t.Fatal("startConvoy refused")
+	}
+	if s.StateName() != "convoy::cruise" {
+		t.Fatalf("state = %q", s.StateName())
+	}
+	out, ok = s.Step(automata.EmptySet)
+	if !ok || !out.Contains(BreakConvoyProposal) {
+		t.Fatalf("break proposal = %v/%v", out, ok)
+	}
+	if _, ok := s.Step(automata.NewSignalSet(BreakConvoyAccepted)); !ok {
+		t.Fatal("breakConvoyAccepted refused")
+	}
+	if s.StateName() != "noConvoy::default" {
+		t.Fatalf("state = %q", s.StateName())
+	}
+	// Rejected break keeps the convoy.
+	s.Reset()
+	s.Step(automata.EmptySet)
+	s.Step(automata.NewSignalSet(StartConvoy))
+	s.Step(automata.EmptySet)
+	if _, ok := s.Step(automata.NewSignalSet(BreakConvoyProposalRejected)); !ok {
+		t.Fatal("breakConvoyProposalRejected refused")
+	}
+	if s.StateName() != "convoy::cruise" {
+		t.Fatalf("state after rejected break = %q", s.StateName())
+	}
+}
+
+func TestEagerShuttleEntersConvoyPrematurely(t *testing.T) {
+	s := &EagerShuttle{}
+	s.Reset()
+	out, ok := s.Step(automata.EmptySet)
+	if !ok || !out.Contains(ConvoyProposal) {
+		t.Fatalf("step = %v/%v", out, ok)
+	}
+	if s.StateName() != "convoy" {
+		t.Fatalf("eager shuttle should be in convoy immediately, is in %q", s.StateName())
+	}
+	// It backs off on rejection.
+	if _, ok := s.Step(automata.NewSignalSet(ConvoyProposalRejected)); !ok {
+		t.Fatal("rejection refused")
+	}
+	if s.StateName() != "noConvoy" {
+		t.Fatalf("state = %q", s.StateName())
+	}
+}
+
+func TestBlockingShuttleTerminates(t *testing.T) {
+	s := &BlockingShuttle{}
+	s.Reset()
+	s.Step(automata.EmptySet)                  // propose
+	s.Step(automata.NewSignalSet(StartConvoy)) // convoy
+	out, ok := s.Step(automata.EmptySet)       // break proposal + shutdown
+	if !ok || !out.Contains(BreakConvoyProposal) {
+		t.Fatalf("break = %v/%v", out, ok)
+	}
+	if s.StateName() != "terminated" {
+		t.Fatalf("state = %q", s.StateName())
+	}
+	for _, in := range []automata.SignalSet{
+		automata.EmptySet,
+		automata.NewSignalSet(BreakConvoyAccepted),
+		automata.NewSignalSet(BreakConvoyProposalRejected),
+	} {
+		if _, ok := s.Step(in); ok {
+			t.Fatalf("terminated shuttle accepted %v", in)
+		}
+	}
+}
+
+func TestConstraintIsACTL(t *testing.T) {
+	if !ctl.IsACTL(Constraint()) {
+		t.Fatal("pattern constraint must be ACTL")
+	}
+}
+
+func TestRearInterface(t *testing.T) {
+	iface := RearInterface("rear")
+	if err := iface.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if iface.PortOf(ConvoyProposal) != RearRoleName {
+		t.Fatal("port attribution missing")
+	}
+	if !iface.Inputs.Contains(StartConvoy) || !iface.Outputs.Contains(ConvoyProposal) {
+		t.Fatal("alphabet directions wrong")
+	}
+}

@@ -1,0 +1,306 @@
+// Package replay implements the monitoring and platform-independent
+// deterministic replay of Section 5 of the paper.
+//
+// Testing a counterexample against the legacy component proceeds in two
+// phases:
+//
+//  1. Record: the component executes in its (simulated) environment with
+//     only the minimal probes needed for deterministic replay — the
+//     incoming/outgoing messages and the period number in which they
+//     occur (Listing 1.2). Keeping this set minimal avoids the probe
+//     effect on resource-constrained targets.
+//  2. Replay: the recorded execution is reproduced deterministically from
+//     the recorded data; additional instrumentation that has no effect on
+//     the execution (state and timing probes) enriches the trace with the
+//     information required for behavior synthesis (Listing 1.3).
+//
+// The enriched trace converts into an automata.ObservedRun for the learn
+// step (Definitions 11-12).
+package replay
+
+import (
+	"fmt"
+	"strings"
+
+	"muml/internal/automata"
+	"muml/internal/legacy"
+)
+
+// ProbeAware is implemented by components whose execution is disturbed by
+// heavyweight instrumentation — the *probe effect* of Section 5 (McDowell
+// & Helmbold): on resource-constrained targets, monitoring all timing,
+// events, and scheduling changes operation times and thus behavior.
+//
+// The two-phase protocol of this package keeps live executions clean: the
+// record phase runs with heavy probes disabled (only messages and period
+// numbers are captured, which the paper's platform supports without
+// disturbance), and the state/timing probes are only enabled during
+// deterministic replay, where they cannot affect the (re-)execution.
+// NaiveLiveMonitor exists to demonstrate what goes wrong otherwise.
+type ProbeAware interface {
+	// SetHeavyProbes enables or disables heavyweight instrumentation.
+	// Implementations may behave differently (and realistically: only
+	// timing-wise) while heavy probes are enabled.
+	SetHeavyProbes(enabled bool)
+}
+
+// Direction of a message relative to the component.
+type Direction int
+
+// Message directions.
+const (
+	Incoming Direction = iota + 1
+	Outgoing
+)
+
+func (d Direction) String() string {
+	if d == Incoming {
+		return "incoming"
+	}
+	return "outgoing"
+}
+
+// EventKind classifies monitored events.
+type EventKind int
+
+// Monitored event kinds, mirroring the paper's listings.
+const (
+	KindMessage EventKind = iota + 1
+	KindCurrentState
+	KindTiming
+)
+
+// Event is one monitored observation.
+type Event struct {
+	Kind  EventKind
+	Name  string    // message name or state name
+	Port  string    // port for messages
+	Dir   Direction // direction for messages
+	Count int       // period number for timing events
+}
+
+// Render formats the event in the paper's listing style.
+func (e Event) Render() string {
+	switch e.Kind {
+	case KindMessage:
+		return fmt.Sprintf("[Message] name=%q, portName=%q, type=%q", e.Name, e.Port, e.Dir)
+	case KindCurrentState:
+		return fmt.Sprintf("[CurrentState] name=%q", e.Name)
+	default:
+		return fmt.Sprintf("[Timing] count=%d", e.Count)
+	}
+}
+
+// Trace is a sequence of monitored events.
+type Trace struct {
+	Events []Event
+}
+
+// Render formats the whole trace, one event per line, as in Listings
+// 1.2-1.5 of the paper.
+func (t Trace) Render() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		b.WriteString(e.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Messages returns only the message events (the minimal deterministic-
+// replay record).
+func (t Trace) Messages() []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Kind == KindMessage {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Recording is the outcome of the record phase: the inputs fed per period
+// (the deterministic replay data) plus the minimal monitored trace.
+type Recording struct {
+	Iface  legacy.Interface
+	Inputs []automata.SignalSet // input set per period, in order
+	// Minimal holds the message-and-period events observed while
+	// recording (Listing 1.2).
+	Minimal Trace
+	// BlockedAt is the period index at which the component refused its
+	// input, or -1 if the full plan executed.
+	BlockedAt int
+	// Outputs holds the observed output set per executed period.
+	Outputs []automata.SignalSet
+}
+
+// Completed reports whether the full input plan executed without the
+// component blocking.
+func (r Recording) Completed() bool { return r.BlockedAt < 0 }
+
+// Record executes the component from its initial state over the planned
+// inputs, monitoring only messages and periods. If the component refuses
+// an input the recording stops there.
+func Record(comp legacy.Component, iface legacy.Interface, inputs []automata.SignalSet) Recording {
+	if pa, ok := comp.(ProbeAware); ok {
+		pa.SetHeavyProbes(false)
+	}
+	comp.Reset()
+	rec := Recording{Iface: iface, BlockedAt: -1}
+	for period, in := range inputs {
+		out, ok := comp.Step(in)
+		if !ok {
+			rec.BlockedAt = period
+			rec.Inputs = append(rec.Inputs, in)
+			break
+		}
+		rec.Inputs = append(rec.Inputs, in)
+		rec.Outputs = append(rec.Outputs, out)
+		appendMessageEvents(&rec.Minimal, iface, in, out, period+1)
+	}
+	return rec
+}
+
+// Replay reproduces the recorded execution with full instrumentation:
+// state probes before every period and timing probes after (Listing 1.3).
+// It returns the enriched trace and the observed run for learning.
+//
+// Replay fails if the component's behaviour diverges from the recording,
+// which would falsify the determinism assumption of Section 4.3.
+func Replay(comp legacy.Component, rec Recording) (Trace, automata.ObservedRun, error) {
+	// During replay the execution is reproduced from recorded data, so
+	// added instrumentation has no effect on it; heavy probes are safe.
+	if pa, ok := comp.(ProbeAware); ok {
+		pa.SetHeavyProbes(true)
+		defer pa.SetHeavyProbes(false)
+	}
+	comp.Reset()
+	var trace Trace
+	run := automata.ObservedRun{Initial: stateName(comp)}
+
+	steps := len(rec.Inputs)
+	if !rec.Completed() {
+		steps = rec.BlockedAt
+	}
+	for period := 0; period < steps; period++ {
+		in := rec.Inputs[period]
+		trace.Events = append(trace.Events, Event{Kind: KindCurrentState, Name: stateName(comp)})
+		out, ok := comp.Step(in)
+		if !ok {
+			return trace, run, fmt.Errorf(
+				"replay: period %d: component refused input %v accepted during recording (nondeterministic component)",
+				period+1, in)
+		}
+		if !out.Equal(rec.Outputs[period]) {
+			return trace, run, fmt.Errorf(
+				"replay: period %d: outputs %v diverge from recorded %v (nondeterministic component)",
+				period+1, out, rec.Outputs[period])
+		}
+		appendMessageEvents(&trace, rec.Iface, in, out, period+1)
+		trace.Events = append(trace.Events, Event{Kind: KindTiming, Count: period + 1})
+		run.Steps = append(run.Steps, automata.ObservedStep{
+			Label: automata.Interaction{In: in, Out: out},
+			To:    stateName(comp),
+		})
+	}
+	trace.Events = append(trace.Events, Event{Kind: KindCurrentState, Name: stateName(comp)})
+
+	if !rec.Completed() {
+		// Re-establish the refusal under instrumentation.
+		in := rec.Inputs[rec.BlockedAt]
+		if _, ok := comp.Step(in); ok {
+			return trace, run, fmt.Errorf(
+				"replay: period %d: component accepted input %v refused during recording (nondeterministic component)",
+				rec.BlockedAt+1, in)
+		}
+		blocked := automata.Interaction{In: in}
+		run.Blocked = &blocked
+	}
+	return trace, run, nil
+}
+
+// Probe resets the component, replays the recorded execution, and then
+// performs one additional step with the given input, reporting the
+// component's reaction. This is how the executor asks "what would the
+// component do next?" at the end of a counterexample without forking
+// state: every probe is a fresh deterministic re-execution.
+func Probe(comp legacy.Component, rec Recording, in automata.SignalSet) (ProbeResult, error) {
+	if !rec.Completed() {
+		return ProbeResult{}, fmt.Errorf("replay: cannot probe past a blocked recording")
+	}
+	if pa, ok := comp.(ProbeAware); ok {
+		pa.SetHeavyProbes(true)
+		defer pa.SetHeavyProbes(false)
+	}
+	comp.Reset()
+	for period, recIn := range rec.Inputs {
+		out, ok := comp.Step(recIn)
+		if !ok || !out.Equal(rec.Outputs[period]) {
+			return ProbeResult{}, fmt.Errorf("replay: probe replay diverged at period %d", period+1)
+		}
+	}
+	before := stateName(comp)
+	out, ok := comp.Step(in)
+	return ProbeResult{
+		State:    before,
+		Input:    in,
+		Output:   out,
+		Accepted: ok,
+		After:    stateName(comp),
+	}, nil
+}
+
+// ProbeResult is the component's reaction to a probe step.
+type ProbeResult struct {
+	State    string // state before the probe
+	Input    automata.SignalSet
+	Output   automata.SignalSet
+	Accepted bool
+	After    string // state after the probe (== State when refused)
+}
+
+// NaiveLiveMonitor runs the component over the inputs with heavyweight
+// instrumentation enabled *during the live run* — the approach the paper
+// rejects. For probe-sensitive components the returned trace can differ
+// from what an undisturbed execution produces, demonstrating the probe
+// effect the record/replay split avoids. For insensitive components it is
+// equivalent to Record followed by Replay.
+func NaiveLiveMonitor(comp legacy.Component, iface legacy.Interface, inputs []automata.SignalSet) Trace {
+	if pa, ok := comp.(ProbeAware); ok {
+		pa.SetHeavyProbes(true)
+		defer pa.SetHeavyProbes(false)
+	}
+	comp.Reset()
+	var trace Trace
+	for period, in := range inputs {
+		trace.Events = append(trace.Events, Event{Kind: KindCurrentState, Name: stateName(comp)})
+		out, ok := comp.Step(in)
+		if !ok {
+			break
+		}
+		appendMessageEvents(&trace, iface, in, out, period+1)
+		trace.Events = append(trace.Events, Event{Kind: KindTiming, Count: period + 1})
+	}
+	trace.Events = append(trace.Events, Event{Kind: KindCurrentState, Name: stateName(comp)})
+	return trace
+}
+
+func appendMessageEvents(t *Trace, iface legacy.Interface, in, out automata.SignalSet, period int) {
+	for _, sig := range in.Signals() {
+		t.Events = append(t.Events, Event{
+			Kind: KindMessage, Name: string(sig), Port: iface.PortOf(sig), Dir: Incoming, Count: period,
+		})
+	}
+	for _, sig := range out.Signals() {
+		t.Events = append(t.Events, Event{
+			Kind: KindMessage, Name: string(sig), Port: iface.PortOf(sig), Dir: Outgoing, Count: period,
+		})
+	}
+}
+
+func stateName(comp legacy.Component) string {
+	if in, ok := comp.(legacy.Introspector); ok {
+		return in.StateName()
+	}
+	return "s0"
+}

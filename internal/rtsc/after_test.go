@@ -1,0 +1,105 @@
+package rtsc
+
+import (
+	"testing"
+
+	"muml/internal/ctl"
+)
+
+func TestAfterDelaysTransition(t *testing.T) {
+	// blink: on -- after(3) --> off -- after(2) --> on.
+	c := NewChart("blink")
+	c.MustAddState("on", Initial())
+	c.MustAddState("off")
+	c.MustAddTransition("on", "off", After(3), Raise("dim"))
+	c.MustAddTransition("off", "on", After(2), Raise("wake"))
+
+	a, err := c.Flatten(WithStateLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := ctl.NewChecker(a)
+	// The first dim can happen no earlier than step 3 and no later than it
+	// is enabled forever (no invariant): it *may* happen at exactly 3.
+	if checker.Holds(ctl.MustParse("AG[0,2] blink.off")) {
+		t.Fatal("off reachable too early?")
+	}
+	if !checker.Holds(ctl.MustParse("AG[0,2] blink.on")) {
+		t.Fatalf("off reached before after(3) elapsed:\n%s", a.Dot())
+	}
+	if !checker.Holds(ctl.MustParse("E<> blink.off")) {
+		t.Fatal("off never reached")
+	}
+}
+
+func TestAfterWithDeadlineInvariant(t *testing.T) {
+	// after(2) plus invariant @on ≤ 2 forces the guard to fire from
+	// @on = 2, so off is entered at exactly step 3 (the firing transition
+	// itself consumes one time unit).
+	c := NewChart("strict")
+	c.MustAddState("on", Initial(), Invariant("@on", CmpLE, 2))
+	c.MustAddState("off")
+	c.MustAddTransition("on", "off", After(2), Raise("dim"))
+	c.MustAddTransition("off", "off")
+
+	a, err := c.Flatten(WithStateLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := ctl.NewChecker(a)
+	if !checker.Holds(ctl.MustParse("AF[3,3] strict.off")) {
+		t.Fatalf("switch not forced at exactly 2:\n%s", a.Dot())
+	}
+	if !checker.Holds(ctl.NoDeadlock()) {
+		t.Fatal("strict chart deadlocked")
+	}
+}
+
+func TestAfterEntryClockResetOnReentry(t *testing.T) {
+	// The delay applies per visit: entering on again restarts the count.
+	c := NewChart("cycle")
+	c.MustAddState("on", Initial(), Invariant("@on", CmpLE, 2))
+	c.MustAddState("off", Invariant("@off", CmpLE, 1))
+	c.MustAddTransition("on", "off", After(2), Raise("dim"))
+	c.MustAddTransition("off", "on", After(1), Raise("wake"))
+
+	a, err := c.Flatten(WithStateLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := ctl.NewChecker(a)
+	// Strict alternation: on occupies 3 steps (fires from @on=2), off
+	// occupies 2 steps (fires from @off=1) — a period of 5.
+	if !checker.Holds(ctl.MustParse("AG (cycle.off -> AF[5,5] cycle.off)")) {
+		t.Fatalf("re-entry did not restart the after clock:\n%s", a.Dot())
+	}
+	if !checker.Holds(ctl.NoDeadlock()) {
+		t.Fatal("cycle deadlocked")
+	}
+}
+
+func TestAfterInternalTransitionsKeepClock(t *testing.T) {
+	// A composite with an internal child switch: the after(3) exit from
+	// the composite counts from entering the composite, not from the
+	// internal move.
+	c := NewChart("comp")
+	c.MustAddState("grp", Initial(), Invariant("@grp", CmpLE, 3))
+	c.MustAddState("a", Initial(), Parent("grp"))
+	c.MustAddState("b", Parent("grp"))
+	c.MustAddState("out")
+	c.MustAddTransition("a", "b", Raise("inner"))
+	c.MustAddTransition("grp", "out", After(3), Raise("exit"))
+	c.MustAddTransition("out", "out")
+
+	a, err := c.Flatten(WithStateLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := ctl.NewChecker(a)
+	// Regardless of the internal a→b move, the exit fires from @grp=3 on
+	// every path (invariant forces it, after() delays it), entering out
+	// at step 4.
+	if !checker.Holds(ctl.MustParse("AF[4,4] comp.out")) {
+		t.Fatalf("internal transition disturbed the after clock:\n%s", a.Dot())
+	}
+}

@@ -1,0 +1,113 @@
+package rtsc
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+)
+
+// Route describes one message type carried by a connector: it is consumed
+// under the source name and delivered under the destination name. Distinct
+// names are required because the connector's input and output alphabets
+// must be disjoint.
+type Route struct {
+	Src automata.Signal
+	Dst automata.Signal
+}
+
+// ConnectorSpec describes the QoS characteristics of a connector (channel)
+// between two roles. Per Section 2 of the paper, connectors are modeled as
+// explicit automata so that channel delay and reliability take part in
+// verification.
+type ConnectorSpec struct {
+	// Name of the connector component.
+	Name string
+	// Routes carried by the connector (capacity is one message in flight).
+	Routes []Route
+	// Delay in time units between the send step and the delivery step.
+	// Must be at least 1: synchronous (zero-delay) communication is
+	// expressed by composing the roles directly without a connector.
+	Delay int
+	// Lossy adds a nondeterministic alternative in which an accepted
+	// message is dropped instead of delivered.
+	Lossy bool
+	// Patient allows the connector to postpone delivery beyond Delay
+	// (modeling a channel with a lower bound only). Without it the
+	// delivery must be taken exactly after Delay units, and a receiver
+	// unable to take it blocks the channel (visible as a deadlock).
+	Patient bool
+}
+
+// Build generates the connector automaton: an idle state plus one state
+// per (route, remaining units) pair. The connector accepts at most one
+// message at a time; sends arriving while a message is in flight are
+// refused (the sender blocks), which is the capacity-one channel of the
+// paper's example protocols.
+func (spec ConnectorSpec) Build() (*automata.Automaton, error) {
+	if spec.Delay < 1 {
+		return nil, fmt.Errorf("rtsc: connector %q: delay must be ≥ 1", spec.Name)
+	}
+	if len(spec.Routes) == 0 {
+		return nil, fmt.Errorf("rtsc: connector %q: no routes", spec.Name)
+	}
+	var ins, outs []automata.Signal
+	for _, r := range spec.Routes {
+		if r.Src == r.Dst {
+			return nil, fmt.Errorf("rtsc: connector %q: route %q must rename the signal", spec.Name, r.Src)
+		}
+		ins = append(ins, r.Src)
+		outs = append(outs, r.Dst)
+	}
+	a := automata.New(spec.Name, automata.NewSignalSet(ins...), automata.NewSignalSet(outs...))
+	if err := validateAlphabets(a, spec.Name); err != nil {
+		return nil, err
+	}
+
+	idle := a.MustAddState("idle")
+	a.MarkInitial(idle)
+	a.MustAddTransition(idle, automata.Interaction{}, idle)
+
+	for _, r := range spec.Routes {
+		accept := automata.Interaction{In: automata.NewSignalSet(r.Src)}
+		deliver := automata.Interaction{Out: automata.NewSignalSet(r.Dst)}
+
+		// holding states: remaining = Delay .. 1.
+		prev := idle
+		for remaining := spec.Delay; remaining >= 1; remaining-- {
+			name := fmt.Sprintf("holding_%s_%d", r.Src, remaining)
+			st := a.MustAddState(name)
+			if remaining == spec.Delay {
+				a.MustAddTransition(idle, accept, st)
+				if spec.Lossy {
+					// The message may be dropped on acceptance.
+					_ = a.AddTransition(idle, accept, idle)
+				}
+			} else {
+				a.MustAddTransition(prev, automata.Interaction{}, st)
+			}
+			prev = st
+		}
+		a.MustAddTransition(prev, deliver, idle)
+		if spec.Patient {
+			a.MustAddTransition(prev, automata.Interaction{}, prev)
+		}
+	}
+	return a, nil
+}
+
+// MustBuild is Build but panics on error.
+func (spec ConnectorSpec) MustBuild() *automata.Automaton {
+	a, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func validateAlphabets(a *automata.Automaton, name string) error {
+	if !a.Inputs().Disjoint(a.Outputs()) {
+		return fmt.Errorf("rtsc: connector %q: source and destination signals overlap: %v",
+			name, a.Inputs().Intersect(a.Outputs()))
+	}
+	return nil
+}

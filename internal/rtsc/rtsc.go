@@ -1,0 +1,389 @@
+// Package rtsc implements Real-Time Statecharts (RTSC), the behavioral
+// modeling notation of Mechatronic UML, and their mapping onto the
+// discrete-time I/O automata of package automata.
+//
+// The paper (Section 2) maps RTSC to I/O-interval structures and works with
+// a simplified finite state transition model in which discrete time is
+// mapped to single states and transitions: every transition takes exactly
+// one time unit, justified by clock synchronization and the discreteness of
+// the underlying platform. This package implements exactly that mapping:
+//
+//   - hierarchical states with initial substates (leaf configurations are
+//     rendered as "parent::child", matching the paper's listings, e.g.
+//     "noConvoy::default");
+//   - discrete clocks with reset, lower/upper bound guards, and state
+//     invariants (upper bounds on clocks);
+//   - transitions with an optional trigger event (consumed input signal),
+//     raised events (produced output signals), guards, and resets;
+//   - flattening into an I/O automaton over (leaf state, clock valuation)
+//     pairs, with one automaton transition per time unit; idle steps
+//     advance clocks while the state invariant permits.
+package rtsc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"muml/internal/automata"
+)
+
+// Event names a message type received (trigger) or sent (raised event) by
+// a statechart. Events become input/output signals of the flattened
+// automaton.
+type Event = automata.Signal
+
+// Clock names a discrete clock. All clocks advance by one per time unit
+// and can be reset to zero by transitions.
+type Clock string
+
+// CmpOp is a comparison operator in clock constraints.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpLE CmpOp = iota + 1 // ≤
+	CmpGE                  // ≥
+	CmpEQ                  // =
+	CmpLT                  // <
+	CmpGT                  // >
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLE:
+		return "<="
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "=="
+	case CmpLT:
+		return "<"
+	case CmpGT:
+		return ">"
+	default:
+		return "?"
+	}
+}
+
+// Constraint is one conjunct of a clock guard or invariant: clock op bound.
+type Constraint struct {
+	Clock Clock
+	Op    CmpOp
+	Bound int
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s %d", c.Clock, c.Op, c.Bound)
+}
+
+// holds evaluates the constraint under a valuation.
+func (c Constraint) holds(v map[Clock]int) bool {
+	val := v[c.Clock]
+	switch c.Op {
+	case CmpLE:
+		return val <= c.Bound
+	case CmpGE:
+		return val >= c.Bound
+	case CmpEQ:
+		return val == c.Bound
+	case CmpLT:
+		return val < c.Bound
+	case CmpGT:
+		return val > c.Bound
+	default:
+		return false
+	}
+}
+
+// State is one (possibly composite) statechart state.
+type State struct {
+	name      string
+	parent    string // "" for top level
+	initial   bool   // initial among its siblings
+	urgent    bool   // no idle step permitted: time may not pass here
+	invariant []Constraint
+	children  []string
+}
+
+// Name returns the state's local name.
+func (s *State) Name() string { return s.name }
+
+// Transition is a statechart transition between (possibly composite)
+// states.
+type Transition struct {
+	From    string
+	To      string
+	Trigger Event   // "" = no trigger (spontaneous/timed transition)
+	Raise   []Event // events sent when firing
+	Guard   []Constraint
+	Resets  []Clock
+	// After delays the transition until the source state has been
+	// occupied for at least After time units (0 = no delay). It is sugar
+	// for a guard over an implicit per-state clock that every entry into
+	// the source state resets; Flatten expands it.
+	After int
+}
+
+// Chart is a real-time statechart under construction.
+type Chart struct {
+	name   string
+	states map[string]*State
+	order  []string // insertion order for determinism
+	trans  []Transition
+	clocks map[Clock]struct{}
+}
+
+// NewChart creates an empty statechart with the given component name.
+func NewChart(name string) *Chart {
+	return &Chart{
+		name:   name,
+		states: make(map[string]*State),
+		clocks: make(map[Clock]struct{}),
+	}
+}
+
+// Name returns the chart's component name.
+func (c *Chart) Name() string { return c.name }
+
+// StateOption configures a state added with AddState.
+type StateOption interface{ applyState(*State) }
+
+type stateOptionFunc func(*State)
+
+func (f stateOptionFunc) applyState(s *State) { f(s) }
+
+// Initial marks the state as the initial state among its siblings (or at
+// the top level).
+func Initial() StateOption {
+	return stateOptionFunc(func(s *State) { s.initial = true })
+}
+
+// Parent places the state inside the named composite state.
+func Parent(name string) StateOption {
+	return stateOptionFunc(func(s *State) { s.parent = name })
+}
+
+// Urgent forbids idle steps in the state: a transition must fire in the
+// very next time unit or the configuration deadlocks.
+func Urgent() StateOption {
+	return stateOptionFunc(func(s *State) { s.urgent = true })
+}
+
+// Invariant adds a state invariant conjunct (typically clock ≤ bound). The
+// configuration may only be occupied (and time may only pass) while the
+// invariant holds.
+func Invariant(clock Clock, op CmpOp, bound int) StateOption {
+	return stateOptionFunc(func(s *State) {
+		s.invariant = append(s.invariant, Constraint{Clock: clock, Op: op, Bound: bound})
+	})
+}
+
+// AddState adds a state. State names must be unique chart-wide.
+func (c *Chart) AddState(name string, opts ...StateOption) error {
+	if name == "" || strings.Contains(name, "::") {
+		return fmt.Errorf("rtsc: invalid state name %q", name)
+	}
+	if _, ok := c.states[name]; ok {
+		return fmt.Errorf("rtsc: duplicate state %q", name)
+	}
+	st := &State{name: name}
+	for _, o := range opts {
+		o.applyState(st)
+	}
+	c.states[name] = st
+	c.order = append(c.order, name)
+	for _, inv := range st.invariant {
+		c.clocks[inv.Clock] = struct{}{}
+	}
+	return nil
+}
+
+// MustAddState is AddState but panics on error.
+func (c *Chart) MustAddState(name string, opts ...StateOption) {
+	if err := c.AddState(name, opts...); err != nil {
+		panic(err)
+	}
+}
+
+// TransOption configures a transition added with AddTransition.
+type TransOption interface{ applyTrans(*Transition) }
+
+type transOptionFunc func(*Transition)
+
+func (f transOptionFunc) applyTrans(t *Transition) { f(t) }
+
+// Trigger sets the consumed event.
+func Trigger(e Event) TransOption {
+	return transOptionFunc(func(t *Transition) { t.Trigger = e })
+}
+
+// Raise adds produced events.
+func Raise(events ...Event) TransOption {
+	return transOptionFunc(func(t *Transition) { t.Raise = append(t.Raise, events...) })
+}
+
+// Guard adds a guard conjunct.
+func Guard(clock Clock, op CmpOp, bound int) TransOption {
+	return transOptionFunc(func(t *Transition) {
+		t.Guard = append(t.Guard, Constraint{Clock: clock, Op: op, Bound: bound})
+	})
+}
+
+// Reset adds clock resets performed when the transition fires.
+func Reset(clocks ...Clock) TransOption {
+	return transOptionFunc(func(t *Transition) { t.Resets = append(t.Resets, clocks...) })
+}
+
+// After delays the transition until its source state has been occupied for
+// at least d time units — the statechart "after(d)" trigger. Expanded by
+// Flatten into a guard over an implicit clock reset on every entry into
+// the source state.
+func After(d int) TransOption {
+	return transOptionFunc(func(t *Transition) { t.After = d })
+}
+
+// AddTransition adds a transition between two named states.
+func (c *Chart) AddTransition(from, to string, opts ...TransOption) error {
+	if _, ok := c.states[from]; !ok {
+		return fmt.Errorf("rtsc: unknown source state %q", from)
+	}
+	if _, ok := c.states[to]; !ok {
+		return fmt.Errorf("rtsc: unknown target state %q", to)
+	}
+	t := Transition{From: from, To: to}
+	for _, o := range opts {
+		o.applyTrans(&t)
+	}
+	for _, g := range t.Guard {
+		c.clocks[g.Clock] = struct{}{}
+	}
+	for _, r := range t.Resets {
+		c.clocks[r] = struct{}{}
+	}
+	c.trans = append(c.trans, t)
+	return nil
+}
+
+// MustAddTransition is AddTransition but panics on error.
+func (c *Chart) MustAddTransition(from, to string, opts ...TransOption) {
+	if err := c.AddTransition(from, to, opts...); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks well-formedness: child links consistent, exactly one
+// initial state per composite level and at the top, no guard/invariant
+// cycles through undefined states.
+func (c *Chart) Validate() error {
+	if len(c.states) == 0 {
+		return errors.New("rtsc: chart has no states")
+	}
+	// Build children lists and check parents exist.
+	for _, name := range c.order {
+		st := c.states[name]
+		st.children = nil
+	}
+	for _, name := range c.order {
+		st := c.states[name]
+		if st.parent == "" {
+			continue
+		}
+		p, ok := c.states[st.parent]
+		if !ok {
+			return fmt.Errorf("rtsc: state %q has unknown parent %q", name, st.parent)
+		}
+		p.children = append(p.children, name)
+	}
+	// Detect parent cycles.
+	for _, name := range c.order {
+		seen := map[string]bool{}
+		for cur := name; cur != ""; cur = c.states[cur].parent {
+			if seen[cur] {
+				return fmt.Errorf("rtsc: parent cycle through %q", cur)
+			}
+			seen[cur] = true
+		}
+	}
+	// Exactly one initial state at top level and inside every composite.
+	if _, err := c.initialChild(""); err != nil {
+		return err
+	}
+	for _, name := range c.order {
+		if len(c.states[name].children) > 0 {
+			if _, err := c.initialChild(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// initialChild returns the unique initial state among the children of
+// parent ("" = top level).
+func (c *Chart) initialChild(parent string) (string, error) {
+	var found []string
+	for _, name := range c.order {
+		st := c.states[name]
+		if st.parent == parent && st.initial {
+			found = append(found, name)
+		}
+	}
+	scope := parent
+	if scope == "" {
+		scope = "top level"
+	}
+	if len(found) == 0 {
+		return "", fmt.Errorf("rtsc: no initial state in %s", scope)
+	}
+	if len(found) > 1 {
+		return "", fmt.Errorf("rtsc: multiple initial states in %s: %v", scope, found)
+	}
+	return found[0], nil
+}
+
+// leafOf descends through initial substates to the leaf configuration
+// entered when the named state is the transition target.
+func (c *Chart) leafOf(name string) (string, error) {
+	cur := name
+	for len(c.states[cur].children) > 0 {
+		next, err := c.initialChild(cur)
+		if err != nil {
+			return "", err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// path returns the ancestor chain of a state from outermost to the state
+// itself.
+func (c *Chart) path(name string) []string {
+	var rev []string
+	for cur := name; cur != ""; cur = c.states[cur].parent {
+		rev = append(rev, cur)
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// qualifiedName renders a leaf configuration as "outer::inner::leaf",
+// matching the paper's listings ("noConvoy::default"). A top-level leaf is
+// just its own name.
+func (c *Chart) qualifiedName(leaf string) string {
+	return strings.Join(c.path(leaf), "::")
+}
+
+// Clocks returns the clocks used by the chart, sorted.
+func (c *Chart) Clocks() []Clock {
+	out := make([]Clock, 0, len(c.clocks))
+	for cl := range c.clocks {
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,367 @@
+package rtsc
+
+import (
+	"strings"
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+)
+
+func TestChartValidation(t *testing.T) {
+	c := NewChart("c")
+	if err := c.Validate(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c.MustAddState("a", Initial())
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddState("b", Initial())
+	if err := c.Validate(); err == nil {
+		t.Fatal("two top-level initial states accepted")
+	}
+}
+
+func TestChartRejectsBadNames(t *testing.T) {
+	c := NewChart("c")
+	if err := c.AddState(""); err == nil {
+		t.Fatal("empty state name accepted")
+	}
+	if err := c.AddState("a::b"); err == nil {
+		t.Fatal("name containing :: accepted")
+	}
+	c.MustAddState("a")
+	if err := c.AddState("a"); err == nil {
+		t.Fatal("duplicate state accepted")
+	}
+}
+
+func TestChartRejectsUnknownStatesInTransitions(t *testing.T) {
+	c := NewChart("c")
+	c.MustAddState("a", Initial())
+	if err := c.AddTransition("a", "ghost"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := c.AddTransition("ghost", "a"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestChartUnknownParent(t *testing.T) {
+	c := NewChart("c")
+	c.MustAddState("a", Initial(), Parent("ghost"))
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+}
+
+func TestChartCompositeNeedsInitialChild(t *testing.T) {
+	c := NewChart("c")
+	c.MustAddState("outer", Initial())
+	c.MustAddState("inner1", Parent("outer"))
+	c.MustAddState("inner2", Parent("outer"))
+	if err := c.Validate(); err == nil {
+		t.Fatal("composite without initial child accepted")
+	}
+}
+
+func TestFlattenSimpleProtocol(t *testing.T) {
+	c := NewChart("role")
+	c.MustAddState("idle", Initial())
+	c.MustAddState("busy")
+	c.MustAddTransition("idle", "busy", Trigger("req"), Raise("ack"))
+	c.MustAddTransition("busy", "idle", Raise("done"))
+
+	a, err := c.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Inputs().Contains("req") {
+		t.Fatalf("inputs = %v", a.Inputs())
+	}
+	if !a.Outputs().Contains("ack") || !a.Outputs().Contains("done") {
+		t.Fatalf("outputs = %v", a.Outputs())
+	}
+	// Two configuration states (no clocks).
+	if got := a.NumStates(); got != 2 {
+		t.Fatalf("NumStates = %d, want 2", got)
+	}
+	idle := a.State("idle")
+	if idle == automata.NoState {
+		t.Fatalf("flattened state names: want plain 'idle'")
+	}
+	// idle has the triggered transition plus an idle step.
+	if got := len(a.TransitionsFrom(idle)); got != 2 {
+		t.Fatalf("transitions from idle = %d, want 2", got)
+	}
+}
+
+func TestFlattenHierarchyNaming(t *testing.T) {
+	// Reproduces the "noConvoy::default" naming of the paper's listings.
+	c := NewChart("shuttle")
+	c.MustAddState("noConvoy", Initial())
+	c.MustAddState("default", Initial(), Parent("noConvoy"))
+	c.MustAddState("wait", Parent("noConvoy"))
+	c.MustAddState("convoy")
+	c.MustAddTransition("default", "wait", Raise("convoyProposal"))
+	c.MustAddTransition("wait", "convoy", Trigger("startConvoy"))
+	c.MustAddTransition("convoy", "noConvoy", Trigger("breakConvoy"))
+
+	a, err := c.Flatten(WithStateLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := a.State("noConvoy::default")
+	if def == automata.NoState {
+		t.Fatalf("expected state noConvoy::default, have %v", a.Dot())
+	}
+	// Ancestor labels: the composite's substates carry the composite's
+	// proposition, so "shuttle.noConvoy" holds in noConvoy::wait.
+	wait := a.State("noConvoy::wait")
+	if !a.HasLabel(wait, "shuttle.noConvoy") {
+		t.Fatalf("labels of wait = %v", a.Labels(wait))
+	}
+	if !a.HasLabel(wait, "shuttle.noConvoy::wait") {
+		t.Fatalf("missing qualified label: %v", a.Labels(wait))
+	}
+	// Entering the composite re-enters its initial child.
+	convoy := a.State("convoy")
+	var reenter bool
+	for _, tr := range a.TransitionsFrom(convoy) {
+		if tr.Label.In.Contains("breakConvoy") && a.StateName(tr.To) == "noConvoy::default" {
+			reenter = true
+		}
+	}
+	if !reenter {
+		t.Fatal("transition to composite did not enter its initial leaf")
+	}
+}
+
+func TestFlattenAncestorTransitions(t *testing.T) {
+	// A transition from the composite fires from any of its leaves.
+	c := NewChart("c")
+	c.MustAddState("grp", Initial())
+	c.MustAddState("a", Initial(), Parent("grp"))
+	c.MustAddState("b", Parent("grp"))
+	c.MustAddState("out")
+	c.MustAddTransition("a", "b", Raise("go"))
+	c.MustAddTransition("grp", "out", Trigger("abort"))
+
+	a := c.MustFlatten()
+	for _, leaf := range []string{"grp::a", "grp::b"} {
+		s := a.State(leaf)
+		found := false
+		for _, tr := range a.TransitionsFrom(s) {
+			if tr.Label.In.Contains("abort") && a.StateName(tr.To) == "out" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("abort not available from %s", leaf)
+		}
+	}
+}
+
+func TestFlattenClocksAndInvariants(t *testing.T) {
+	// A state that must be left within 2 time units (invariant t ≤ 2) and
+	// a guard requiring at least 1 unit: the flattened automaton is the
+	// timing skeleton of an I/O-interval structure.
+	c := NewChart("timer")
+	c.MustAddState("wait", Initial(), Invariant("t", CmpLE, 2))
+	c.MustAddState("fired")
+	c.MustAddTransition("wait", "fired", Guard("t", CmpGE, 1), Raise("fire"), Reset("t"))
+	c.MustAddTransition("fired", "fired")
+
+	a, err := c.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wait@t=0 --idle--> wait@t=1 --idle--> wait@t=2 (invariant edge) and
+	// firing available from t=0 (guard t≥1 evaluated *before* the step?
+	// No: guard over current valuation; from t=0 guard fails).
+	w0 := a.State("wait@t=0")
+	if w0 == automata.NoState {
+		t.Fatalf("missing wait@t=0; states:\n%s", a.Dot())
+	}
+	for _, tr := range a.TransitionsFrom(w0) {
+		if tr.Label.Out.Contains("fire") {
+			t.Fatal("guard t>=1 must not be enabled at t=0")
+		}
+	}
+	w1 := a.State("wait@t=1")
+	fireable := false
+	for _, tr := range a.TransitionsFrom(w1) {
+		if tr.Label.Out.Contains("fire") {
+			fireable = true
+		}
+	}
+	if !fireable {
+		t.Fatal("guard t>=1 must be enabled at t=1")
+	}
+	// At t=2 the invariant forbids idling (t would become 3): only the
+	// fire transition remains.
+	w2 := a.State("wait@t=2")
+	if w2 == automata.NoState {
+		t.Fatal("missing wait@t=2")
+	}
+	for _, tr := range a.TransitionsFrom(w2) {
+		if tr.Label.Out.IsEmpty() && tr.Label.In.IsEmpty() {
+			t.Fatal("idle step allowed although invariant would be violated")
+		}
+	}
+}
+
+func TestFlattenUrgentState(t *testing.T) {
+	c := NewChart("u")
+	c.MustAddState("s", Initial(), Urgent())
+	c.MustAddState("d")
+	c.MustAddTransition("s", "d", Raise("now"))
+	c.MustAddTransition("d", "d")
+	a := c.MustFlatten()
+	s := a.State("s")
+	for _, tr := range a.TransitionsFrom(s) {
+		if tr.Label.In.IsEmpty() && tr.Label.Out.IsEmpty() {
+			t.Fatal("urgent state has an idle step")
+		}
+	}
+}
+
+func TestFlattenRejectsTriggerRaiseOverlap(t *testing.T) {
+	c := NewChart("c")
+	c.MustAddState("a", Initial())
+	c.MustAddTransition("a", "a", Trigger("x"), Raise("x"))
+	if _, err := c.Flatten(); err == nil {
+		t.Fatal("event used as both trigger and raise accepted")
+	}
+}
+
+func TestFlattenDeterministicTimerBound(t *testing.T) {
+	// Model-check a deadline on the flattened chart: with invariant t ≤ 1
+	// the fire transition must be taken from t = 1 at the latest, so
+	// "fired" is reached at step 2 on every path.
+	c := NewChart("timer")
+	c.MustAddState("wait", Initial(), Invariant("t", CmpLE, 1))
+	c.MustAddState("fired")
+	c.MustAddTransition("wait", "fired", Guard("t", CmpGE, 1), Raise("fire"))
+	c.MustAddTransition("fired", "fired")
+	a := c.MustFlatten(WithStateLabels())
+
+	res := ctl.Check(a, ctl.MustParse("AF[1,2] timer.fired"))
+	if !res.Holds {
+		t.Fatalf("deadline violated: %+v", res)
+	}
+	if ctl.Check(a, ctl.MustParse("AF[1,1] timer.fired")).Holds {
+		t.Fatal("AF[1,1] should fail (firing may happen at t=2)")
+	}
+}
+
+func TestConnectorDelivery(t *testing.T) {
+	conn := ConnectorSpec{
+		Name:   "link",
+		Routes: []Route{{Src: "m_snd", Dst: "m_rcv"}},
+		Delay:  2,
+	}
+	a, err := conn.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// idle + 2 holding states.
+	if got := a.NumStates(); got != 3 {
+		t.Fatalf("NumStates = %d, want 3", got)
+	}
+	idle := a.State("idle")
+	var hold automata.StateID = automata.NoState
+	for _, tr := range a.TransitionsFrom(idle) {
+		if tr.Label.In.Contains("m_snd") {
+			hold = tr.To
+		}
+	}
+	if hold == automata.NoState {
+		t.Fatal("no accept transition")
+	}
+	// Exactly delay-1 internal steps then delivery.
+	steps := 0
+	cur := hold
+	for {
+		ts := a.TransitionsFrom(cur)
+		if len(ts) != 1 {
+			t.Fatalf("holding state with %d transitions", len(ts))
+		}
+		if ts[0].Label.Out.Contains("m_rcv") {
+			break
+		}
+		steps++
+		cur = ts[0].To
+	}
+	if steps != 1 {
+		t.Fatalf("internal steps = %d, want 1 (delay 2)", steps)
+	}
+}
+
+func TestConnectorLossyAndPatient(t *testing.T) {
+	a := ConnectorSpec{
+		Name:    "lossy",
+		Routes:  []Route{{Src: "s", Dst: "d"}},
+		Delay:   1,
+		Lossy:   true,
+		Patient: true,
+	}.MustBuild()
+	idle := a.State("idle")
+	// Lossy: accepting may stay in idle.
+	lossDrop := false
+	for _, tr := range a.TransitionsFrom(idle) {
+		if tr.Label.In.Contains("s") && tr.To == idle {
+			lossDrop = true
+		}
+	}
+	if !lossDrop {
+		t.Fatal("lossy connector lacks drop transition")
+	}
+	// Patient: the delivering state has a waiting self-loop.
+	holding := a.State("holding_s_1")
+	wait := false
+	for _, tr := range a.TransitionsFrom(holding) {
+		if tr.To == holding && tr.Label.In.IsEmpty() && tr.Label.Out.IsEmpty() {
+			wait = true
+		}
+	}
+	if !wait {
+		t.Fatal("patient connector lacks waiting self-loop")
+	}
+}
+
+func TestConnectorValidation(t *testing.T) {
+	if _, err := (ConnectorSpec{Name: "c", Routes: []Route{{Src: "a", Dst: "b"}}, Delay: 0}).Build(); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+	if _, err := (ConnectorSpec{Name: "c", Delay: 1}).Build(); err == nil {
+		t.Fatal("no routes accepted")
+	}
+	if _, err := (ConnectorSpec{Name: "c", Routes: []Route{{Src: "a", Dst: "a"}}, Delay: 1}).Build(); err == nil {
+		t.Fatal("non-renaming route accepted")
+	}
+}
+
+func TestQualifiedNameRendering(t *testing.T) {
+	c := NewChart("x")
+	c.MustAddState("outer", Initial())
+	c.MustAddState("mid", Initial(), Parent("outer"))
+	c.MustAddState("leaf", Initial(), Parent("mid"))
+	if got := c.qualifiedName("leaf"); got != "outer::mid::leaf" {
+		t.Fatalf("qualifiedName = %q", got)
+	}
+	if !strings.HasPrefix(c.qualifiedName("outer"), "outer") {
+		t.Fatal("top-level name broken")
+	}
+}
+
+func TestClocksSorted(t *testing.T) {
+	c := NewChart("c")
+	c.MustAddState("a", Initial(), Invariant("z", CmpLE, 1))
+	c.MustAddTransition("a", "a", Guard("b", CmpGE, 1), Reset("m"))
+	got := c.Clocks()
+	if len(got) != 3 || got[0] != "b" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("Clocks = %v", got)
+	}
+}

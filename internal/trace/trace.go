@@ -1,0 +1,124 @@
+// Package trace renders runs of composed systems in the notation of the
+// paper's listings. Listing 1.1, for example, alternates composed state
+// lines with message lines in which each signal is attributed to its
+// sender (!) and receiver (?):
+//
+//	shuttle1.noConvoy, shuttle2.s_all
+//	shuttle2.convoyProposal!, shuttle1.convoyProposal?
+//	shuttle1.answer, shuttle2.wait
+//	...
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"muml/internal/automata"
+)
+
+// RenderCounterexample renders a run of the (composed) automaton in the
+// paper's counterexample listing style. Each interaction signal is printed
+// once per involved leaf: "leaf.signal!" when the leaf outputs it and
+// "leaf.signal?" when the leaf consumes it. Steps without any signal
+// render as "τ" (a pure time step).
+func RenderCounterexample(sys *automata.Automaton, run *automata.Run) string {
+	var b strings.Builder
+	leaves := sys.Leaves()
+	for i, st := range run.States {
+		b.WriteString(renderState(sys, leaves, st))
+		b.WriteByte('\n')
+		if i < len(run.States)-1 {
+			b.WriteString(renderStep(sys, leaves, run.Steps[i]))
+			b.WriteByte('\n')
+		}
+	}
+	if run.Deadlock {
+		b.WriteString(renderStep(sys, leaves, run.Steps[len(run.Steps)-1]))
+		b.WriteString("\n<blocked>\n")
+	}
+	return b.String()
+}
+
+func renderState(sys *automata.Automaton, leaves []string, st automata.StateID) string {
+	parts := sys.StateParts(st)
+	if len(parts) != len(leaves) {
+		// No per-leaf provenance: fall back to the raw state name.
+		return sys.StateName(st)
+	}
+	names := make([]string, len(parts))
+	for i, p := range parts {
+		names[i] = leaves[i] + "." + p
+	}
+	return strings.Join(names, ", ")
+}
+
+func renderStep(sys *automata.Automaton, leaves []string, step automata.Interaction) string {
+	// Senders first, then receivers, matching the paper's listings
+	// ("shuttle2.convoyProposal!, shuttle1.convoyProposal?").
+	var entries []string
+	for _, leaf := range leaves {
+		_, out, ok := sys.LeafAlphabet(leaf)
+		if !ok {
+			continue
+		}
+		for _, sig := range step.Out.Intersect(out).Signals() {
+			entries = append(entries, fmt.Sprintf("%s.%s!", leaf, sig))
+		}
+	}
+	for _, leaf := range leaves {
+		in, _, ok := sys.LeafAlphabet(leaf)
+		if !ok {
+			continue
+		}
+		for _, sig := range step.In.Intersect(in).Signals() {
+			entries = append(entries, fmt.Sprintf("%s.%s?", leaf, sig))
+		}
+	}
+	if len(entries) == 0 {
+		return "τ"
+	}
+	return strings.Join(entries, ", ")
+}
+
+// RenderModel renders an incomplete automaton as a compact textual listing
+// of its learned transitions and refusals, used when reporting synthesized
+// behavior models (Figs. 6 and 7).
+func RenderModel(m *automata.Incomplete) string {
+	a := m.Automaton()
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s: %d states, %d transitions, %d refusals\n",
+		a.Name(), a.NumStates(), a.NumTransitions(), m.NumBlocked())
+	initials := make(map[automata.StateID]bool)
+	for _, q := range a.Initial() {
+		initials[q] = true
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		s := automata.StateID(i)
+		marker := " "
+		if initials[s] {
+			marker = ">"
+		}
+		fmt.Fprintf(&b, "%s %s\n", marker, a.StateName(s))
+		for _, t := range a.TransitionsFrom(s) {
+			fmt.Fprintf(&b, "    %s -> %s\n", renderLabel(t.Label), a.StateName(t.To))
+		}
+		for _, x := range m.BlockedAt(s) {
+			fmt.Fprintf(&b, "    %s blocked\n", renderLabel(x))
+		}
+	}
+	return b.String()
+}
+
+func renderLabel(x automata.Interaction) string {
+	var parts []string
+	for _, sig := range x.In.Signals() {
+		parts = append(parts, string(sig)+"?")
+	}
+	for _, sig := range x.Out.Signals() {
+		parts = append(parts, string(sig)+"!")
+	}
+	if len(parts) == 0 {
+		return "τ"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"muml/internal/automata"
+)
+
+func buildPair(t *testing.T) *automata.Automaton {
+	t.Helper()
+	s := automata.New("shuttle2", automata.EmptySet, automata.NewSignalSet("convoyProposal"))
+	s0 := s.MustAddState("noConvoy")
+	s1 := s.MustAddState("wait")
+	s.MustAddTransition(s0, automata.Interact(nil, []automata.Signal{"convoyProposal"}), s1)
+	s.MarkInitial(s0)
+
+	r := automata.New("shuttle1", automata.NewSignalSet("convoyProposal"), automata.EmptySet)
+	r0 := r.MustAddState("noConvoy")
+	r1 := r.MustAddState("answer")
+	r.MustAddTransition(r0, automata.Interact([]automata.Signal{"convoyProposal"}, nil), r1)
+	r.MarkInitial(r0)
+	return automata.MustCompose("sys", r, s)
+}
+
+func TestRenderCounterexampleListingStyle(t *testing.T) {
+	sys := buildPair(t)
+	init := sys.Initial()[0]
+	tr := sys.TransitionsFrom(init)[0]
+	run := &automata.Run{
+		States: []automata.StateID{init, tr.To},
+		Steps:  []automata.Interaction{tr.Label},
+	}
+	text := RenderCounterexample(sys, run)
+	wantLines := []string{
+		"shuttle1.noConvoy, shuttle2.noConvoy",
+		"shuttle2.convoyProposal!, shuttle1.convoyProposal?",
+		"shuttle1.answer, shuttle2.wait",
+	}
+	got := strings.Split(strings.TrimSpace(text), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("rendered %d lines, want %d:\n%s", len(got), len(wantLines), text)
+	}
+	for i, want := range wantLines {
+		if got[i] != want {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestRenderCounterexampleDeadlockRun(t *testing.T) {
+	sys := buildPair(t)
+	init := sys.Initial()[0]
+	run := &automata.Run{
+		States:   []automata.StateID{init},
+		Steps:    []automata.Interaction{automata.Interact(nil, nil)},
+		Deadlock: true,
+	}
+	text := RenderCounterexample(sys, run)
+	if !strings.Contains(text, "<blocked>") {
+		t.Fatalf("deadlock marker missing:\n%s", text)
+	}
+	if !strings.Contains(text, "τ") {
+		t.Fatalf("empty interaction should render as τ:\n%s", text)
+	}
+}
+
+func TestRenderModel(t *testing.T) {
+	a := automata.New("m", automata.NewSignalSet("x"), automata.NewSignalSet("y"))
+	s0 := a.MustAddState("s0")
+	s1 := a.MustAddState("s1")
+	x := automata.Interact([]automata.Signal{"x"}, []automata.Signal{"y"})
+	a.MustAddTransition(s0, x, s1)
+	a.MarkInitial(s0)
+	m := automata.NewIncomplete(a)
+	if err := m.Block(s1, automata.Interact([]automata.Signal{"x"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	text := RenderModel(m)
+	for _, want := range []string{"> s0", "x? y! -> s1", "x? blocked", "1 refusals"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("RenderModel missing %q:\n%s", want, text)
+		}
+	}
+}
