@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench timings
+
+all: check
+
+check: fmt vet build race bench
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark as a smoke test (correctness assertions
+# inside the benchmark bodies still run).
+bench:
+	$(GO) test -run 'XXX' -bench . -benchtime=1x ./...
+
+# Regenerate the incremental-vs-rebuild timing report.
+timings:
+	$(GO) run ./cmd/experiments -timings BENCH_incremental.json

@@ -133,6 +133,58 @@ func benchmarkSynthesis(b *testing.B, make func() legacy.Component, want core.Ve
 	}
 }
 
+// BenchmarkIncrementalVsRebuild: the same multi-iteration synthesis runs
+// with the incremental (delta-patched) system construction and with the
+// from-scratch rebuild it replaces. The incremental path is the default;
+// the rebuild leg is the pre-incremental baseline.
+func BenchmarkIncrementalVsRebuild(b *testing.B) {
+	scenarios := []struct {
+		name string
+		run  func(b *testing.B, opts core.Options)
+	}{
+		{"railcab-proof", func(b *testing.B, opts core.Options) {
+			front := railcab.FrontRole()
+			iface := railcab.RearInterface(railcab.RearRoleName)
+			opts.Property = railcab.Constraint()
+			for i := 0; i < b.N; i++ {
+				synth, err := core.New(front, &railcab.CorrectShuttle{}, iface, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report, err := synth.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Verdict != core.VerdictProven {
+					b.Fatal("expected proof")
+				}
+			}
+		}},
+		{"random-64-states", func(b *testing.B, opts core.Options) {
+			rng := rand.New(rand.NewSource(64))
+			sc := experiments.GenerateScenario(rng, 64, 2, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				synth, err := core.New(sc.Context, sc.Component, sc.Iface, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := synth.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name+"/incremental", func(b *testing.B) {
+			sc.run(b, core.Options{})
+		})
+		b.Run(sc.name+"/rebuild", func(b *testing.B) {
+			sc.run(b, core.Options{DisableIncremental: true})
+		})
+	}
+}
+
 // BenchmarkSynthesisScaling (E7): synthesis effort over growing random
 // legacy components.
 func BenchmarkSynthesisScaling(b *testing.B) {

@@ -7,6 +7,7 @@
 //	experiments -list
 //	experiments -run E5
 //	experiments -all [-report EXPERIMENTS.md]
+//	experiments -timings BENCH_incremental.json
 package main
 
 import (
@@ -31,10 +32,29 @@ func run() error {
 		all      = flag.Bool("all", false, "run all experiments")
 		parallel = flag.Int("parallel", 1, "number of experiments to run concurrently (with -all)")
 		report   = flag.String("report", "", "write the markdown report to this file (with -all)")
+		timings  = flag.String("timings", "", "run the incremental-vs-rebuild timing scenarios and write per-iteration stats as JSON to this file")
 	)
 	flag.Parse()
 
 	switch {
+	case *timings != "":
+		rep, err := experiments.CollectTimings()
+		if err != nil {
+			return err
+		}
+		data, err := experiments.MarshalTimings(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*timings, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write timings: %w", err)
+		}
+		for _, sc := range rep.Scenarios {
+			fmt.Printf("%-26s %2d patches / %d rebuilds  speedup %.2fx\n",
+				sc.Name, sc.Incremental.Patches, sc.Incremental.Rebuilds, sc.Speedup)
+		}
+		fmt.Printf("timings written to %s\n", *timings)
+		return nil
 	case *list:
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

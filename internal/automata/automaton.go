@@ -65,6 +65,9 @@ type Automaton struct {
 	adj     [][]Transition
 	initial []StateID
 	leaves  []leafInfo
+	// nameSeq tracks, per base name, the next "#n" suffix to try when
+	// uniqueName must disambiguate a collision; avoids quadratic re-probing.
+	nameSeq map[string]int
 }
 
 // New creates an empty automaton with the given name and alphabets. The
@@ -344,9 +347,8 @@ func (a *Automaton) Reachable() []bool {
 			queue = append(queue, q)
 		}
 	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range a.adj[s] {
 			if !reached[t.To] {
 				reached[t.To] = true

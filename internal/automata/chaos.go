@@ -64,6 +64,7 @@ const (
 // (see ChaosProposition for how formulas are weakened accordingly).
 func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 	src := m.auto
+	labels := universe.Enumerate(src.inputs, src.outputs)
 	c := New(src.name, src.inputs, src.outputs)
 
 	closed := make([]StateID, src.NumStates())
@@ -77,12 +78,23 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 	sAll := c.MustAddState(ChaosAllState, ChaosProposition)
 	sDelta := c.MustAddState(ChaosDeltaState, ChaosProposition)
 
+	// The construction below never emits a duplicate (from, label, to) —
+	// src has no duplicate transitions and the universe enumerates each
+	// interaction once — and every label is within the alphabets, so
+	// transitions are appended directly, skipping AddTransition's
+	// validation and linear duplicate scan (quadratic on the high-degree
+	// chaos states).
+
 	// Learned transitions go from both copies to both copies.
-	for _, t := range src.Transitions() {
-		c.MustAddTransition(closed[t.From], t.Label, closed[t.To])
-		c.MustAddTransition(closed[t.From], t.Label, open[t.To])
-		c.MustAddTransition(open[t.From], t.Label, closed[t.To])
-		c.MustAddTransition(open[t.From], t.Label, open[t.To])
+	for from, ts := range src.adj {
+		for _, t := range ts {
+			appendTransitions(c, closed[from],
+				Transition{Label: t.Label, To: closed[t.To]},
+				Transition{Label: t.Label, To: open[t.To]})
+			appendTransitions(c, open[from],
+				Transition{Label: t.Label, To: closed[t.To]},
+				Transition{Label: t.Label, To: open[t.To]})
+		}
 	}
 
 	// Every *unknown* interaction (neither learned in T nor excluded by
@@ -99,21 +111,69 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 	// determinism), so restricting chaos to unknown interactions keeps
 	// Theorem 1 intact while making the fixpoint reachable. We therefore
 	// implement the evident intent.
-	for id := range src.states {
-		s := StateID(id)
-		for _, x := range universe.Enumerate(src.inputs, src.outputs) {
-			if m.IsBlocked(s, x) || len(src.Successors(s, x)) > 0 {
+	//
+	// Known (learned or blocked) labels are collected per state into an
+	// interned key set, so the per-label membership test is a single map
+	// hit instead of a Successors scan plus a string-key allocation.
+	emitChaos := func(s StateID, unknown func(i int) bool) {
+		for i, x := range labels {
+			if !unknown(i) {
 				continue
 			}
-			c.MustAddTransition(open[s], x, sAll)
-			c.MustAddTransition(open[s], x, sDelta)
+			appendTransitions(c, open[s],
+				Transition{Label: x, To: sAll},
+				Transition{Label: x, To: sDelta})
+		}
+	}
+	if in, ok := NewInterner(src.inputs, src.outputs); ok {
+		keys := make([]InternKey, len(labels))
+		for i, x := range labels {
+			keys[i], _ = in.Key(x)
+		}
+		known := make(map[InternKey]struct{})
+		for id := range src.states {
+			s := StateID(id)
+			clear(known)
+			for _, t := range src.adj[s] {
+				k, _ := in.Key(t.Label)
+				known[k] = struct{}{}
+			}
+			for _, x := range m.blocked[s] {
+				k, _ := in.Key(x)
+				known[k] = struct{}{}
+			}
+			emitChaos(s, func(i int) bool {
+				_, ok := known[keys[i]]
+				return !ok
+			})
+		}
+	} else {
+		keys := make([]string, len(labels))
+		for i, x := range labels {
+			keys[i] = x.Key()
+		}
+		known := make(map[string]struct{})
+		for id := range src.states {
+			s := StateID(id)
+			clear(known)
+			for _, t := range src.adj[s] {
+				known[t.Label.Key()] = struct{}{}
+			}
+			for k := range m.blocked[s] {
+				known[k] = struct{}{}
+			}
+			emitChaos(s, func(i int) bool {
+				_, ok := known[keys[i]]
+				return !ok
+			})
 		}
 	}
 
 	// The embedded chaotic automaton T_c.
-	for _, x := range universe.Enumerate(src.inputs, src.outputs) {
-		c.MustAddTransition(sAll, x, sAll)
-		c.MustAddTransition(sAll, x, sDelta)
+	for _, x := range labels {
+		appendTransitions(c, sAll,
+			Transition{Label: x, To: sAll},
+			Transition{Label: x, To: sDelta})
 	}
 
 	for _, q := range src.initial {
@@ -121,6 +181,16 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 		c.MarkInitial(open[q])
 	}
 	return c
+}
+
+// appendTransitions appends pre-validated transitions to a state's adjacency
+// list, fixing up the From field. Callers guarantee labels are within the
+// alphabets and no duplicates are produced.
+func appendTransitions(c *Automaton, from StateID, ts ...Transition) {
+	for _, t := range ts {
+		t.From = from
+		c.adj[from] = append(c.adj[from], t)
+	}
 }
 
 // ChaoticClosureLiteral builds chaos(M) with the *literal* quantification

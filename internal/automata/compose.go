@@ -2,7 +2,9 @@ package automata
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // Compose builds the parallel composition M‖M' of Definition 3. The two
@@ -19,6 +21,10 @@ import (
 // Composed state labels are the union L(s) ∪ L'(s'). Composed states keep
 // per-leaf provenance so that runs render as in the paper's listings
 // ("shuttle1.noConvoy, shuttle2.s_all").
+//
+// When the combined alphabet fits an Interner (≤64 signals) the BFS inner
+// loop runs on interned bitset labels; the result is identical to the
+// slice-based fallback, including state and transition order.
 func Compose(name string, left, right *Automaton) (*Automaton, error) {
 	if !left.inputs.Disjoint(right.inputs) {
 		return nil, fmt.Errorf("automata: compose %q‖%q: shared inputs %v",
@@ -35,6 +41,31 @@ func Compose(name string, left, right *Automaton) (*Automaton, error) {
 	c := New(name, left.inputs.Union(right.inputs), left.outputs.Union(right.outputs))
 	c.leaves = append(append([]leafInfo(nil), left.leaves...), right.leaves...)
 
+	if in, ok := NewInterner(c.inputs, c.outputs); ok {
+		if composeFast(c, left, right, in) {
+			return c, nil
+		}
+	}
+	composeSlow(c, left, right)
+	return c, nil
+}
+
+// composeFast runs the product BFS on interned labels. It reports false
+// (leaving c's states untouched) only if a label unexpectedly falls outside
+// the interner's alphabet, in which case the caller falls back to the
+// slice-based path.
+func composeFast(c, left, right *Automaton, in *Interner) bool {
+	leftAdj, ok := maskAdjacency(left, in)
+	if !ok {
+		return false
+	}
+	rightAdj, ok := maskAdjacency(right, in)
+	if !ok {
+		return false
+	}
+	leftOut, _ := in.Mask(left.outputs)
+	rightOut, _ := in.Mask(right.outputs)
+
 	type pair struct{ l, r StateID }
 	ids := make(map[pair]StateID)
 	var queue []pair
@@ -43,10 +74,7 @@ func Compose(name string, left, right *Automaton) (*Automaton, error) {
 		if id, ok := ids[p]; ok {
 			return id
 		}
-		name := left.states[p.l].name + "|" + right.states[p.r].name
-		labels := append(append([]Proposition(nil), left.states[p.l].labels...), right.states[p.r].labels...)
-		id := c.MustAddState(uniqueName(c, name), labels...)
-		c.states[id].parts = append(append([]string(nil), left.states[p.l].parts...), right.states[p.r].parts...)
+		id := addComposedPairState(c, left, right, p.l, p.r)
 		ids[p] = id
 		queue = append(queue, p)
 		return id
@@ -58,9 +86,74 @@ func Compose(name string, left, right *Automaton) (*Automaton, error) {
 		}
 	}
 
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	type dupKey struct {
+		k  InternKey
+		to StateID
+	}
+	seen := make(map[dupKey]struct{})
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		from := ids[p]
+		clear(seen)
+		for _, tl := range leftAdj[p.l] {
+			for _, tr := range rightAdj[p.r] {
+				if tl.in&rightOut != tr.out {
+					continue
+				}
+				if tr.in&leftOut != tl.out {
+					continue
+				}
+				k := InternKey{In: tl.in | tr.in, Out: tl.out | tr.out}
+				to := addPair(pair{tl.to, tr.to})
+				// Parallel nondeterminism can produce the same joint
+				// transition twice; keep the first occurrence.
+				dk := dupKey{k: k, to: to}
+				if _, dup := seen[dk]; dup {
+					continue
+				}
+				seen[dk] = struct{}{}
+				c.adj[from] = append(c.adj[from], Transition{From: from, Label: in.Label(k), To: to})
+			}
+		}
+	}
+	return true
+}
+
+// addComposedPairState adds the product state (l, r) to c with the joined
+// name, labels, and leaf provenance.
+func addComposedPairState(c, left, right *Automaton, l, r StateID) StateID {
+	name := left.states[l].name + "|" + right.states[r].name
+	labels := append(append([]Proposition(nil), left.states[l].labels...), right.states[r].labels...)
+	id := c.MustAddState(uniqueName(c, name), labels...)
+	c.states[id].parts = append(append([]string(nil), left.states[l].parts...), right.states[r].parts...)
+	return id
+}
+
+// composeSlow is the slice-based product BFS, used when the combined
+// alphabet exceeds the interner width.
+func composeSlow(c, left, right *Automaton) {
+	type pair struct{ l, r StateID }
+	ids := make(map[pair]StateID)
+	var queue []pair
+
+	addPair := func(p pair) StateID {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := addComposedPairState(c, left, right, p.l, p.r)
+		ids[p] = id
+		queue = append(queue, p)
+		return id
+	}
+
+	for _, ql := range left.initial {
+		for _, qr := range right.initial {
+			c.MarkInitial(addPair(pair{ql, qr}))
+		}
+	}
+
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
 		from := ids[p]
 		for _, tl := range left.adj[p.l] {
 			for _, tr := range right.adj[p.r] {
@@ -81,7 +174,6 @@ func Compose(name string, left, right *Automaton) (*Automaton, error) {
 			}
 		}
 	}
-	return c, nil
 }
 
 // MustCompose is Compose but panics on error.
@@ -92,6 +184,11 @@ func MustCompose(name string, left, right *Automaton) *Automaton {
 	}
 	return c
 }
+
+// parallelComposeLevelThreshold is the BFS level size above which the n-ary
+// composition enumerates joint transitions with a worker pool. Below it the
+// goroutine handoff costs more than the enumeration.
+const parallelComposeLevelThreshold = 8
 
 // ComposeAll builds the simultaneous parallel composition of several
 // automata. For two automata it coincides with Compose; for more it is the
@@ -106,6 +203,12 @@ func MustCompose(name string, left, right *Automaton) *Automaton {
 // more parts: Definition 3 requires every output to be consumed by the
 // partner in the same step, so a fold would force the third automaton to
 // consume signals that were already matched inside the first pair.
+//
+// The BFS frontier is processed level by level; when a level is large
+// enough, joint-transition enumeration for its states runs on a bounded
+// worker pool (GOMAXPROCS-capped). States and transitions are merged in
+// frontier order, so the result is deterministic and identical to the
+// sequential construction.
 func ComposeAll(name string, parts ...*Automaton) (*Automaton, error) {
 	switch len(parts) {
 	case 0:
@@ -142,6 +245,154 @@ func ComposeAll(name string, parts ...*Automaton) (*Automaton, error) {
 	c := New(name, allIn, allOut)
 	c.leaves = leaves
 
+	if in, ok := NewInterner(allIn, allOut); ok {
+		if composeAllFast(c, parts, in) {
+			return c, nil
+		}
+	}
+	composeAllSlow(c, parts)
+	return c, nil
+}
+
+// jointEdge is one joint transition candidate produced by enumerating a
+// product tuple: the interned label plus the successor tuple. The next
+// slice is owned by the edge.
+type jointEdge struct {
+	key  InternKey
+	next []StateID
+}
+
+// composeAllFast is the interned n-ary product BFS with level-parallel
+// joint-transition enumeration.
+func composeAllFast(c *Automaton, parts []*Automaton, in *Interner) bool {
+	ptAdj := make([][][]maskedTransition, len(parts))
+	for i, p := range parts {
+		adj, ok := maskAdjacency(p, in)
+		if !ok {
+			return false
+		}
+		ptAdj[i] = adj
+	}
+	// othersOut[i] = union of output alphabets of all parts except i;
+	// inMask[i] = input alphabet of part i.
+	othersOut := make([]SetMask, len(parts))
+	inMask := make([]SetMask, len(parts))
+	for i := range parts {
+		var o SetMask
+		for j := range parts {
+			if j != i {
+				m, _ := in.Mask(parts[j].outputs)
+				o |= m
+			}
+		}
+		othersOut[i] = o
+		inMask[i], _ = in.Mask(parts[i].inputs)
+	}
+
+	enumerate := func(cur []StateID) []jointEdge {
+		var edges []jointEdge
+		chosen := make([]maskedTransition, len(parts))
+		var choose func(i int, produced SetMask)
+		choose = func(i int, produced SetMask) {
+			if i == len(parts) {
+				var consumed SetMask
+				for idx := range chosen {
+					internal := chosen[idx].in & othersOut[idx]
+					delivered := produced & inMask[idx]
+					if internal != delivered {
+						return
+					}
+					consumed |= chosen[idx].in
+				}
+				next := make([]StateID, len(parts))
+				for idx := range chosen {
+					next[idx] = chosen[idx].to
+				}
+				edges = append(edges, jointEdge{key: InternKey{In: consumed, Out: produced}, next: next})
+				return
+			}
+			for _, t := range ptAdj[i][cur[i]] {
+				chosen[i] = t
+				choose(i+1, produced|t.out)
+			}
+		}
+		choose(0, 0)
+		return edges
+	}
+
+	ids := make(map[string]StateID)
+	var queue [][]StateID
+
+	addTuple := func(states []StateID) StateID {
+		k := stateSetKey(states)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := addComposedTupleState(c, parts, states)
+		ids[k] = id
+		queue = append(queue, states)
+		return id
+	}
+
+	for _, t := range initialTuples(parts) {
+		c.MarkInitial(addTuple(t))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	type dupKey struct {
+		k  InternKey
+		to StateID
+	}
+	seen := make(map[dupKey]struct{})
+	for head := 0; head < len(queue); {
+		level := queue[head:]
+		head = len(queue)
+		results := make([][]jointEdge, len(level))
+		if len(level) >= parallelComposeLevelThreshold && workers > 1 {
+			// Enumerate the level on a bounded worker pool. Enumeration
+			// only reads the immutable masked adjacency, so workers are
+			// race-free; the merge below is sequential and in level order,
+			// keeping the construction deterministic.
+			var wg sync.WaitGroup
+			chunk := (len(level) + workers - 1) / workers
+			for lo := 0; lo < len(level); lo += chunk {
+				hi := lo + chunk
+				if hi > len(level) {
+					hi = len(level)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						results[i] = enumerate(level[i])
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			for i := range level {
+				results[i] = enumerate(level[i])
+			}
+		}
+		for i := range level {
+			from := ids[stateSetKey(level[i])]
+			clear(seen)
+			for _, e := range results[i] {
+				to := addTuple(e.next)
+				dk := dupKey{k: e.key, to: to}
+				if _, dup := seen[dk]; dup {
+					continue
+				}
+				seen[dk] = struct{}{}
+				c.adj[from] = append(c.adj[from], Transition{From: from, Label: in.Label(e.key), To: to})
+			}
+		}
+	}
+	return true
+}
+
+// composeAllSlow is the slice-based n-ary product BFS.
+func composeAllSlow(c *Automaton, parts []*Automaton) {
 	// othersOut[i] = union of output alphabets of all parts except i.
 	othersOut := make([]SignalSet, len(parts))
 	for i := range parts {
@@ -154,57 +405,27 @@ func ComposeAll(name string, parts ...*Automaton) (*Automaton, error) {
 		othersOut[i] = o
 	}
 
-	type tuple string
-	key := func(states []StateID) tuple {
-		b := make([]byte, 0, len(states)*3)
-		for _, s := range states {
-			b = append(b, byte(s), byte(s>>8), byte(s>>16))
-		}
-		return tuple(b)
-	}
-	ids := make(map[tuple]StateID)
+	ids := make(map[string]StateID)
 	var queue [][]StateID
 
 	addTuple := func(states []StateID) StateID {
-		k := key(states)
+		k := stateSetKey(states)
 		if id, ok := ids[k]; ok {
 			return id
 		}
-		names := make([]string, len(states))
-		var labels []Proposition
-		var partNames []string
-		for i, s := range states {
-			names[i] = parts[i].states[s].name
-			labels = append(labels, parts[i].states[s].labels...)
-			partNames = append(partNames, parts[i].states[s].parts...)
-		}
-		id := c.MustAddState(uniqueName(c, strings.Join(names, "|")), labels...)
-		c.states[id].parts = partNames
+		id := addComposedTupleState(c, parts, states)
 		ids[k] = id
 		queue = append(queue, append([]StateID(nil), states...))
 		return id
 	}
 
-	// Initial tuples: cartesian product of initial state sets.
-	var initTuples [][]StateID
-	initTuples = append(initTuples, nil)
-	for _, p := range parts {
-		var next [][]StateID
-		for _, t := range initTuples {
-			for _, q := range p.initial {
-				next = append(next, append(append([]StateID(nil), t...), q))
-			}
-		}
-		initTuples = next
-	}
-	for _, t := range initTuples {
+	for _, t := range initialTuples(parts) {
 		c.MarkInitial(addTuple(t))
 	}
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		from := ids[key(cur)]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		from := ids[stateSetKey(cur)]
 		// Enumerate joint transitions: one transition per part.
 		var choose func(i int, chosen []Transition)
 		choose = func(i int, chosen []Transition) {
@@ -235,7 +456,38 @@ func ComposeAll(name string, parts ...*Automaton) (*Automaton, error) {
 		}
 		choose(0, nil)
 	}
-	return c, nil
+}
+
+// addComposedTupleState adds the n-ary product state for the given leaf
+// state tuple with joined name, labels, and provenance.
+func addComposedTupleState(c *Automaton, parts []*Automaton, states []StateID) StateID {
+	names := make([]string, len(states))
+	var labels []Proposition
+	var partNames []string
+	for i, s := range states {
+		names[i] = parts[i].states[s].name
+		labels = append(labels, parts[i].states[s].labels...)
+		partNames = append(partNames, parts[i].states[s].parts...)
+	}
+	id := c.MustAddState(uniqueName(c, strings.Join(names, "|")), labels...)
+	c.states[id].parts = partNames
+	return id
+}
+
+// initialTuples returns the cartesian product of the parts' initial state
+// sets, in deterministic order.
+func initialTuples(parts []*Automaton) [][]StateID {
+	tuples := [][]StateID{nil}
+	for _, p := range parts {
+		var next [][]StateID
+		for _, t := range tuples {
+			for _, q := range p.initial {
+				next = append(next, append(append([]StateID(nil), t...), q))
+			}
+		}
+		tuples = next
+	}
+	return tuples
 }
 
 // Leaves returns the names of the leaf automata of a (possibly composed)
@@ -317,13 +569,25 @@ func (p ProjectedRun) String() string {
 	return b.String()
 }
 
+// uniqueName returns base, or base with the first free "#n" suffix when the
+// base name is taken. A per-automaton next-suffix counter per base avoids
+// re-probing "#2, #3, …" from scratch on every collision.
 func uniqueName(a *Automaton, base string) string {
 	if _, ok := a.index[base]; !ok {
 		return base
 	}
-	for i := 2; ; i++ {
+	if a.nameSeq == nil {
+		a.nameSeq = make(map[string]int)
+	}
+	i := a.nameSeq[base]
+	if i < 2 {
+		i = 2
+	}
+	for {
 		candidate := fmt.Sprintf("%s#%d", base, i)
+		i++
 		if _, ok := a.index[candidate]; !ok {
+			a.nameSeq[base] = i
 			return candidate
 		}
 	}

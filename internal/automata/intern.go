@@ -1,0 +1,150 @@
+package automata
+
+import "math/bits"
+
+// This file implements interaction interning: a dense integer encoding of
+// SignalSet and Interaction values over a fixed, small alphabet. The hot
+// algorithms of this package (parallel composition, chaotic closure,
+// refinement) spend most of their time in Union/Intersect/Equal over sorted
+// []Signal slices; with interning those become single machine-word bitwise
+// operations, and each distinct label is materialized as a SignalSet or
+// Interaction at most once per interner.
+//
+// Interning is internal to the algorithms: the public API keeps the sorted
+// immutable SignalSet as its boundary type, and every algorithm retains a
+// slice-based fallback for alphabets wider than an interner supports.
+
+// SetMask is the bitset encoding of a SignalSet under an Interner: bit i is
+// set iff the i-th alphabet signal (in canonical sorted order) is a member.
+type SetMask uint64
+
+// maxInternSignals bounds the alphabet an Interner can encode. One machine
+// word keeps every hot-path operation a single instruction; alphabets in
+// this domain (ports of Mechatronic UML roles) have a handful of signals.
+const maxInternSignals = 64
+
+// InternKey identifies an Interaction under an Interner: the input and
+// output set masks. Distinct interactions have distinct keys, so InternKey
+// is a valid (and allocation-free) map key.
+type InternKey struct {
+	In, Out SetMask
+}
+
+// Interner maps signals of one fixed alphabet to bit positions, and caches
+// the canonical SignalSet / Interaction value for every mask it has seen,
+// so decoding a mask back to the boundary types costs one map hit after
+// first use.
+type Interner struct {
+	signals []Signal       // canonical (sorted) alphabet; index = bit
+	index   map[Signal]int // signal -> bit
+	sets    map[SetMask]SignalSet
+	labels  map[InternKey]Interaction
+}
+
+// NewInterner builds an interner over the union of the given alphabets.
+// The second result is false when the union exceeds the supported width
+// (64 signals); callers must then use the slice-based fallback paths.
+func NewInterner(alphabets ...SignalSet) (*Interner, bool) {
+	union := EmptySet
+	for _, a := range alphabets {
+		union = union.Union(a)
+	}
+	if union.Len() > maxInternSignals {
+		return nil, false
+	}
+	in := &Interner{
+		signals: union.signals,
+		index:   make(map[Signal]int, union.Len()),
+		sets:    make(map[SetMask]SignalSet),
+		labels:  make(map[InternKey]Interaction),
+	}
+	for i, sig := range in.signals {
+		in.index[sig] = i
+	}
+	// The empty set is by far the most common label component.
+	in.sets[0] = EmptySet
+	return in, true
+}
+
+// Mask encodes the set as a bitset. The second result is false when the set
+// contains a signal outside the interner's alphabet.
+func (in *Interner) Mask(s SignalSet) (SetMask, bool) {
+	var m SetMask
+	for _, sig := range s.signals {
+		i, ok := in.index[sig]
+		if !ok {
+			return 0, false
+		}
+		m |= 1 << uint(i)
+	}
+	return m, true
+}
+
+// Key encodes the interaction. The second result is false when a signal
+// falls outside the interner's alphabet.
+func (in *Interner) Key(x Interaction) (InternKey, bool) {
+	a, ok := in.Mask(x.In)
+	if !ok {
+		return InternKey{}, false
+	}
+	b, ok := in.Mask(x.Out)
+	if !ok {
+		return InternKey{}, false
+	}
+	return InternKey{In: a, Out: b}, true
+}
+
+// Set decodes a mask into its canonical SignalSet. Decoded sets are cached,
+// so repeated decodes of the same mask share one allocation.
+func (in *Interner) Set(m SetMask) SignalSet {
+	if s, ok := in.sets[m]; ok {
+		return s
+	}
+	signals := make([]Signal, 0, bits.OnesCount64(uint64(m)))
+	for rest := m; rest != 0; rest &= rest - 1 {
+		signals = append(signals, in.signals[bits.TrailingZeros64(uint64(rest))])
+	}
+	s := SignalSet{signals: signals}
+	in.sets[m] = s
+	return s
+}
+
+// Label decodes a key into its canonical Interaction, cached like Set.
+func (in *Interner) Label(k InternKey) Interaction {
+	if x, ok := in.labels[k]; ok {
+		return x
+	}
+	x := Interaction{In: in.Set(k.In), Out: in.Set(k.Out)}
+	in.labels[k] = x
+	return x
+}
+
+// maskedTransition is a transition with its label pre-encoded, so BFS inner
+// loops compare and combine labels with word operations only.
+type maskedTransition struct {
+	in, out SetMask
+	to      StateID
+}
+
+// maskAdjacency encodes the automaton's adjacency lists under the interner.
+// The per-state transition order of the result matches TransitionsFrom
+// exactly, so algorithms switching between the fast and slow paths produce
+// identical outputs. Returns false if any label falls outside the alphabet.
+func maskAdjacency(a *Automaton, in *Interner) ([][]maskedTransition, bool) {
+	adj := make([][]maskedTransition, len(a.adj))
+	for s, ts := range a.adj {
+		if len(ts) == 0 {
+			continue
+		}
+		row := make([]maskedTransition, len(ts))
+		for i, t := range ts {
+			k, ok := in.Key(t.Label)
+			if !ok {
+				return nil, false
+			}
+			row[i] = maskedTransition{in: k.In, out: k.Out, to: t.To}
+		}
+		adj[s] = row
+	}
+	return adj, true
+}

@@ -1,0 +1,124 @@
+package automata
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in, ok := NewInterner(NewSignalSet("a", "c"), NewSignalSet("b", "d"))
+	if !ok {
+		t.Fatal("interner refused a 4-signal alphabet")
+	}
+	sets := []SignalSet{
+		EmptySet,
+		NewSignalSet("a"),
+		NewSignalSet("b", "c"),
+		NewSignalSet("a", "b", "c", "d"),
+	}
+	for _, s := range sets {
+		m, ok := in.Mask(s)
+		if !ok {
+			t.Fatalf("Mask(%v) rejected", s)
+		}
+		if got := in.Set(m); !got.Equal(s) {
+			t.Fatalf("Set(Mask(%v)) = %v", s, got)
+		}
+	}
+	// Decoded sets are canonical: repeated decodes share one value.
+	m, _ := in.Mask(NewSignalSet("b", "c"))
+	s1, s2 := in.Set(m), in.Set(m)
+	if &s1.signals[0] != &s2.signals[0] {
+		t.Fatal("repeated Set decode did not share the cached slice")
+	}
+}
+
+func TestInternerMaskOperationsMatchSetOperations(t *testing.T) {
+	a := NewSignalSet("x", "y")
+	b := NewSignalSet("y", "z")
+	in, ok := NewInterner(a, b)
+	if !ok {
+		t.Fatal("interner refused")
+	}
+	ma, _ := in.Mask(a)
+	mb, _ := in.Mask(b)
+	if got := in.Set(ma | mb); !got.Equal(a.Union(b)) {
+		t.Fatalf("union mask = %v, want %v", got, a.Union(b))
+	}
+	if got := in.Set(ma & mb); !got.Equal(a.Intersect(b)) {
+		t.Fatalf("intersect mask = %v, want %v", got, a.Intersect(b))
+	}
+	if got := in.Set(ma &^ mb); !got.Equal(a.Minus(b)) {
+		t.Fatalf("minus mask = %v, want %v", got, a.Minus(b))
+	}
+}
+
+func TestInternerRejectsForeignSignalsAndWideAlphabets(t *testing.T) {
+	in, ok := NewInterner(NewSignalSet("a"))
+	if !ok {
+		t.Fatal("interner refused singleton alphabet")
+	}
+	if _, ok := in.Mask(NewSignalSet("zz")); ok {
+		t.Fatal("Mask accepted a signal outside the alphabet")
+	}
+	if _, ok := in.Key(Interaction{In: NewSignalSet("zz")}); ok {
+		t.Fatal("Key accepted a signal outside the alphabet")
+	}
+
+	var wide []Signal
+	for i := 0; i < maxInternSignals+1; i++ {
+		wide = append(wide, Signal(fmt.Sprintf("s%03d", i)))
+	}
+	if _, ok := NewInterner(NewSignalSet(wide...)); ok {
+		t.Fatal("interner accepted a 65-signal alphabet")
+	}
+}
+
+func TestInternerLabelCaching(t *testing.T) {
+	in, _ := NewInterner(NewSignalSet("a"), NewSignalSet("b"))
+	x := Interaction{In: NewSignalSet("a"), Out: NewSignalSet("b")}
+	k, ok := in.Key(x)
+	if !ok {
+		t.Fatal("Key rejected in-alphabet interaction")
+	}
+	got := in.Label(k)
+	if got.Key() != x.Key() {
+		t.Fatalf("Label(Key(%v)) = %v", x, got)
+	}
+	// Distinct keys for distinct interactions.
+	k2, _ := in.Key(Interaction{Out: NewSignalSet("b")})
+	if k == k2 {
+		t.Fatal("distinct interactions share an intern key")
+	}
+}
+
+func TestMaskAdjacencyPreservesOrder(t *testing.T) {
+	a := New("m", NewSignalSet("i"), NewSignalSet("o"))
+	s0 := a.MustAddState("s0")
+	s1 := a.MustAddState("s1")
+	a.MarkInitial(s0)
+	a.MustAddTransition(s0, Interaction{In: NewSignalSet("i")}, s1)
+	a.MustAddTransition(s0, Interaction{Out: NewSignalSet("o")}, s0)
+	a.MustAddTransition(s1, Interaction{In: NewSignalSet("i"), Out: NewSignalSet("o")}, s0)
+
+	in, ok := NewInterner(a.Inputs(), a.Outputs())
+	if !ok {
+		t.Fatal("interner refused")
+	}
+	adj, ok := maskAdjacency(a, in)
+	if !ok {
+		t.Fatal("maskAdjacency rejected in-alphabet labels")
+	}
+	for s, ts := range adj {
+		want := a.TransitionsFrom(StateID(s))
+		if len(ts) != len(want) {
+			t.Fatalf("state %d: %d masked transitions, want %d", s, len(ts), len(want))
+		}
+		for i, mt := range ts {
+			k, _ := in.Key(want[i].Label)
+			if mt.in != k.In || mt.out != k.Out || mt.to != want[i].To {
+				t.Fatalf("state %d transition %d: masked %v, want %v", s, i, mt, want[i])
+			}
+		}
+	}
+}

@@ -69,6 +69,7 @@ func (m *Incomplete) Learn(run ObservedRun, labeler func(state string) []Proposi
 			return NoState, err
 		}
 		delta.States++
+		delta.NewStates = append(delta.NewStates, id)
 		return id, nil
 	}
 
@@ -94,6 +95,7 @@ func (m *Incomplete) Learn(run ObservedRun, labeler func(state string) []Proposi
 				return delta, err
 			}
 			delta.Transitions++
+			delta.NewTransitions = append(delta.NewTransitions, Transition{From: cur, Label: step.Label, To: next})
 		} else if succ := a.Successors(cur, step.Label); len(succ) != 1 || succ[0] != next {
 			return delta, fmt.Errorf("automata: learn step %d: %s at %q leads to %q, conflicting with earlier observation",
 				i, step.Label, a.StateName(cur), step.To)
@@ -107,22 +109,47 @@ func (m *Incomplete) Learn(run ObservedRun, labeler func(state string) []Proposi
 				return delta, err
 			}
 			delta.Blocked++
+			delta.NewBlocked = append(delta.NewBlocked, BlockedEntry{State: cur, Label: *run.Blocked})
 		}
 	}
 	return delta, nil
 }
 
-// LearnDelta quantifies what a Learn call added to the model.
+// BlockedEntry is one element of T̄ added by learning: the interaction the
+// implementation refused at the state.
+type BlockedEntry struct {
+	State StateID
+	Label Interaction
+}
+
+// LearnDelta quantifies and enumerates what a Learn call added to the
+// model. The New* slices carry the concrete additions so that incremental
+// consumers (IncrementalSystem) can patch derived structures instead of
+// rebuilding them.
 type LearnDelta struct {
 	States      int
 	Transitions int
 	Blocked     int
+
+	NewStates      []StateID
+	NewTransitions []Transition
+	NewBlocked     []BlockedEntry
 }
 
 // Empty reports whether the learn step added nothing — i.e. the
 // observation was already fully contained in the model.
 func (d LearnDelta) Empty() bool {
 	return d.States == 0 && d.Transitions == 0 && d.Blocked == 0
+}
+
+// Merge accumulates another delta into d.
+func (d *LearnDelta) Merge(o LearnDelta) {
+	d.States += o.States
+	d.Transitions += o.Transitions
+	d.Blocked += o.Blocked
+	d.NewStates = append(d.NewStates, o.NewStates...)
+	d.NewTransitions = append(d.NewTransitions, o.NewTransitions...)
+	d.NewBlocked = append(d.NewBlocked, o.NewBlocked...)
 }
 
 // ObservationConforming checks Definition 10 against a reference

@@ -141,6 +141,20 @@ func Refines(impl, spec *Automaton) (bool, []Interaction, error) {
 		}{q, entry{states: specInit}})
 	}
 
+	// Enabled-set comparisons run on interned label keys when the combined
+	// alphabet fits an interner; identical semantics via string keys
+	// otherwise.
+	intern, useIntern := NewInterner(impl.inputs, impl.outputs, spec.inputs, spec.outputs)
+	enabledOK := func(s StateID, u []StateID) bool {
+		if useIntern {
+			return refusalInclusion(impl, spec, s, u, func(x Interaction) InternKey {
+				k, _ := intern.Key(x)
+				return k
+			})
+		}
+		return refusalInclusion(impl, spec, s, u, Interaction.Key)
+	}
+
 	check := func(s StateID, u []StateID, trace []Interaction) (bool, []Interaction) {
 		if len(u) == 0 {
 			return false, trace
@@ -155,23 +169,14 @@ func Refines(impl, spec *Automaton) (bool, []Interaction, error) {
 		if !labelOK {
 			return false, trace
 		}
-		// ⋂ enabled(s') over U must be within enabled(s).
-		common := enabledKeys(spec, u[0])
-		for _, sp := range u[1:] {
-			common = intersectKeys(common, enabledKeys(spec, sp))
-		}
-		mine := enabledKeys(impl, s)
-		for key := range common {
-			if _, ok := mine[key]; !ok {
-				return false, trace
-			}
+		if !enabledOK(s, u) {
+			return false, trace
 		}
 		return true, nil
 	}
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		key := node{cur.s, stateSetKey(cur.e.states)}
 		if _, ok := visited[key]; ok {
 			continue
@@ -199,22 +204,37 @@ func Refines(impl, spec *Automaton) (bool, []Interaction, error) {
 	return true, nil, nil
 }
 
-func enabledKeys(a *Automaton, s StateID) map[string]struct{} {
-	keys := make(map[string]struct{})
-	for _, t := range a.TransitionsFrom(s) {
-		keys[t.Label.Key()] = struct{}{}
-	}
-	return keys
-}
-
-func intersectKeys(a, b map[string]struct{}) map[string]struct{} {
-	out := make(map[string]struct{})
-	for k := range a {
-		if _, ok := b[k]; ok {
-			out[k] = struct{}{}
+// refusalInclusion checks condition (2) at pair (s, U): the intersection
+// ⋂_{s'∈U} enabled(s') must be within enabled(s). Generic over the label key
+// type so it runs on interned keys when available and string keys otherwise.
+func refusalInclusion[K comparable](impl, spec *Automaton, s StateID, u []StateID, key func(Interaction) K) bool {
+	common := enabledKeySet(spec, u[0], key)
+	for _, sp := range u[1:] {
+		if len(common) == 0 {
+			break
+		}
+		next := enabledKeySet(spec, sp, key)
+		for k := range common {
+			if _, ok := next[k]; !ok {
+				delete(common, k)
+			}
 		}
 	}
-	return out
+	mine := enabledKeySet(impl, s, key)
+	for k := range common {
+		if _, ok := mine[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func enabledKeySet[K comparable](a *Automaton, s StateID, key func(Interaction) K) map[K]struct{} {
+	keys := make(map[K]struct{}, len(a.adj[s]))
+	for _, t := range a.adj[s] {
+		keys[key(t.Label)] = struct{}{}
+	}
+	return keys
 }
 
 func normalizeStates(states []StateID) []StateID {

@@ -132,9 +132,8 @@ func StateCover(a *automata.Automaton, alphabet []automata.SignalSet) map[automa
 	init := a.Initial()[0]
 	cover[init] = Word{}
 	queue := []automata.StateID{init}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, in := range alphabet {
 			t, ok := stepDeterministic(a, s, in)
 			if !ok {
@@ -204,9 +203,8 @@ func distinguishingWord(a *automata.Automaton, s, t automata.StateID, alphabet [
 	}
 	visited := map[pair]struct{}{{s, t}: {}}
 	queue := []entry{{p: pair{s, t}}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, in := range alphabet {
 			ts, okS := stepDeterministic(a, cur.p.s, in)
 			tt, okT := stepDeterministic(a, cur.p.t, in)
@@ -324,9 +322,8 @@ func Equivalent(a, b *automata.Automaton, alphabet []automata.SignalSet) (bool, 
 		w Word
 	}
 	queue := []entry{{p: start}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, in := range alphabet {
 			ta, okA := stepDeterministic(a, cur.p.s, in)
 			tb, okB := stepDeterministic(b, cur.p.t, in)

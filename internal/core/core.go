@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"muml/internal/automata"
 	"muml/internal/ctl"
@@ -114,6 +115,15 @@ type Options struct {
 	// Labeler assigns propositions to learned state names. Defaults to
 	// QualifiedLabeler(interface name).
 	Labeler func(state string) []automata.Proposition
+	// DisableIncremental forces a from-scratch chaotic closure and
+	// composition every iteration instead of patching the previous
+	// iteration's system (the pre-incremental behavior; kept for
+	// benchmarking and as an escape hatch).
+	DisableIncremental bool
+	// CheckIncremental validates every incrementally patched system
+	// against a from-scratch rebuild and fails the run on divergence.
+	// Expensive; intended for differential tests.
+	CheckIncremental bool
 	// Log receives progress lines; nil disables logging.
 	Log func(format string, args ...any)
 }
@@ -219,6 +229,13 @@ type Iteration struct {
 
 	// Delta is what this iteration's learning added.
 	Delta automata.LearnDelta
+
+	// Patched reports that this iteration's system was produced by
+	// patching the previous iteration's closure and product in place
+	// (false on the first iteration and on rebuild fallbacks).
+	Patched bool
+	// Per-phase wall-clock durations of this iteration.
+	ComposeDuration, CheckDuration, TestDuration time.Duration
 }
 
 // Stats aggregates effort measures across the run.
@@ -231,6 +248,17 @@ type Stats struct {
 	TransitionsLearned int
 	RefusalsLearned    int
 	PeakSystemStates   int
+
+	// ProductPatches and ProductRebuilds count how each iteration's
+	// verification system was obtained: by patching the previous
+	// iteration's closure and product, or by building from scratch (the
+	// first iteration always rebuilds).
+	ProductPatches  int
+	ProductRebuilds int
+	// Cumulative wall-clock time per phase across all iterations.
+	ComposeTime time.Duration
+	CheckTime   time.Duration
+	TestTime    time.Duration
 }
 
 // Report is the final result of a synthesis run.
@@ -261,6 +289,22 @@ type Synthesizer struct {
 
 	model *automata.Incomplete
 	stats Stats
+
+	// inc carries the composed system across iterations; nil until the
+	// first iteration, or permanently when unsupported/disabled.
+	inc            *automata.IncrementalSystem
+	incUnsupported bool
+	// pending is the learn delta accumulated since the last system
+	// construction, consumed by the next Apply.
+	pending automata.LearnDelta
+
+	// checker is reused (rebound) across iterations so its predecessor
+	// lists and fixpoint buffers amortize over the run.
+	checker *ctl.Checker
+	// weakProperty and noDeadlock are built once so the checker's
+	// per-formula satisfaction cache is keyed by stable pointers.
+	weakProperty ctl.Formula
+	noDeadlock   ctl.Formula
 }
 
 // New validates the inputs and prepares the initial model M_l^0 of
@@ -286,6 +330,10 @@ func New(context *automata.Automaton, comp legacy.Component, iface legacy.Interf
 	}
 
 	s := &Synthesizer{context: context, comp: comp, iface: iface, opts: o}
+	if o.Property != nil {
+		s.weakProperty = ctl.WeakenForChaos(o.Property)
+	}
+	s.noDeadlock = ctl.NoDeadlock()
 	init := legacy.InitialStateName(comp)
 	s.stats.ResetsUsed++
 	a := automata.New(iface.Name, iface.Inputs, iface.Outputs)
@@ -332,17 +380,23 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		ModelBlocked:     s.model.NumBlocked(),
 	}
 
-	closure := automata.ChaoticClosure(s.model, s.opts.Universe)
-	it.ClosureStates = closure.NumStates()
-	sys, err := automata.Compose("system", s.context, closure)
+	composeStart := time.Now()
+	sys, err := s.buildSystem(it)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: compose: %w", err)
+		return nil, false, err
 	}
-	it.SystemStates = sys.NumStates()
-	if sys.NumStates() > s.stats.PeakSystemStates {
-		s.stats.PeakSystemStates = sys.NumStates()
+	it.ComposeDuration = time.Since(composeStart)
+	s.stats.ComposeTime += it.ComposeDuration
+	if it.SystemStates > s.stats.PeakSystemStates {
+		s.stats.PeakSystemStates = it.SystemStates
 	}
-	checker := ctl.NewChecker(sys)
+	checkStart := time.Now()
+	if s.checker == nil {
+		s.checker = ctl.NewChecker(sys)
+	} else {
+		s.checker.Rebind(sys)
+	}
+	checker := s.checker
 
 	// Property check with chaos weakening (Section 2.7). With a
 	// counterexample batch > 1 several distinct violations are tested per
@@ -350,8 +404,8 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 	it.PropertyHolds = true
 	var results []ctl.Result
 	var kind ViolationKind
-	if s.opts.Property != nil {
-		many := checker.CheckMany(ctl.WeakenForChaos(s.opts.Property), s.opts.CounterexampleBatch)
+	if s.weakProperty != nil {
+		many := checker.CheckMany(s.weakProperty, s.opts.CounterexampleBatch)
 		if !many[0].Holds {
 			it.PropertyHolds = false
 			results = many
@@ -361,13 +415,15 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 	// Deadlock freedom.
 	it.DeadlockFree = true
 	if results == nil && !s.opts.SkipDeadlockCheck {
-		many := checker.CheckMany(ctl.NoDeadlock(), s.opts.CounterexampleBatch)
+		many := checker.CheckMany(s.noDeadlock, s.opts.CounterexampleBatch)
 		if !many[0].Holds {
 			it.DeadlockFree = false
 			results = many
 			kind = ViolationDeadlock
 		}
 	}
+	it.CheckDuration = time.Since(checkStart)
+	s.stats.CheckTime += it.CheckDuration
 
 	if results == nil {
 		// Both checks passed: M_a^c ‖ M_a^i ⊨ φ ∧ ¬δ, hence the property
@@ -378,6 +434,11 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		return it, true, nil
 	}
 
+	testStart := time.Now()
+	defer func() {
+		it.TestDuration = time.Since(testStart)
+		s.stats.TestTime += it.TestDuration
+	}()
 	for idx, res := range results {
 		cex := res.Counterexample
 		if cex == nil {
@@ -425,7 +486,64 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 	}
 	s.logf("iteration %d: learned +%d states +%d transitions +%d refusals",
 		index, it.Delta.States, it.Delta.Transitions, it.Delta.Blocked)
+	s.pending.Merge(it.Delta)
 	return it, false, nil
+}
+
+// buildSystem produces this iteration's verification system M_a^c ‖
+// chaos(M_l^i) — incrementally patched from the previous iteration's
+// system when possible, built from scratch otherwise — and fills the
+// iteration's size fields.
+func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
+	if !s.opts.DisableIncremental && !s.incUnsupported {
+		if s.inc == nil {
+			inc, err := automata.NewIncrementalSystem(s.context, s.model, s.opts.Universe)
+			switch {
+			case errors.Is(err, automata.ErrIncrementalUnsupported):
+				s.incUnsupported = true
+			case err != nil:
+				return nil, fmt.Errorf("core: compose: %w", err)
+			default:
+				s.inc = inc
+				s.stats.ProductRebuilds++
+			}
+		} else {
+			patched, err := s.inc.Apply(s.pending)
+			if err != nil {
+				return nil, fmt.Errorf("core: incremental compose: %w", err)
+			}
+			if patched {
+				it.Patched = true
+				s.stats.ProductPatches++
+			} else {
+				s.stats.ProductRebuilds++
+			}
+		}
+		if s.inc != nil {
+			s.pending = automata.LearnDelta{}
+			if s.opts.CheckIncremental {
+				if err := s.inc.Verify(); err != nil {
+					return nil, fmt.Errorf("core: incremental system diverged: %w", err)
+				}
+			}
+			it.ClosureStates = s.inc.Closure().NumStates()
+			// The patched product may hold unreachable retraction garbage;
+			// report the size a from-scratch composition would have.
+			it.SystemStates = s.inc.ReachableStates()
+			return s.inc.System(), nil
+		}
+	}
+
+	s.pending = automata.LearnDelta{}
+	closure := automata.ChaoticClosure(s.model, s.opts.Universe)
+	it.ClosureStates = closure.NumStates()
+	sys, err := automata.Compose("system", s.context, closure)
+	if err != nil {
+		return nil, fmt.Errorf("core: compose: %w", err)
+	}
+	it.SystemStates = sys.NumStates()
+	s.stats.ProductRebuilds++
+	return sys, nil
 }
 
 // testCounterexample executes the counterexample against the legacy
@@ -645,6 +763,7 @@ func (s *Synthesizer) blockOtherOutputs(state string, observed automata.Interact
 			return err
 		}
 		it.Delta.Blocked++
+		it.Delta.NewBlocked = append(it.Delta.NewBlocked, automata.BlockedEntry{State: id, Label: x})
 		s.stats.RefusalsLearned++
 	}
 	return nil
@@ -669,6 +788,7 @@ func (s *Synthesizer) blockAllOutputs(state string, in automata.SignalSet, it *I
 			return err
 		}
 		it.Delta.Blocked++
+		it.Delta.NewBlocked = append(it.Delta.NewBlocked, automata.BlockedEntry{State: id, Label: x})
 		s.stats.RefusalsLearned++
 	}
 	return nil
@@ -690,9 +810,7 @@ func (s *Synthesizer) contextStateAt(sys *automata.Automaton, composed automata.
 }
 
 func (s *Synthesizer) accumulate(delta automata.LearnDelta, it *Iteration) {
-	it.Delta.States += delta.States
-	it.Delta.Transitions += delta.Transitions
-	it.Delta.Blocked += delta.Blocked
+	it.Delta.Merge(delta)
 	s.stats.StatesLearned += delta.States
 	s.stats.TransitionsLearned += delta.Transitions
 	s.stats.RefusalsLearned += delta.Blocked

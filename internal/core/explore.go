@@ -46,9 +46,8 @@ func ExploreComponent(
 	queue := []node{{name: initName}}
 	visited := map[string]bool{initName: true}
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		from := a.State(cur.name)
 		for _, in := range inputs {
 			out, after, ok := probePath(comp, cur.path, in)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/railcab"
+)
+
+// runDifferential executes the synthesis twice — incrementally with
+// per-iteration patch verification, and with incremental construction
+// disabled — and asserts the two runs are observationally identical.
+// It returns the incremental report for scenario-specific assertions.
+func runDifferential(t *testing.T, comp func() legacy.Component, opts Options) *Report {
+	t.Helper()
+	incOpts := opts
+	incOpts.CheckIncremental = true
+	synth, err := New(railcab.FrontRole(), comp(),
+		railcab.RearInterface(railcab.RearRoleName), incOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scratchOpts := opts
+	scratchOpts.DisableIncremental = true
+	synth, err = New(railcab.FrontRole(), comp(),
+		railcab.RearInterface(railcab.RearRoleName), scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := EquivalentReports(incremental, scratch); err != nil {
+		t.Fatalf("incremental run diverges from from-scratch run: %v", err)
+	}
+	assertIncrementalStats(t, incremental)
+	return incremental
+}
+
+// assertIncrementalStats checks the construction accounting: every
+// iteration is either a patch or a rebuild, the first iteration is the one
+// rebuild, and multi-iteration runs take the incremental path on at least
+// 80% of iterations.
+func assertIncrementalStats(t *testing.T, report *Report) {
+	t.Helper()
+	s := report.Stats
+	if s.ProductPatches+s.ProductRebuilds != s.Iterations {
+		t.Fatalf("patches(%d) + rebuilds(%d) != iterations(%d)",
+			s.ProductPatches, s.ProductRebuilds, s.Iterations)
+	}
+	if s.ProductRebuilds != 1 {
+		t.Fatalf("expected exactly the initial rebuild, got %d rebuilds over %d iterations",
+			s.ProductRebuilds, s.Iterations)
+	}
+	for i, it := range report.Iterations {
+		if want := i > 0; it.Patched != want {
+			t.Fatalf("iteration %d: Patched = %v, want %v", i, it.Patched, want)
+		}
+	}
+	// The ≥80% criterion is only satisfiable once the run is long enough
+	// to amortize the mandatory initial build; shorter runs are covered by
+	// the stricter rebuilds==1 check above.
+	if s.Iterations >= 5 {
+		if frac := float64(s.ProductPatches) / float64(s.Iterations); frac < 0.8 {
+			t.Fatalf("incremental path taken on %.0f%% of iterations, want >= 80%%", frac*100)
+		}
+	}
+}
+
+func TestIncrementalMatchesRebuildProvenRun(t *testing.T) {
+	report := runDifferential(t,
+		func() legacy.Component { return &railcab.CorrectShuttle{} },
+		Options{Property: railcab.Constraint()})
+	if report.Verdict != VerdictProven {
+		t.Fatalf("verdict = %v/%v", report.Verdict, report.Kind)
+	}
+	if report.Stats.Iterations < 2 {
+		t.Fatalf("scenario too shallow to exercise patching: %d iterations", report.Stats.Iterations)
+	}
+}
+
+func TestIncrementalMatchesRebuildConstraintViolation(t *testing.T) {
+	report := runDifferential(t,
+		func() legacy.Component { return &railcab.EagerShuttle{} },
+		Options{Property: railcab.Constraint()})
+	if report.Verdict != VerdictViolation || report.Kind != ViolationConstraint {
+		t.Fatalf("verdict = %v/%v, want violation/constraint", report.Verdict, report.Kind)
+	}
+}
+
+func TestIncrementalMatchesRebuildDeadlockViolation(t *testing.T) {
+	report := runDifferential(t,
+		func() legacy.Component { return &railcab.BlockingShuttle{} },
+		Options{Property: railcab.Constraint()})
+	if report.Verdict != VerdictViolation || report.Kind != ViolationDeadlock {
+		t.Fatalf("verdict = %v/%v, want violation/deadlock", report.Verdict, report.Kind)
+	}
+}
+
+func TestIncrementalMatchesRebuildBoundedResponse(t *testing.T) {
+	runDifferential(t,
+		func() legacy.Component { return &railcab.CorrectShuttle{} },
+		Options{Property: ctl.And(railcab.Constraint(), breakDeadline())})
+}
+
+func TestIncrementalMatchesRebuildCounterexampleBatch(t *testing.T) {
+	runDifferential(t,
+		func() legacy.Component { return &railcab.CorrectShuttle{} },
+		Options{Property: railcab.Constraint(), CounterexampleBatch: 3})
+}
+
+func TestIncrementalMatchesRebuildPowerSetUniverse(t *testing.T) {
+	// The power-set universe produces wider chaos fans and different
+	// refusal patterns; the patch must track them identically.
+	runDifferential(t,
+		func() legacy.Component { return &railcab.CorrectShuttle{} },
+		Options{
+			Property: railcab.Constraint(),
+			Universe: automata.Universe(automata.UniversePowerSet),
+		})
+}

@@ -30,6 +30,13 @@ type MultiSynthesizer struct {
 
 	models []*automata.Incomplete
 	stats  Stats
+
+	// checker is reused across iterations (see Synthesizer.checker); the
+	// multi-component pipeline always rebuilds the product from scratch,
+	// but rebinding still amortizes the checker's internal buffers.
+	checker      *ctl.Checker
+	weakProperty ctl.Formula
+	noDeadlock   ctl.Formula
 }
 
 // MultiReport is the outcome of a multi-component synthesis run.
@@ -73,6 +80,10 @@ func NewMulti(context *automata.Automaton, comps []legacy.Component, ifaces []le
 	}
 
 	m := &MultiSynthesizer{context: context, comps: comps, ifaces: ifaces, opts: o}
+	if o.Property != nil {
+		m.weakProperty = ctl.WeakenForChaos(o.Property)
+	}
+	m.noDeadlock = ctl.NoDeadlock()
 	for i, comp := range comps {
 		init := legacy.InitialStateName(comp)
 		m.stats.ResetsUsed++
@@ -122,20 +133,26 @@ func (m *MultiSynthesizer) step(iter int) (bool, *MultiReport, bool, error) {
 	if sys.NumStates() > m.stats.PeakSystemStates {
 		m.stats.PeakSystemStates = sys.NumStates()
 	}
-	checker := ctl.NewChecker(sys)
+	m.stats.ProductRebuilds++
+	if m.checker == nil {
+		m.checker = ctl.NewChecker(sys)
+	} else {
+		m.checker.Rebind(sys)
+	}
+	checker := m.checker
 
 	var cex *automata.Run
 	kind := ViolationNone
 	runWitnessed := false
-	if m.opts.Property != nil {
-		if res := checker.Check(ctl.WeakenForChaos(m.opts.Property)); !res.Holds {
+	if m.weakProperty != nil {
+		if res := checker.Check(m.weakProperty); !res.Holds {
 			cex = res.Counterexample
 			kind = ViolationConstraint
 			runWitnessed = res.RunWitnessed
 		}
 	}
 	if cex == nil && !m.opts.SkipDeadlockCheck {
-		if res := checker.Check(ctl.NoDeadlock()); !res.Holds {
+		if res := checker.Check(m.noDeadlock); !res.Holds {
 			cex = res.Counterexample
 			kind = ViolationDeadlock
 		}

@@ -1,0 +1,62 @@
+package crossing
+
+import (
+	"testing"
+
+	"muml/internal/core"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+)
+
+// TestIncrementalMatchesRebuild runs the crossing scenarios through the
+// incremental pipeline (with per-iteration patch verification against a
+// from-scratch rebuild) and through the disabled-incremental pipeline, and
+// asserts both follow the same trajectory.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	scenarios := []struct {
+		name     string
+		comp     func() legacy.Component
+		property ctl.Formula
+	}{
+		{"swift-constraint", SwiftGate, Constraint()},
+		{"swift-deadline", SwiftGate, ctl.And(Constraint(), ClosureDeadline())},
+		{"sluggish-deadline", SluggishGate, ctl.And(Constraint(), ClosureDeadline())},
+		{"stuck-constraint", StuckGate, Constraint()},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			synth, err := core.New(TrainRole(), sc.comp(), GateInterface(),
+				core.Options{Property: sc.property, CheckIncremental: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			incremental, err := synth.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			synth, err = core.New(TrainRole(), sc.comp(), GateInterface(),
+				core.Options{Property: sc.property, DisableIncremental: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch, err := synth.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if err := core.EquivalentReports(incremental, scratch); err != nil {
+				t.Fatalf("incremental run diverges from from-scratch run: %v", err)
+			}
+			s := incremental.Stats
+			if s.ProductPatches+s.ProductRebuilds != s.Iterations {
+				t.Fatalf("patches(%d) + rebuilds(%d) != iterations(%d)",
+					s.ProductPatches, s.ProductRebuilds, s.Iterations)
+			}
+			if s.ProductRebuilds != 1 {
+				t.Fatalf("expected exactly the initial rebuild, got %d over %d iterations",
+					s.ProductRebuilds, s.Iterations)
+			}
+		})
+	}
+}

@@ -8,11 +8,18 @@ import (
 
 // Checker evaluates CCTL formulas over one automaton (typically a parallel
 // composition). It caches satisfaction sets per subformula, so evaluating
-// several formulas over the same automaton reuses work.
+// several formulas over the same automaton reuses work. A checker can be
+// Rebound when the automaton changes, keeping its allocations (predecessor
+// lists, fixpoint buffers, worklists) across verification rounds.
 type Checker struct {
-	auto *automata.Automaton
-	sat  map[Formula][]bool
-	pred [][]automata.Transition // reverse adjacency, built lazily
+	auto      *automata.Automaton
+	sat       map[Formula][]bool
+	pred      [][]automata.Transition // reverse adjacency, built lazily
+	predBuilt bool
+
+	boolPool [][]bool           // scratch layers for the bounded operators
+	intPool  [][]int            // remaining-successor counters
+	queue    []automata.StateID // reused BFS worklist
 }
 
 // NewChecker creates a checker for the automaton.
@@ -20,8 +27,55 @@ func NewChecker(a *automata.Automaton) *Checker {
 	return &Checker{auto: a, sat: make(map[Formula][]bool)}
 }
 
+// Rebind points the checker at an automaton that has changed (grown in
+// place or replaced). Cached satisfaction sets are dropped — they are
+// indexed by state and stale after any mutation — but the predecessor
+// lists, scratch buffers, and worklists keep their capacity, so repeated
+// verification rounds over a growing system avoid most reallocation.
+func (c *Checker) Rebind(a *automata.Automaton) {
+	c.auto = a
+	clear(c.sat)
+	c.predBuilt = false
+}
+
 // Automaton returns the automaton under analysis.
 func (c *Checker) Automaton() *automata.Automaton { return c.auto }
+
+// getBool borrows an n-sized false-initialized scratch slice.
+func (c *Checker) getBool(n int) []bool {
+	if k := len(c.boolPool); k > 0 {
+		buf := c.boolPool[k-1]
+		c.boolPool = c.boolPool[:k-1]
+		if cap(buf) >= n {
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]bool, n)
+}
+
+func (c *Checker) putBool(buf []bool) {
+	c.boolPool = append(c.boolPool, buf)
+}
+
+// getInt borrows an n-sized zero-initialized counter slice.
+func (c *Checker) getInt(n int) []int {
+	if k := len(c.intPool); k > 0 {
+		buf := c.intPool[k-1]
+		c.intPool = c.intPool[:k-1]
+		if cap(buf) >= n {
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]int, n)
+}
+
+func (c *Checker) putInt(buf []int) {
+	c.intPool = append(c.intPool, buf)
+}
 
 // Holds reports whether the formula holds in every initial state
 // (M ⊨ φ).
@@ -170,15 +224,14 @@ func (c *Checker) preSome(x []bool) []bool {
 func (c *Checker) unboundedEF(f []bool) []bool {
 	out := clone(f)
 	c.buildPred()
-	var queue []automata.StateID
+	queue := c.queue[:0]
 	for i, ok := range out {
 		if ok {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range c.pred[s] {
 			if !out[t.From] {
 				out[t.From] = true
@@ -186,6 +239,7 @@ func (c *Checker) unboundedEF(f []bool) []bool {
 			}
 		}
 	}
+	c.queue = queue
 	return out
 }
 
@@ -195,18 +249,17 @@ func (c *Checker) unboundedEF(f []bool) []bool {
 func (c *Checker) unboundedAF(f []bool) []bool {
 	n := c.auto.NumStates()
 	out := clone(f)
-	remaining := make([]int, n) // successors not yet in the set
+	remaining := c.getInt(n) // successors not yet in the set
 	c.buildPred()
-	var queue []automata.StateID
+	queue := c.queue[:0]
 	for i := 0; i < n; i++ {
 		remaining[i] = len(c.auto.TransitionsFrom(automata.StateID(i)))
 		if out[i] {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range c.pred[s] {
 			remaining[t.From]--
 			if !out[t.From] && remaining[t.From] == 0 &&
@@ -216,6 +269,8 @@ func (c *Checker) unboundedAF(f []bool) []bool {
 			}
 		}
 	}
+	c.queue = queue
+	c.putInt(remaining)
 	return out
 }
 
@@ -275,15 +330,14 @@ func (c *Checker) unboundedEG(f []bool) []bool {
 func (c *Checker) unboundedEU(f, g []bool) []bool {
 	out := clone(g)
 	c.buildPred()
-	var queue []automata.StateID
+	queue := c.queue[:0]
 	for i, ok := range out {
 		if ok {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range c.pred[s] {
 			if !out[t.From] && f[t.From] {
 				out[t.From] = true
@@ -291,6 +345,7 @@ func (c *Checker) unboundedEU(f, g []bool) []bool {
 			}
 		}
 	}
+	c.queue = queue
 	return out
 }
 
@@ -298,18 +353,17 @@ func (c *Checker) unboundedEU(f, g []bool) []bool {
 func (c *Checker) unboundedAU(f, g []bool) []bool {
 	n := c.auto.NumStates()
 	out := clone(g)
-	remaining := make([]int, n)
+	remaining := c.getInt(n)
 	c.buildPred()
-	var queue []automata.StateID
+	queue := c.queue[:0]
 	for i := 0; i < n; i++ {
 		remaining[i] = len(c.auto.TransitionsFrom(automata.StateID(i)))
 		if out[i] {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range c.pred[s] {
 			remaining[t.From]--
 			if !out[t.From] && remaining[t.From] == 0 && f[t.From] &&
@@ -319,6 +373,8 @@ func (c *Checker) unboundedAU(f, g []bool) []bool {
 			}
 		}
 	}
+	c.queue = queue
+	c.putInt(remaining)
 	return out
 }
 
@@ -327,8 +383,8 @@ func (c *Checker) unboundedAU(f, g []bool) []bool {
 // ∀succ ok(succ, j+1)). The result is ok(·, 0).
 func (c *Checker) boundedAF(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
-	next := make([]bool, n) // ok(·, j+1); starts as j = hi layer input
-	cur := make([]bool, n)
+	next := c.getBool(n) // ok(·, j+1); starts as j = hi layer input
+	cur := c.getBool(n)
 	for j := b.Hi; j >= 0; j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
@@ -350,15 +406,18 @@ func (c *Checker) boundedAF(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur // cur becomes scratch; next holds layer j
 	}
-	return clone(next)
+	out := clone(next)
+	c.putBool(next)
+	c.putBool(cur)
+	return out
 }
 
 // boundedEF computes EF[lo,hi] f analogously: ex(s,j) ⇔ (j ≥ lo ∧ f(s)) ∨
 // (j < hi ∧ ∃succ ex(succ, j+1)).
 func (c *Checker) boundedEF(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
-	next := make([]bool, n)
-	cur := make([]bool, n)
+	next := c.getBool(n)
+	cur := c.getBool(n)
 	for j := b.Hi; j >= 0; j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
@@ -374,7 +433,10 @@ func (c *Checker) boundedEF(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur
 	}
-	return clone(next)
+	out := clone(next)
+	c.putBool(next)
+	c.putBool(cur)
+	return out
 }
 
 // boundedAG computes AG[lo,hi] f: ag(s,j) ⇔ (j < lo ∨ f(s)) ∧ (j ≥ hi ∨
@@ -382,8 +444,8 @@ func (c *Checker) boundedEF(f []bool, b Bound) []bool {
 // the remainder.
 func (c *Checker) boundedAG(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
-	next := trues(n)
-	cur := make([]bool, n)
+	next := fillTrue(c.getBool(n))
+	cur := c.getBool(n)
 	for j := b.Hi; j >= 0; j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
@@ -400,15 +462,18 @@ func (c *Checker) boundedAG(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur
 	}
-	return clone(next)
+	out := clone(next)
+	c.putBool(next)
+	c.putBool(cur)
+	return out
 }
 
 // boundedEG computes EG[lo,hi] f: eg(s,j) ⇔ (j < lo ∨ f(s)) ∧ (j ≥ hi ∨
 // deadlock(s) ∨ ∃succ eg(succ, j+1)).
 func (c *Checker) boundedEG(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
-	next := trues(n)
-	cur := make([]bool, n)
+	next := fillTrue(c.getBool(n))
+	cur := c.getBool(n)
 	for j := b.Hi; j >= 0; j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
@@ -427,25 +492,47 @@ func (c *Checker) boundedEG(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur
 	}
-	return clone(next)
+	out := clone(next)
+	c.putBool(next)
+	c.putBool(cur)
+	return out
 }
 
+// buildPred (re)builds the reverse adjacency. After a Rebind the per-state
+// rows keep their backing arrays, so rebuilding over a grown automaton
+// mostly appends into existing capacity.
 func (c *Checker) buildPred() {
-	if c.pred != nil {
+	if c.predBuilt {
 		return
 	}
-	c.pred = make([][]automata.Transition, c.auto.NumStates())
-	for _, t := range c.auto.Transitions() {
-		c.pred[t.To] = append(c.pred[t.To], t)
+	n := c.auto.NumStates()
+	if cap(c.pred) < n {
+		grown := make([][]automata.Transition, n)
+		copy(grown, c.pred)
+		c.pred = grown
+	} else {
+		c.pred = c.pred[:n]
 	}
+	for i := range c.pred {
+		c.pred[i] = c.pred[i][:0]
+	}
+	for i := 0; i < n; i++ {
+		for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
+			c.pred[t.To] = append(c.pred[t.To], t)
+		}
+	}
+	c.predBuilt = true
 }
 
 func trues(n int) []bool {
-	out := make([]bool, n)
-	for i := range out {
-		out[i] = true
+	return fillTrue(make([]bool, n))
+}
+
+func fillTrue(x []bool) []bool {
+	for i := range x {
+		x[i] = true
 	}
-	return out
+	return x
 }
 
 func clone(x []bool) []bool {

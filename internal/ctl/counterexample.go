@@ -140,9 +140,8 @@ func (c *Checker) agCounterexample(f Formula) (*automata.Run, string, bool) {
 		queue = append(queue, q)
 	}
 	target := automata.NoState
-	for len(queue) > 0 && target == automata.NoState {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue) && target == automata.NoState; head++ {
+		s := queue[head]
 		if !sat[s] {
 			target = s
 			break

@@ -41,9 +41,8 @@ func (c *Checker) CheckMany(f Formula, max int) []Result {
 			queue = append(queue, q)
 		}
 	}
-	for len(queue) > 0 && targetsFound < max {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue) && targetsFound < max; head++ {
+		s := queue[head]
 		if !sat[s] {
 			run := reconstructPath(s, parent)
 			witnessed := isPropositional(inner)

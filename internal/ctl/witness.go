@@ -75,9 +75,8 @@ func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automa
 		visited[e] = struct{}{}
 		queue = append(queue, e)
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		if target[cur.s] && inWindow(cur.depth) {
 			return c.buildRun(cur, parent, parentEntry), nil
 		}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"muml/internal/core"
+	"muml/internal/crossing"
+	"muml/internal/railcab"
+)
+
+// IterationTiming is one iteration's phase breakdown.
+type IterationTiming struct {
+	Index     int   `json:"index"`
+	Patched   bool  `json:"patched"`
+	ComposeNS int64 `json:"compose_ns"`
+	CheckNS   int64 `json:"check_ns"`
+	TestNS    int64 `json:"test_ns"`
+	System    int   `json:"system_states"`
+}
+
+// RunTiming summarizes one synthesis run of a timing scenario.
+type RunTiming struct {
+	Mode       string            `json:"mode"` // "incremental" or "rebuild"
+	Verdict    string            `json:"verdict"`
+	Iterations []IterationTiming `json:"iterations"`
+	Patches    int               `json:"product_patches"`
+	Rebuilds   int               `json:"product_rebuilds"`
+	ComposeNS  int64             `json:"compose_ns"`
+	CheckNS    int64             `json:"check_ns"`
+	TestNS     int64             `json:"test_ns"`
+	WallNS     int64             `json:"wall_ns"`
+}
+
+// ScenarioTiming pairs the incremental and from-scratch runs of one
+// scenario.
+type ScenarioTiming struct {
+	Name        string    `json:"name"`
+	Incremental RunTiming `json:"incremental"`
+	Rebuild     RunTiming `json:"rebuild"`
+	// Speedup is rebuild wall time over incremental wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// TimingReport is the JSON document emitted by `experiments -timings`.
+type TimingReport struct {
+	Scenarios []ScenarioTiming `json:"scenarios"`
+}
+
+type timingScenario struct {
+	name  string
+	synth func(opts core.Options) (*core.Synthesizer, error)
+}
+
+func timingScenarios() []timingScenario {
+	return []timingScenario{
+		{"railcab-correct-proof", func(opts core.Options) (*core.Synthesizer, error) {
+			opts.Property = railcab.Constraint()
+			return core.New(railcab.FrontRole(), &railcab.CorrectShuttle{},
+				railcab.RearInterface(railcab.RearRoleName), opts)
+		}},
+		{"railcab-blocking-deadlock", func(opts core.Options) (*core.Synthesizer, error) {
+			opts.Property = railcab.Constraint()
+			return core.New(railcab.FrontRole(), &railcab.BlockingShuttle{},
+				railcab.RearInterface(railcab.RearRoleName), opts)
+		}},
+		{"crossing-swift-proof", func(opts core.Options) (*core.Synthesizer, error) {
+			opts.Property = crossing.Constraint()
+			return core.New(crossing.TrainRole(), crossing.SwiftGate(),
+				crossing.GateInterface(), opts)
+		}},
+		{"random-64-states", func(opts core.Options) (*core.Synthesizer, error) {
+			rng := rand.New(rand.NewSource(64))
+			sc := GenerateScenario(rng, 64, 2, 3)
+			return core.New(sc.Context, sc.Component, sc.Iface, opts)
+		}},
+	}
+}
+
+// CollectTimings runs each timing scenario with the incremental pipeline
+// and with from-scratch rebuilds, recording per-iteration phase durations
+// and the patch/rebuild accounting from core.Stats.
+func CollectTimings() (*TimingReport, error) {
+	report := &TimingReport{}
+	for _, sc := range timingScenarios() {
+		inc, err := timeRun(sc, core.Options{}, "incremental")
+		if err != nil {
+			return nil, fmt.Errorf("%s incremental: %w", sc.name, err)
+		}
+		reb, err := timeRun(sc, core.Options{DisableIncremental: true}, "rebuild")
+		if err != nil {
+			return nil, fmt.Errorf("%s rebuild: %w", sc.name, err)
+		}
+		entry := ScenarioTiming{Name: sc.name, Incremental: *inc, Rebuild: *reb}
+		if inc.WallNS > 0 {
+			entry.Speedup = float64(reb.WallNS) / float64(inc.WallNS)
+		}
+		report.Scenarios = append(report.Scenarios, entry)
+	}
+	return report, nil
+}
+
+func timeRun(sc timingScenario, opts core.Options, mode string) (*RunTiming, error) {
+	synth, err := sc.synth(opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := synth.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &RunTiming{
+		Mode:      mode,
+		Verdict:   rep.Verdict.String(),
+		Patches:   rep.Stats.ProductPatches,
+		Rebuilds:  rep.Stats.ProductRebuilds,
+		ComposeNS: rep.Stats.ComposeTime.Nanoseconds(),
+		CheckNS:   rep.Stats.CheckTime.Nanoseconds(),
+		TestNS:    rep.Stats.TestTime.Nanoseconds(),
+		WallNS:    time.Since(start).Nanoseconds(),
+	}
+	for _, it := range rep.Iterations {
+		out.Iterations = append(out.Iterations, IterationTiming{
+			Index:     it.Index,
+			Patched:   it.Patched,
+			ComposeNS: it.ComposeDuration.Nanoseconds(),
+			CheckNS:   it.CheckDuration.Nanoseconds(),
+			TestNS:    it.TestDuration.Nanoseconds(),
+			System:    it.SystemStates,
+		})
+	}
+	return out, nil
+}
+
+// MarshalTimings renders the report as indented JSON.
+func MarshalTimings(r *TimingReport) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

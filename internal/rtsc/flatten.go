@@ -123,9 +123,8 @@ func (c *Chart) Flatten(opts ...FlattenOption) (*automata.Automaton, error) {
 	initVal := make(map[Clock]int, len(clocks))
 	a.MarkInitial(addConfig(initLeaf, initVal))
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		from := ids[cur.cfg]
 		leaf := cur.cfg.leaf
 		v := cur.v
