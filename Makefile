@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench timings
+.PHONY: all check fmt vet build test race bench timings obs-smoke printcheck
 
 all: check
 
-check: fmt vet build race bench
+check: fmt vet printcheck build race bench obs-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -32,3 +32,22 @@ bench:
 # Regenerate the incremental-vs-rebuild timing report.
 timings:
 	$(GO) run ./cmd/experiments -timings BENCH_incremental.json
+
+# End-to-end journal check: run a full synthesis with -journal and
+# validate every emitted line against the event schema.
+obs-smoke:
+	@tmp="$$(mktemp)"; \
+	$(GO) run ./cmd/legint -scenario correct -journal "$$tmp" >/dev/null && \
+	$(GO) run ./cmd/obscheck "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+# All progress reporting goes through internal/obs; stray fmt.Print* in
+# internal/ (outside obs, trace, and tests) bypasses the journal.
+printcheck:
+	@out="$$(grep -rn 'fmt\.Print' internal/ --include='*.go' \
+		| grep -v '_test\.go' \
+		| grep -v '^internal/obs/' \
+		| grep -v '^internal/trace/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "fmt.Print* outside internal/obs and internal/trace:"; echo "$$out"; exit 1; \
+	fi

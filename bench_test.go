@@ -18,6 +18,7 @@ import (
 	"muml/internal/experiments"
 	"muml/internal/learning"
 	"muml/internal/legacy"
+	"muml/internal/obs"
 	"muml/internal/railcab"
 	"muml/internal/replay"
 )
@@ -175,12 +176,32 @@ func BenchmarkIncrementalVsRebuild(b *testing.B) {
 			}
 		}},
 	}
+	// Each leg runs with a private metrics registry and reports the
+	// observability counters as per-op benchmark metrics alongside ns/op.
+	instrumented := func(b *testing.B, opts core.Options, run func(*testing.B, core.Options)) {
+		reg := obs.NewRegistry()
+		automata.EnableObservability(nil, reg)
+		defer automata.DisableObservability()
+		opts.Metrics = reg
+		run(b, opts)
+		perOp := func(name string) float64 {
+			return float64(reg.Counter(name).Value()) / float64(b.N)
+		}
+		b.ReportMetric(perOp("automata.product_patches"), "patches/op")
+		b.ReportMetric(perOp("automata.product_rebuilds"), "rebuilds/op")
+		b.ReportMetric(perOp("ctl.fixpoint_iters"), "fixpoint-iters/op")
+		hits := reg.Counter("automata.intern_hits").Value()
+		misses := reg.Counter("automata.intern_misses").Value()
+		if hits+misses > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+misses), "intern-hit-rate")
+		}
+	}
 	for _, sc := range scenarios {
 		b.Run(sc.name+"/incremental", func(b *testing.B) {
-			sc.run(b, core.Options{})
+			instrumented(b, core.Options{}, sc.run)
 		})
 		b.Run(sc.name+"/rebuild", func(b *testing.B) {
-			sc.run(b, core.Options{DisableIncremental: true})
+			instrumented(b, core.Options{DisableIncremental: true}, sc.run)
 		})
 	}
 }

@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"os"
 
+	"muml/internal/automata"
 	"muml/internal/experiments"
+	"muml/internal/obs"
+	"muml/internal/replay"
 )
 
 func main() {
@@ -27,18 +30,40 @@ func main() {
 
 func run() error {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		runID    = flag.String("run", "", "run a single experiment by ID (e.g. E5)")
-		all      = flag.Bool("all", false, "run all experiments")
-		parallel = flag.Int("parallel", 1, "number of experiments to run concurrently (with -all)")
-		report   = flag.String("report", "", "write the markdown report to this file (with -all)")
-		timings  = flag.String("timings", "", "run the incremental-vs-rebuild timing scenarios and write per-iteration stats as JSON to this file")
+		list       = flag.Bool("list", false, "list available experiments")
+		runID      = flag.String("run", "", "run a single experiment by ID (e.g. E5)")
+		all        = flag.Bool("all", false, "run all experiments")
+		parallel   = flag.Int("parallel", 1, "number of experiments to run concurrently (with -all)")
+		report     = flag.String("report", "", "write the markdown report to this file (with -all)")
+		timings    = flag.String("timings", "", "run the incremental-vs-rebuild timing scenarios and write per-iteration stats as JSON to this file")
+		journal    = flag.String("journal", "", "write the structured run journal (JSONL) to this file")
+		metrics    = flag.Bool("metrics", false, "collect span timers and counters; print the table after the run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	run, err := obs.OpenRun(obs.RunOptions{
+		JournalPath: *journal,
+		Metrics:     *metrics,
+		CPUProfile:  *cpuProfile,
+		MemProfile:  *memProfile,
+	})
+	if err != nil {
+		return err
+	}
+	defer run.Close()
+	if run.Journal.Enabled() || run.Registry != nil {
+		automata.EnableObservability(run.Journal, run.Registry)
+		replay.EnableObservability(run.Registry)
+		defer automata.DisableObservability()
+		defer replay.DisableObservability()
+	}
+	defer run.DumpMetrics(os.Stderr)
+
 	switch {
 	case *timings != "":
-		rep, err := experiments.CollectTimings()
+		rep, err := experiments.CollectTimings(run.Journal, run.Registry)
 		if err != nil {
 			return err
 		}

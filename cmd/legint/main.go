@@ -7,6 +7,7 @@
 //	legint -scenario correct|eager|blocking [-verbose] [-paper-literal]
 //	legint -context ctx.json -legacy impl.json [-property "A[] not (a and b)"]
 //	legint ... -dump-model model.json
+//	legint ... -journal run.jsonl -metrics [-cpuprofile cpu.pprof]
 package main
 
 import (
@@ -18,7 +19,9 @@ import (
 	"muml/internal/core"
 	"muml/internal/ctl"
 	"muml/internal/legacy"
+	"muml/internal/obs"
 	"muml/internal/railcab"
+	"muml/internal/replay"
 	"muml/internal/trace"
 )
 
@@ -36,9 +39,13 @@ func run() error {
 		legacyFile  = flag.String("legacy", "", "JSON automaton file wrapped as the black-box legacy component")
 		property    = flag.String("property", "", "CCTL property to establish (default: RailCab constraint, or ¬δ only for custom models)")
 		dumpModel   = flag.String("dump-model", "", "write the final learned model (JSON) to this file")
-		verbose     = flag.Bool("verbose", false, "print counterexamples and replay traces per iteration")
+		verbose     = flag.Bool("verbose", false, "render the event journal (counterexamples, replay traces) to stdout")
 		literal     = flag.Bool("paper-literal", false, "restrict learning to Definitions 11-12 (ablation)")
 		multi       = flag.Bool("multi", false, "run the two-component demo instead (Section 7 extension)")
+		journalPath = flag.String("journal", "", "write the structured run journal (JSONL) to this file")
+		metrics     = flag.Bool("metrics", false, "collect span timers and counters; print the table after the run")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -98,15 +105,34 @@ func run() error {
 		}
 	}
 
+	obsOpts := obs.RunOptions{
+		JournalPath: *journalPath,
+		Metrics:     *metrics,
+		CPUProfile:  *cpuProfile,
+		MemProfile:  *memProfile,
+	}
+	if *verbose {
+		obsOpts.Extra = obs.NewTextSink(os.Stdout)
+	}
+	run, err := obs.OpenRun(obsOpts)
+	if err != nil {
+		return err
+	}
+	defer run.Close()
+	if run.Journal.Enabled() || run.Registry != nil {
+		automata.EnableObservability(run.Journal, run.Registry)
+		replay.EnableObservability(run.Registry)
+		defer automata.DisableObservability()
+		defer replay.DisableObservability()
+	}
+
 	opts := core.Options{
 		Property:             prop,
 		PaperLiteralLearning: *literal,
 		MaxIterations:        200,
-	}
-	if *verbose {
-		opts.Log = func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
-		}
+		Journal:              run.Journal,
+		Metrics:              run.Registry,
+		PhaseProfiling:       *cpuProfile != "",
 	}
 	synth, err := core.New(context, comp, iface, opts)
 	if err != nil {
@@ -134,12 +160,6 @@ func run() error {
 		}
 		fmt.Printf("  check failed (property=%v deadlock-free=%v); test outcome: %v\n",
 			it.PropertyHolds, it.DeadlockFree, it.Test)
-		if *verbose {
-			fmt.Printf("  counterexample:\n%s", indent(it.CounterexampleText))
-			if it.ReplayTrace != nil {
-				fmt.Printf("  replay trace:\n%s", indent(it.ReplayTrace.Render()))
-			}
-		}
 	}
 
 	fmt.Printf("\nverdict: %v", report.Verdict)
@@ -148,6 +168,10 @@ func run() error {
 	}
 	fmt.Printf("\nfinal learned model:\n%s", trace.RenderModel(report.Model))
 	fmt.Printf("\nstats: %+v\n", report.Stats)
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		run.DumpMetrics(os.Stdout)
+	}
 
 	if *dumpModel != "" {
 		data, err := automata.EncodeIncompleteJSON(report.Model)
@@ -223,19 +247,4 @@ func runMulti() error {
 		fmt.Printf("learned model of component %d:\n%s\n", i+1, trace.RenderModel(model))
 	}
 	return nil
-}
-
-func indent(s string) string {
-	out := ""
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			out += "    " + s[start:i+1]
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		out += "    " + s[start:] + "\n"
-	}
-	return out
 }

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"os"
 
+	"muml/internal/automata"
 	"muml/internal/ctl"
 	"muml/internal/muml"
+	"muml/internal/obs"
 	"muml/internal/railcab"
 	"muml/internal/trace"
 )
@@ -31,18 +33,35 @@ func main() {
 
 func run() error {
 	var (
-		pattern = flag.String("pattern", "railcab", "pattern to verify: railcab, railcab-delayed, railcab-entry")
-		delay   = flag.Int("delay", 1, "connector delay in time units (for delayed patterns)")
-		lossy   = flag.Bool("lossy", false, "lossy connector (for railcab-delayed)")
-		formula = flag.String("formula", "", "additional CCTL formula to check over the composition")
-		witness = flag.Bool("witness", false, "print a witness run for a satisfied existential -formula")
+		pattern    = flag.String("pattern", "railcab", "pattern to verify: railcab, railcab-delayed, railcab-entry")
+		delay      = flag.Int("delay", 1, "connector delay in time units (for delayed patterns)")
+		lossy      = flag.Bool("lossy", false, "lossy connector (for railcab-delayed)")
+		formula    = flag.String("formula", "", "additional CCTL formula to check over the composition")
+		witness    = flag.Bool("witness", false, "print a witness run for a satisfied existential -formula")
+		journal    = flag.String("journal", "", "write the structured run journal (JSONL) to this file")
+		metrics    = flag.Bool("metrics", false, "collect span timers and counters; print the table after the run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	var (
-		p   *muml.Pattern
-		err error
-	)
+	obsRun, err := obs.OpenRun(obs.RunOptions{
+		JournalPath: *journal,
+		Metrics:     *metrics,
+		CPUProfile:  *cpuProfile,
+		MemProfile:  *memProfile,
+	})
+	if err != nil {
+		return err
+	}
+	defer obsRun.Close()
+	if obsRun.Journal.Enabled() || obsRun.Registry != nil {
+		automata.EnableObservability(obsRun.Journal, obsRun.Registry)
+		defer automata.DisableObservability()
+	}
+	defer obsRun.DumpMetrics(os.Stderr)
+
+	var p *muml.Pattern
 	switch *pattern {
 	case "railcab":
 		p = railcab.Pattern()
@@ -73,6 +92,34 @@ func run() error {
 	}
 	fmt.Printf("\ncomposed system: %d states, %d transitions\n",
 		v.System.NumStates(), v.System.NumTransitions())
+	if j := obsRun.Journal; j.Enabled() {
+		satisfied := int64(0)
+		if v.Satisfied {
+			satisfied = 1
+		}
+		j.Emit(obs.Event{Kind: obs.KindCheckResult, Iter: -1, N: map[string]int64{
+			"satisfied":     satisfied,
+			"failures":      int64(len(v.Failures)),
+			"system_states": int64(v.System.NumStates()),
+		}, S: map[string]string{"pattern": p.Name}})
+		for _, f := range v.Failures {
+			ev := obs.Event{Kind: obs.KindCexClassified, Iter: -1, S: map[string]string{
+				"property":    f.Property.String(),
+				"description": f.Description,
+			}}
+			if f.Result.Counterexample != nil {
+				ev.S["trace"] = trace.RenderCounterexample(v.System, f.Result.Counterexample)
+			}
+			j.Emit(ev)
+		}
+		verdict := "proven"
+		if !v.Satisfied {
+			verdict = "violation"
+		}
+		j.Emit(obs.Event{Kind: obs.KindVerdict, Iter: -1, S: map[string]string{
+			"verdict": verdict, "pattern": p.Name,
+		}})
+	}
 
 	if *formula != "" {
 		f, err := ctl.Parse(*formula)

@@ -1,0 +1,51 @@
+// Command obscheck validates a structured run journal written with
+// -journal: every line must be a well-formed event of a known kind with
+// strictly increasing sequence numbers. It prints the event count on
+// success and exits non-zero on the first malformed line.
+//
+// Usage:
+//
+//	obscheck run.jsonl
+//	legint -journal /dev/stdout ... | obscheck -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"muml/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: obscheck <journal.jsonl | ->")
+	}
+	var r io.Reader
+	name := flag.Arg(0)
+	if name == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := obs.ValidateJSONL(r)
+	if err != nil {
+		return fmt.Errorf("obscheck: %s: %w", name, err)
+	}
+	fmt.Printf("%s: %d events ok\n", name, n)
+	return nil
+}

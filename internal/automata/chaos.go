@@ -63,6 +63,7 @@ const (
 // states s_all and s_delta are labeled with the chaos proposition χ only
 // (see ChaosProposition for how formulas are weakened accordingly).
 func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
+	obsClosureBuilds.Add(1)
 	src := m.auto
 	labels := universe.Enumerate(src.inputs, src.outputs)
 	c := New(src.name, src.inputs, src.outputs)

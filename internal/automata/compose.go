@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+
+	"muml/internal/obs"
 )
 
 // Compose builds the parallel composition M‖M' of Definition 3. The two
@@ -122,6 +124,7 @@ func composeFast(c, left, right *Automaton, in *Interner) bool {
 // addComposedPairState adds the product state (l, r) to c with the joined
 // name, labels, and leaf provenance.
 func addComposedPairState(c, left, right *Automaton, l, r StateID) StateID {
+	obsComposedStates.Add(1)
 	name := left.states[l].name + "|" + right.states[r].name
 	labels := append(append([]Proposition(nil), left.states[l].labels...), right.states[r].labels...)
 	id := c.MustAddState(uniqueName(c, name), labels...)
@@ -344,11 +347,30 @@ func composeAllFast(c *Automaton, parts []*Automaton, in *Interner) bool {
 		to StateID
 	}
 	seen := make(map[dupKey]struct{})
+	levelIndex := 0
 	for head := 0; head < len(queue); {
 		level := queue[head:]
 		head = len(queue)
 		results := make([][]jointEdge, len(level))
-		if len(level) >= parallelComposeLevelThreshold && workers > 1 {
+		parallel := len(level) >= parallelComposeLevelThreshold && workers > 1
+		obsComposeLevels.Add(1)
+		obsComposeFrontierPeak.Observe(int64(len(level)))
+		if parallel {
+			obsComposeParallelLevels.Add(1)
+		}
+		if obsJournal.Enabled() {
+			par := int64(0)
+			if parallel {
+				par = 1
+			}
+			obsJournal.Emit(obs.Event{Kind: obs.KindComposeLevel, Iter: -1, N: map[string]int64{
+				"level":    int64(levelIndex),
+				"frontier": int64(len(level)),
+				"parallel": par,
+			}})
+		}
+		levelIndex++
+		if parallel {
 			// Enumerate the level on a bounded worker pool. Enumeration
 			// only reads the immutable masked adjacency, so workers are
 			// race-free; the merge below is sequential and in level order,
@@ -461,6 +483,7 @@ func composeAllSlow(c *Automaton, parts []*Automaton) {
 // addComposedTupleState adds the n-ary product state for the given leaf
 // state tuple with joined name, labels, and provenance.
 func addComposedTupleState(c *Automaton, parts []*Automaton, states []StateID) StateID {
+	obsComposedStates.Add(1)
 	names := make([]string, len(states))
 	var labels []Proposition
 	var partNames []string

@@ -71,6 +71,10 @@ type IncrementalSystem struct {
 	reachable int         // reachable product states after the last build/patch
 
 	patches, rebuilds int
+	// lastPatched / lastReason record how the most recent Apply (or the
+	// initial construction) obtained the system, for observability.
+	lastPatched bool
+	lastReason  string
 }
 
 // NewIncrementalSystem builds the closure and product from scratch and
@@ -107,10 +111,21 @@ func NewIncrementalSystem(context *Automaton, model *Incomplete, universe Intera
 	}
 	ic.ctxOut, _ = in.Mask(context.outputs)
 	ic.closOut, _ = in.Mask(src.outputs)
+	ic.lastReason = "initial-build"
 	if err := ic.rebuild(); err != nil {
 		return nil, err
 	}
 	return ic, nil
+}
+
+// LastDecision reports how the most recent Apply (or the initial
+// construction) produced the system: whether it was patched in place, and
+// the reason — "delta-patch" or "empty-delta" for patches; for rebuilds
+// "initial-build", "initial-states-changed", "delta-state-mismatch",
+// "non-dense-state-ids", or "garbage-threshold" (why patching was not
+// possible).
+func (ic *IncrementalSystem) LastDecision() (patched bool, reason string) {
+	return ic.lastPatched, ic.lastReason
 }
 
 // System returns the maintained product automaton. It is mutated in place
@@ -180,6 +195,8 @@ func (ic *IncrementalSystem) rebuild() error {
 	}
 	ic.reachable = ic.product.NumStates()
 	ic.rebuilds++
+	ic.lastPatched = false
+	obsProductRebuilds.Add(1)
 	return nil
 }
 
@@ -249,23 +266,35 @@ const garbageRebuildSlack = 512
 // previous Apply (or since construction).
 func (ic *IncrementalSystem) Apply(delta LearnDelta) (bool, error) {
 	if delta.Empty() {
+		ic.lastPatched = true
+		ic.lastReason = "empty-delta"
 		return true, nil
 	}
 	src := ic.model.Automaton()
 	// Patching relies on the loop's growth-only discipline; anything else
 	// (initial-state changes, non-dense state additions, oversized garbage)
-	// falls back to a rebuild.
-	if len(src.initial) != ic.numModelInitials ||
-		len(ic.closed)+len(delta.NewStates) != src.NumStates() ||
-		len(ic.pairs) > 2*ic.reachable+garbageRebuildSlack {
+	// falls back to a rebuild. The named reason is surfaced via
+	// LastDecision for the journal's product_rebuilt events.
+	var rebuildReason string
+	switch {
+	case len(src.initial) != ic.numModelInitials:
+		rebuildReason = "initial-states-changed"
+	case len(ic.closed)+len(delta.NewStates) != src.NumStates():
+		rebuildReason = "delta-state-mismatch"
+	case len(ic.pairs) > 2*ic.reachable+garbageRebuildSlack:
+		rebuildReason = "garbage-threshold"
+	default:
+		for i, s := range delta.NewStates {
+			if int(s) != len(ic.closed)+i {
+				rebuildReason = "non-dense-state-ids"
+				break
+			}
+		}
+	}
+	if rebuildReason != "" {
+		ic.lastReason = rebuildReason
 		err := ic.rebuild()
 		return false, err
-	}
-	for i, s := range delta.NewStates {
-		if int(s) != len(ic.closed)+i {
-			err := ic.rebuild()
-			return false, err
-		}
 	}
 
 	// 1. Closure copies for new model states. A from-scratch closure
@@ -337,6 +366,9 @@ func (ic *IncrementalSystem) Apply(delta LearnDelta) (bool, error) {
 
 	ic.reachable = countReachable(ic.product)
 	ic.patches++
+	ic.lastPatched = true
+	ic.lastReason = "delta-patch"
+	obsProductPatches.Add(1)
 	return true, nil
 }
 

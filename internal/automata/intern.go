@@ -98,8 +98,10 @@ func (in *Interner) Key(x Interaction) (InternKey, bool) {
 // so repeated decodes of the same mask share one allocation.
 func (in *Interner) Set(m SetMask) SignalSet {
 	if s, ok := in.sets[m]; ok {
+		obsInternHits.Add(1)
 		return s
 	}
+	obsInternMisses.Add(1)
 	signals := make([]Signal, 0, bits.OnesCount64(uint64(m)))
 	for rest := m; rest != 0; rest &= rest - 1 {
 		signals = append(signals, in.signals[bits.TrailingZeros64(uint64(rest))])
@@ -112,8 +114,10 @@ func (in *Interner) Set(m SetMask) SignalSet {
 // Label decodes a key into its canonical Interaction, cached like Set.
 func (in *Interner) Label(k InternKey) Interaction {
 	if x, ok := in.labels[k]; ok {
+		obsInternHits.Add(1)
 		return x
 	}
+	obsInternMisses.Add(1)
 	x := Interaction{In: in.Set(k.In), Out: in.Set(k.Out)}
 	in.labels[k] = x
 	return x

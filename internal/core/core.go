@@ -35,6 +35,7 @@ import (
 	"muml/internal/automata"
 	"muml/internal/ctl"
 	"muml/internal/legacy"
+	"muml/internal/obs"
 	"muml/internal/replay"
 	"muml/internal/trace"
 )
@@ -124,8 +125,25 @@ type Options struct {
 	// against a from-scratch rebuild and fails the run on divergence.
 	// Expensive; intended for differential tests.
 	CheckIncremental bool
-	// Log receives progress lines; nil disables logging.
-	Log func(format string, args ...any)
+	// Journal receives the structured event stream of the run: one
+	// iteration_start per round, the build decision (closure_patched or
+	// product_rebuilt with its reason), check_result, and — when a
+	// counterexample is tested — cex_classified, replay_step,
+	// probe_result, and learn_delta, closed by a single verdict event.
+	// Nil disables journaling; every emission site is guarded so a
+	// disabled journal costs one branch and no allocation.
+	Journal *obs.Journal
+	// Metrics, when non-nil, receives the run's span timers
+	// (core.compose, core.check, core.replay, core.probe) and the bound
+	// checker's ctl.* counters. Callers typically also pass the same
+	// registry to automata.EnableObservability and
+	// replay.EnableObservability.
+	Metrics *obs.Registry
+	// PhaseProfiling attaches pprof goroutine labels (phase=compose,
+	// phase=check, phase=test) around the corresponding sections so CPU
+	// profiles captured with obs.StartCPUProfile attribute samples to
+	// loop phases.
+	PhaseProfiling bool
 }
 
 func (o *Options) withDefaults(ifaceName string) Options {
@@ -234,8 +252,16 @@ type Iteration struct {
 	// patching the previous iteration's closure and product in place
 	// (false on the first iteration and on rebuild fallbacks).
 	Patched bool
-	// Per-phase wall-clock durations of this iteration.
+	// BuildReason names why the system was patched or rebuilt
+	// ("delta-patch", "initial-build", "garbage-threshold", ...); see
+	// automata.IncrementalSystem.LastDecision.
+	BuildReason string
+	// Per-phase wall-clock durations of this iteration. TestDuration
+	// covers the whole counterexample-execution section; ReplayDuration
+	// (record + deterministic replay + learning) and ProbeDuration
+	// (deadlock-confirmation probes) break out its two black-box parts.
 	ComposeDuration, CheckDuration, TestDuration time.Duration
+	ReplayDuration, ProbeDuration                time.Duration
 }
 
 // Stats aggregates effort measures across the run.
@@ -256,9 +282,15 @@ type Stats struct {
 	ProductPatches  int
 	ProductRebuilds int
 	// Cumulative wall-clock time per phase across all iterations.
+	// TestTime covers the whole test phase; ReplayTime (record/replay
+	// executions and learning) and ProbeTime (deadlock-confirmation
+	// probes) split out the black-box effort the paper argues dominates
+	// on real targets, so ReplayTime+ProbeTime ≤ TestTime.
 	ComposeTime time.Duration
 	CheckTime   time.Duration
 	TestTime    time.Duration
+	ReplayTime  time.Duration
+	ProbeTime   time.Duration
 }
 
 // Report is the final result of a synthesis run.
@@ -305,6 +337,10 @@ type Synthesizer struct {
 	// per-formula satisfaction cache is keyed by stable pointers.
 	weakProperty ctl.Formula
 	noDeadlock   ctl.Formula
+
+	// Per-phase span timers registered in Options.Metrics (nil and
+	// therefore inert when no registry is configured).
+	tCompose, tCheck, tReplay, tProbe *obs.Timer
 }
 
 // New validates the inputs and prepares the initial model M_l^0 of
@@ -330,6 +366,10 @@ func New(context *automata.Automaton, comp legacy.Component, iface legacy.Interf
 	}
 
 	s := &Synthesizer{context: context, comp: comp, iface: iface, opts: o}
+	s.tCompose = o.Metrics.Timer("core.compose")
+	s.tCheck = o.Metrics.Timer("core.check")
+	s.tReplay = o.Metrics.Timer("core.replay")
+	s.tProbe = o.Metrics.Timer("core.probe")
 	if o.Property != nil {
 		s.weakProperty = ctl.WeakenForChaos(o.Property)
 	}
@@ -379,58 +419,96 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		ModelTransitions: s.model.Automaton().NumTransitions(),
 		ModelBlocked:     s.model.NumBlocked(),
 	}
+	if j := s.opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindIterationStart, Iter: index, N: map[string]int64{
+			"model_states":      int64(it.ModelStates),
+			"model_transitions": int64(it.ModelTransitions),
+			"model_blocked":     int64(it.ModelBlocked),
+		}})
+	}
 
 	composeStart := time.Now()
-	sys, err := s.buildSystem(it)
-	if err != nil {
+	var sys *automata.Automaton
+	if err := s.phase("compose", func() error {
+		var err error
+		sys, err = s.buildSystem(it)
+		return err
+	}); err != nil {
 		return nil, false, err
 	}
 	it.ComposeDuration = time.Since(composeStart)
 	s.stats.ComposeTime += it.ComposeDuration
+	s.tCompose.Observe(it.ComposeDuration)
 	if it.SystemStates > s.stats.PeakSystemStates {
 		s.stats.PeakSystemStates = it.SystemStates
 	}
-	checkStart := time.Now()
-	if s.checker == nil {
-		s.checker = ctl.NewChecker(sys)
-	} else {
-		s.checker.Rebind(sys)
+	if j := s.opts.Journal; j.Enabled() {
+		k := obs.KindProductRebuilt
+		if it.Patched {
+			k = obs.KindClosurePatched
+		}
+		j.Emit(obs.Event{Kind: k, Iter: index, DurNS: int64(it.ComposeDuration), N: map[string]int64{
+			"closure_states": int64(it.ClosureStates),
+			"system_states":  int64(it.SystemStates),
+		}, S: map[string]string{"reason": it.BuildReason}})
 	}
-	checker := s.checker
 
-	// Property check with chaos weakening (Section 2.7). With a
-	// counterexample batch > 1 several distinct violations are tested per
-	// round (the §7 optimization).
-	it.PropertyHolds = true
+	checkStart := time.Now()
 	var results []ctl.Result
 	var kind ViolationKind
-	if s.weakProperty != nil {
-		many := checker.CheckMany(s.weakProperty, s.opts.CounterexampleBatch)
-		if !many[0].Holds {
-			it.PropertyHolds = false
-			results = many
-			kind = ViolationConstraint
+	if err := s.phase("check", func() error {
+		if s.checker == nil {
+			s.checker = ctl.NewChecker(sys)
+			s.checker.Instrument(s.opts.Metrics)
+		} else {
+			s.checker.Rebind(sys)
 		}
-	}
-	// Deadlock freedom.
-	it.DeadlockFree = true
-	if results == nil && !s.opts.SkipDeadlockCheck {
-		many := checker.CheckMany(s.noDeadlock, s.opts.CounterexampleBatch)
-		if !many[0].Holds {
-			it.DeadlockFree = false
-			results = many
-			kind = ViolationDeadlock
+		checker := s.checker
+
+		// Property check with chaos weakening (Section 2.7). With a
+		// counterexample batch > 1 several distinct violations are tested
+		// per round (the §7 optimization).
+		it.PropertyHolds = true
+		if s.weakProperty != nil {
+			many := checker.CheckMany(s.weakProperty, s.opts.CounterexampleBatch)
+			if !many[0].Holds {
+				it.PropertyHolds = false
+				results = many
+				kind = ViolationConstraint
+			}
 		}
+		// Deadlock freedom.
+		it.DeadlockFree = true
+		if results == nil && !s.opts.SkipDeadlockCheck {
+			many := checker.CheckMany(s.noDeadlock, s.opts.CounterexampleBatch)
+			if !many[0].Holds {
+				it.DeadlockFree = false
+				results = many
+				kind = ViolationDeadlock
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, false, err
 	}
 	it.CheckDuration = time.Since(checkStart)
 	s.stats.CheckTime += it.CheckDuration
+	s.tCheck.Observe(it.CheckDuration)
+	if j := s.opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindCheckResult, Iter: index, DurNS: int64(it.CheckDuration), N: map[string]int64{
+			"property_holds":  b2i(it.PropertyHolds),
+			"deadlock_free":   b2i(it.DeadlockFree),
+			"system_states":   int64(sys.NumStates()),
+			"counterexamples": int64(len(results)),
+		}})
+	}
 
 	if results == nil {
 		// Both checks passed: M_a^c ‖ M_a^i ⊨ φ ∧ ¬δ, hence the property
 		// holds for the real integrated system (Lemma 5).
-		s.logf("iteration %d: property and deadlock freedom proven (|system|=%d)", index, sys.NumStates())
 		report.Verdict = VerdictProven
 		report.Kind = ViolationNone
+		s.emitVerdict(index, VerdictProven, ViolationNone, "checks-passed")
 		return it, true, nil
 	}
 
@@ -450,6 +528,18 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 			it.CexInLearnedPart = runAvoidsChaos(sys, cex)
 			it.CexRunWitnessed = res.RunWitnessed
 		}
+		if j := s.opts.Journal; j.Enabled() {
+			text := it.CounterexampleText
+			if idx != 0 {
+				text = trace.RenderCounterexample(sys, cex)
+			}
+			j.Emit(obs.Event{Kind: obs.KindCexClassified, Iter: index, N: map[string]int64{
+				"batch_index":     int64(idx),
+				"length":          int64(cex.Len()),
+				"in_learned_part": b2i(runAvoidsChaos(sys, cex)),
+				"run_witnessed":   b2i(res.RunWitnessed),
+			}, S: map[string]string{"kind": kind.String(), "trace": text}})
+		}
 
 		if kind == ViolationConstraint && runAvoidsChaos(sys, cex) && res.RunWitnessed {
 			// Fast conflict detection: the violation lies entirely in
@@ -460,34 +550,69 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 			// closed-copy state might refuse the continuation —
 			// additionally rest on refusal hypotheses and are tested even
 			// when no chaotic state is visited.
-			s.logf("iteration %d: constraint violated inside learned behavior — real conflict", index)
 			it.Test = TestNotRun
 			report.Verdict = VerdictViolation
 			report.Kind = ViolationConstraint
 			report.Witness = cex
 			report.WitnessSystem = sys
 			report.WitnessText = trace.RenderCounterexample(sys, cex)
+			s.emitVerdict(index, VerdictViolation, ViolationConstraint, "fast-conflict")
 			return it, true, nil
 		}
 
-		confirmed, err := s.testCounterexample(sys, cex, kind, it)
-		if err != nil {
+		var confirmed bool
+		if err := s.phase("test", func() error {
+			var err error
+			confirmed, err = s.testCounterexample(sys, cex, kind, it)
+			return err
+		}); err != nil {
 			return nil, false, err
 		}
 		if confirmed {
-			s.logf("iteration %d: counterexample confirmed on the implementation — real %s", index, kind)
 			report.Verdict = VerdictViolation
 			report.Kind = kind
 			report.Witness = cex
 			report.WitnessSystem = sys
 			report.WitnessText = trace.RenderCounterexample(sys, cex)
+			s.emitVerdict(index, VerdictViolation, kind, "test-confirmed")
 			return it, true, nil
 		}
 	}
-	s.logf("iteration %d: learned +%d states +%d transitions +%d refusals",
-		index, it.Delta.States, it.Delta.Transitions, it.Delta.Blocked)
+	if j := s.opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindLearnDelta, Iter: index, N: map[string]int64{
+			"states":      int64(it.Delta.States),
+			"transitions": int64(it.Delta.Transitions),
+			"blocked":     int64(it.Delta.Blocked),
+		}})
+	}
 	s.pending.Merge(it.Delta)
 	return it, false, nil
+}
+
+// phase runs f, attaching a pprof goroutine label when PhaseProfiling is
+// enabled so CPU samples attribute to the loop phase they serve.
+func (s *Synthesizer) phase(name string, f func() error) error {
+	if s.opts.PhaseProfiling {
+		return obs.WithPhase(name, f)
+	}
+	return f()
+}
+
+func (s *Synthesizer) emitVerdict(index int, v Verdict, kind ViolationKind, reason string) {
+	if j := s.opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindVerdict, Iter: index, S: map[string]string{
+			"verdict": v.String(),
+			"kind":    kind.String(),
+			"reason":  reason,
+		}})
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // buildSystem produces this iteration's verification system M_a^c ‖
@@ -520,6 +645,7 @@ func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
 			}
 		}
 		if s.inc != nil {
+			_, it.BuildReason = s.inc.LastDecision()
 			s.pending = automata.LearnDelta{}
 			if s.opts.CheckIncremental {
 				if err := s.inc.Verify(); err != nil {
@@ -535,6 +661,11 @@ func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
 	}
 
 	s.pending = automata.LearnDelta{}
+	if s.incUnsupported {
+		it.BuildReason = "incremental-unsupported"
+	} else {
+		it.BuildReason = "incremental-disabled"
+	}
 	closure := automata.ChaoticClosure(s.model, s.opts.Universe)
 	it.ClosureStates = closure.NumStates()
 	sys, err := automata.Compose("system", s.context, closure)
@@ -561,6 +692,7 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 
 	// Record with minimal probes, then replay with full instrumentation
 	// (Section 5).
+	replayStart := time.Now()
 	rec := replay.Record(s.comp, s.iface, inputs)
 	s.stats.TestsRun++
 	s.stats.ResetsUsed += 2
@@ -573,6 +705,16 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 
 	if err := s.learnObservation(observed, it); err != nil {
 		return false, err
+	}
+	replayDur := time.Since(replayStart)
+	it.ReplayDuration += replayDur
+	s.stats.ReplayTime += replayDur
+	s.tReplay.Observe(replayDur)
+	if j := s.opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindReplayStep, Iter: it.Index, DurNS: int64(replayDur), N: map[string]int64{
+			"periods":    int64(len(rec.Outputs)),
+			"blocked_at": int64(rec.BlockedAt),
+		}, S: map[string]string{"trace": trace.Render()}})
 	}
 
 	// Divergence: blocked early, or outputs departing from the
@@ -612,6 +754,13 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 // performs one probe step (Section 5's replay makes the repeated
 // re-execution deterministic); the reactions are learned.
 func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, rec replay.Recording, observed automata.ObservedRun, it *Iteration) (bool, error) {
+	probeStart := time.Now()
+	defer func() {
+		d := time.Since(probeStart)
+		it.ProbeDuration += d
+		s.stats.ProbeTime += d
+		s.tProbe.Observe(d)
+	}()
 	ctxState, err := s.contextStateAt(sys, cex.States[len(cex.States)-1])
 	if err != nil {
 		return false, err
@@ -642,6 +791,16 @@ func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, 
 			it.Probes = append(it.Probes, result)
 			s.stats.ProbesRun++
 			s.stats.ResetsUsed++
+			if j := s.opts.Journal; j.Enabled() {
+				j.Emit(obs.Event{Kind: obs.KindProbeResult, Iter: it.Index, N: map[string]int64{
+					"accepted": b2i(result.Accepted),
+				}, S: map[string]string{
+					"state":  result.State,
+					"input":  result.Input.String(),
+					"output": result.Output.String(),
+					"after":  result.After,
+				}})
+			}
 			if err := s.learnProbe(observed, result, finalState, it); err != nil {
 				return false, err
 			}
@@ -814,12 +973,6 @@ func (s *Synthesizer) accumulate(delta automata.LearnDelta, it *Iteration) {
 	s.stats.StatesLearned += delta.States
 	s.stats.TransitionsLearned += delta.Transitions
 	s.stats.RefusalsLearned += delta.Blocked
-}
-
-func (s *Synthesizer) logf(format string, args ...any) {
-	if s.opts.Log != nil {
-		s.opts.Log(format, args...)
-	}
 }
 
 // runAvoidsChaos reports whether the run never visits a chaotic closure

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"muml/internal/legacy"
+	"muml/internal/obs"
+	"muml/internal/railcab"
+)
+
+// TestJournalGoldenRailCabCorrect pins the event-kind sequence of the
+// full RailCab correct-shuttle proof: the journal is part of the tool's
+// observable surface, and the order of kinds (not the timings) is
+// deterministic for a deterministic component. Regenerate with
+// OBS_UPDATE_GOLDEN=1 go test ./internal/core -run Golden.
+func TestJournalGoldenRailCabCorrect(t *testing.T) {
+	var sink obs.MemorySink
+	synth, err := New(railcab.FrontRole(), &railcab.CorrectShuttle{},
+		railcab.RearInterface(railcab.RearRoleName),
+		Options{Property: railcab.Constraint(), Journal: obs.NewJournal(&sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != VerdictProven {
+		t.Fatalf("verdict = %v, want proven", report.Verdict)
+	}
+
+	var buf bytes.Buffer
+	for i, e := range sink.Events() {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		fmt.Fprintf(&buf, "%d %s\n", e.Iter, e.Kind)
+	}
+
+	golden := filepath.Join("testdata", "railcab_correct_events.golden")
+	if os.Getenv("OBS_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("event sequence diverged from %s\ngot:\n%swant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestJournalEventsValidate runs every built-in shuttle scenario with a
+// JSONL journal and passes the output through the schema validator —
+// the same check `make obs-smoke` performs on the CLI.
+func TestJournalEventsValidate(t *testing.T) {
+	for name, comp := range map[string]func() legacy.Component{
+		"correct":  func() legacy.Component { return &railcab.CorrectShuttle{} },
+		"eager":    func() legacy.Component { return &railcab.EagerShuttle{} },
+		"blocking": func() legacy.Component { return &railcab.BlockingShuttle{} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			j := obs.NewJournal(obs.NewJSONLSink(&buf))
+			synth, err := New(railcab.FrontRole(), comp(),
+				railcab.RearInterface(railcab.RearRoleName),
+				Options{Property: railcab.Constraint(), Journal: j})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := synth.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			n, err := obs.ValidateJSONL(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("journal is empty")
+			}
+		})
+	}
+}
+
+// TestTestTimeSplit checks that the replay/probe split is populated and
+// bounded by the aggregate test time.
+func TestTestTimeSplit(t *testing.T) {
+	synth, err := New(railcab.FrontRole(), &railcab.CorrectShuttle{},
+		railcab.RearInterface(railcab.RearRoleName),
+		Options{Property: railcab.Constraint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := report.Stats
+	if st.ReplayTime <= 0 || st.ProbeTime <= 0 {
+		t.Fatalf("split times not populated: replay=%v probe=%v", st.ReplayTime, st.ProbeTime)
+	}
+	if st.ReplayTime+st.ProbeTime > st.TestTime {
+		t.Fatalf("replay+probe (%v) exceeds test time (%v)",
+			st.ReplayTime+st.ProbeTime, st.TestTime)
+	}
+	var itReplay, itProbe int64
+	for _, it := range report.Iterations {
+		itReplay += it.ReplayDuration.Nanoseconds()
+		itProbe += it.ProbeDuration.Nanoseconds()
+	}
+	if itReplay != st.ReplayTime.Nanoseconds() || itProbe != st.ProbeTime.Nanoseconds() {
+		t.Fatal("per-iteration durations do not sum to the aggregate stats")
+	}
+}

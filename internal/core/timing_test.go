@@ -6,6 +6,7 @@ import (
 
 	"muml/internal/automata"
 	"muml/internal/ctl"
+	"muml/internal/obs"
 	"muml/internal/railcab"
 	"muml/internal/rtsc"
 )
@@ -100,15 +101,13 @@ func TestSkipDeadlockCheck(t *testing.T) {
 	}
 }
 
-func TestLoggerReceivesProgress(t *testing.T) {
-	var lines []string
+func TestJournalReceivesProgress(t *testing.T) {
+	var sink obs.MemorySink
 	synth, err := New(railcab.FrontRole(), &railcab.CorrectShuttle{},
 		railcab.RearInterface(railcab.RearRoleName),
 		Options{
 			Property: railcab.Constraint(),
-			Log: func(format string, args ...any) {
-				lines = append(lines, format)
-			},
+			Journal:  obs.NewJournal(&sink),
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -116,8 +115,12 @@ func TestLoggerReceivesProgress(t *testing.T) {
 	if _, err := synth.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) == 0 {
-		t.Fatal("logger never called")
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("journal never received an event")
+	}
+	if got := events[len(events)-1].Kind; got != obs.KindVerdict {
+		t.Fatalf("last event kind = %v, want %v", got, obs.KindVerdict)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"muml/internal/automata"
+	"muml/internal/obs"
 )
 
 // Checker evaluates CCTL formulas over one automaton (typically a parallel
@@ -20,6 +21,15 @@ type Checker struct {
 	boolPool [][]bool           // scratch layers for the bounded operators
 	intPool  [][]int            // remaining-successor counters
 	queue    []automata.StateID // reused BFS worklist
+
+	// Optional instrumentation (see Instrument); nil counters are no-ops,
+	// so the uninstrumented checker pays one branch per update site.
+	mFixpointIters *obs.Counter // work units inside fixpoint loops
+	mStatesTouched *obs.Counter // states visited per operator evaluation
+	mPoolHits      *obs.Counter // scratch buffers served from the pools
+	mPoolMisses    *obs.Counter // scratch buffers freshly allocated
+	mSatCacheHits  *obs.Counter // Sat calls answered from the formula cache
+	mChecks        *obs.Counter // operator evaluations (Sat cache misses)
 }
 
 // NewChecker creates a checker for the automaton.
@@ -41,17 +51,34 @@ func (c *Checker) Rebind(a *automata.Automaton) {
 // Automaton returns the automaton under analysis.
 func (c *Checker) Automaton() *automata.Automaton { return c.auto }
 
+// Instrument registers the checker's effort counters in the registry:
+// ctl.fixpoint_iters (worklist pops and layer sweeps inside fixpoint
+// computations), ctl.states_touched (states visited per operator
+// evaluation), ctl.pool_hits / ctl.pool_misses (scratch-buffer pool
+// behaviour), ctl.sat_cache_hits, and ctl.operator_evals. A nil registry
+// detaches the instrumentation.
+func (c *Checker) Instrument(r *obs.Registry) {
+	c.mFixpointIters = r.Counter("ctl.fixpoint_iters")
+	c.mStatesTouched = r.Counter("ctl.states_touched")
+	c.mPoolHits = r.Counter("ctl.pool_hits")
+	c.mPoolMisses = r.Counter("ctl.pool_misses")
+	c.mSatCacheHits = r.Counter("ctl.sat_cache_hits")
+	c.mChecks = r.Counter("ctl.operator_evals")
+}
+
 // getBool borrows an n-sized false-initialized scratch slice.
 func (c *Checker) getBool(n int) []bool {
 	if k := len(c.boolPool); k > 0 {
 		buf := c.boolPool[k-1]
 		c.boolPool = c.boolPool[:k-1]
 		if cap(buf) >= n {
+			c.mPoolHits.Add(1)
 			buf = buf[:n]
 			clear(buf)
 			return buf
 		}
 	}
+	c.mPoolMisses.Add(1)
 	return make([]bool, n)
 }
 
@@ -65,11 +92,13 @@ func (c *Checker) getInt(n int) []int {
 		buf := c.intPool[k-1]
 		c.intPool = c.intPool[:k-1]
 		if cap(buf) >= n {
+			c.mPoolHits.Add(1)
 			buf = buf[:n]
 			clear(buf)
 			return buf
 		}
 	}
+	c.mPoolMisses.Add(1)
 	return make([]int, n)
 }
 
@@ -105,10 +134,13 @@ func (c *Checker) FailingInitial(f Formula) (automata.StateID, bool) {
 // must not be mutated.
 func (c *Checker) Sat(f Formula) []bool {
 	if cached, ok := c.sat[f]; ok {
+		c.mSatCacheHits.Add(1)
 		return cached
 	}
 	var sat []bool
 	n := c.auto.NumStates()
+	c.mChecks.Add(1)
+	c.mStatesTouched.Add(int64(n))
 	switch node := f.(type) {
 	case trueNode:
 		sat = trues(n)
@@ -239,6 +271,7 @@ func (c *Checker) unboundedEF(f []bool) []bool {
 			}
 		}
 	}
+	c.mFixpointIters.Add(int64(len(queue)))
 	c.queue = queue
 	return out
 }
@@ -269,6 +302,7 @@ func (c *Checker) unboundedAF(f []bool) []bool {
 			}
 		}
 	}
+	c.mFixpointIters.Add(int64(len(queue)))
 	c.queue = queue
 	c.putInt(remaining)
 	return out
@@ -278,8 +312,10 @@ func (c *Checker) unboundedAF(f []bool) []bool {
 // deadlock state satisfying f satisfies AG f.
 func (c *Checker) unboundedAG(f []bool) []bool {
 	out := clone(f)
+	sweeps := int64(0)
 	for changed := true; changed; {
 		changed = false
+		sweeps++
 		for i := range out {
 			if !out[i] {
 				continue
@@ -293,6 +329,7 @@ func (c *Checker) unboundedAG(f []bool) []bool {
 			}
 		}
 	}
+	c.mFixpointIters.Add(sweeps * int64(len(out)))
 	return out
 }
 
@@ -300,8 +337,10 @@ func (c *Checker) unboundedAG(f []bool) []bool {
 // in f (a path ending in a deadlock is maximal).
 func (c *Checker) unboundedEG(f []bool) []bool {
 	out := clone(f)
+	sweeps := int64(0)
 	for changed := true; changed; {
 		changed = false
+		sweeps++
 		for i := range out {
 			if !out[i] {
 				continue
@@ -323,6 +362,7 @@ func (c *Checker) unboundedEG(f []bool) []bool {
 			}
 		}
 	}
+	c.mFixpointIters.Add(sweeps * int64(len(out)))
 	return out
 }
 
@@ -345,6 +385,7 @@ func (c *Checker) unboundedEU(f, g []bool) []bool {
 			}
 		}
 	}
+	c.mFixpointIters.Add(int64(len(queue)))
 	c.queue = queue
 	return out
 }
@@ -373,6 +414,7 @@ func (c *Checker) unboundedAU(f, g []bool) []bool {
 			}
 		}
 	}
+	c.mFixpointIters.Add(int64(len(queue)))
 	c.queue = queue
 	c.putInt(remaining)
 	return out
@@ -406,6 +448,7 @@ func (c *Checker) boundedAF(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur // cur becomes scratch; next holds layer j
 	}
+	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
 	out := clone(next)
 	c.putBool(next)
 	c.putBool(cur)
@@ -433,6 +476,7 @@ func (c *Checker) boundedEF(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur
 	}
+	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
 	out := clone(next)
 	c.putBool(next)
 	c.putBool(cur)
@@ -462,6 +506,7 @@ func (c *Checker) boundedAG(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur
 	}
+	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
 	out := clone(next)
 	c.putBool(next)
 	c.putBool(cur)
@@ -492,6 +537,7 @@ func (c *Checker) boundedEG(f []bool, b Bound) []bool {
 		}
 		cur, next = next, cur
 	}
+	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
 	out := clone(next)
 	c.putBool(next)
 	c.putBool(cur)

@@ -8,16 +8,22 @@ import (
 
 	"muml/internal/core"
 	"muml/internal/crossing"
+	"muml/internal/obs"
 	"muml/internal/railcab"
 )
 
-// IterationTiming is one iteration's phase breakdown.
+// IterationTiming is one iteration's phase breakdown. ReplayNS and
+// ProbeNS split the test phase into its record/replay and
+// deadlock-probe parts (they need not sum to TestNS, which also covers
+// classification bookkeeping).
 type IterationTiming struct {
 	Index     int   `json:"index"`
 	Patched   bool  `json:"patched"`
 	ComposeNS int64 `json:"compose_ns"`
 	CheckNS   int64 `json:"check_ns"`
 	TestNS    int64 `json:"test_ns"`
+	ReplayNS  int64 `json:"replay_ns"`
+	ProbeNS   int64 `json:"probe_ns"`
 	System    int   `json:"system_states"`
 }
 
@@ -31,6 +37,8 @@ type RunTiming struct {
 	ComposeNS  int64             `json:"compose_ns"`
 	CheckNS    int64             `json:"check_ns"`
 	TestNS     int64             `json:"test_ns"`
+	ReplayNS   int64             `json:"replay_ns"`
+	ProbeNS    int64             `json:"probe_ns"`
 	WallNS     int64             `json:"wall_ns"`
 }
 
@@ -81,15 +89,17 @@ func timingScenarios() []timingScenario {
 
 // CollectTimings runs each timing scenario with the incremental pipeline
 // and with from-scratch rebuilds, recording per-iteration phase durations
-// and the patch/rebuild accounting from core.Stats.
-func CollectTimings() (*TimingReport, error) {
+// and the patch/rebuild accounting from core.Stats. Journal and metrics
+// (both optional, nil-safe) are threaded into every run's core.Options,
+// so `experiments -timings -journal out.jsonl` journals all scenarios.
+func CollectTimings(journal *obs.Journal, metrics *obs.Registry) (*TimingReport, error) {
 	report := &TimingReport{}
 	for _, sc := range timingScenarios() {
-		inc, err := timeRun(sc, core.Options{}, "incremental")
+		inc, err := timeRun(sc, core.Options{Journal: journal, Metrics: metrics}, "incremental")
 		if err != nil {
 			return nil, fmt.Errorf("%s incremental: %w", sc.name, err)
 		}
-		reb, err := timeRun(sc, core.Options{DisableIncremental: true}, "rebuild")
+		reb, err := timeRun(sc, core.Options{DisableIncremental: true, Journal: journal, Metrics: metrics}, "rebuild")
 		if err != nil {
 			return nil, fmt.Errorf("%s rebuild: %w", sc.name, err)
 		}
@@ -120,6 +130,8 @@ func timeRun(sc timingScenario, opts core.Options, mode string) (*RunTiming, err
 		ComposeNS: rep.Stats.ComposeTime.Nanoseconds(),
 		CheckNS:   rep.Stats.CheckTime.Nanoseconds(),
 		TestNS:    rep.Stats.TestTime.Nanoseconds(),
+		ReplayNS:  rep.Stats.ReplayTime.Nanoseconds(),
+		ProbeNS:   rep.Stats.ProbeTime.Nanoseconds(),
 		WallNS:    time.Since(start).Nanoseconds(),
 	}
 	for _, it := range rep.Iterations {
@@ -129,6 +141,8 @@ func timeRun(sc timingScenario, opts core.Options, mode string) (*RunTiming, err
 			ComposeNS: it.ComposeDuration.Nanoseconds(),
 			CheckNS:   it.CheckDuration.Nanoseconds(),
 			TestNS:    it.TestDuration.Nanoseconds(),
+			ReplayNS:  it.ReplayDuration.Nanoseconds(),
+			ProbeNS:   it.ProbeDuration.Nanoseconds(),
 			System:    it.SystemStates,
 		})
 	}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// RunOptions describe the export surfaces a command opens from its
+// flags before starting a synthesis run.
+type RunOptions struct {
+	// JournalPath, when non-empty, writes the JSONL event journal to
+	// this file ("-journal out.jsonl").
+	JournalPath string
+	// Extra is an additional sink fed alongside the JSONL file —
+	// typically a TextSink on stdout for -verbose.
+	Extra Sink
+	// Metrics allocates a Registry for span timers and counters
+	// ("-metrics").
+	Metrics bool
+	// CPUProfile and MemProfile name pprof output files; the CPU
+	// profile runs from OpenRun until Close, the heap profile is
+	// written at Close.
+	CPUProfile string
+	MemProfile string
+}
+
+// Run bundles the opened surfaces. Journal and Registry are nil when
+// the corresponding option was off — both are nil-safe throughout, so
+// callers pass them along unconditionally.
+type Run struct {
+	Journal  *Journal
+	Registry *Registry
+
+	jsonl      *JSONLSink
+	stopCPU    func() error
+	memProfile string
+}
+
+// OpenRun opens every surface requested by o. The caller must Close
+// the returned Run (even on error paths after a successful open).
+func OpenRun(o RunOptions) (*Run, error) {
+	r := &Run{memProfile: o.MemProfile}
+	var sinks TeeSink
+	if o.JournalPath != "" {
+		f, err := os.Create(o.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: open journal: %w", err)
+		}
+		r.jsonl = NewJSONLSink(f)
+		sinks = append(sinks, r.jsonl)
+	}
+	if o.Extra != nil {
+		sinks = append(sinks, o.Extra)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		r.Journal = NewJournal(sinks[0])
+	default:
+		r.Journal = NewJournal(sinks)
+	}
+	if o.Metrics {
+		r.Registry = NewRegistry()
+	}
+	if o.CPUProfile != "" {
+		stop, err := StartCPUProfile(o.CPUProfile)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.stopCPU = stop
+	}
+	return r, nil
+}
+
+// Close stops the CPU profile, writes the heap profile, and flushes
+// and closes the journal file. It returns the first error encountered
+// but always attempts every step.
+func (r *Run) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	if r.stopCPU != nil {
+		if err := r.stopCPU(); err != nil && first == nil {
+			first = err
+		}
+		r.stopCPU = nil
+	}
+	if r.memProfile != "" {
+		if err := WriteHeapProfile(r.memProfile); err != nil && first == nil {
+			first = err
+		}
+		r.memProfile = ""
+	}
+	if r.jsonl != nil {
+		if err := r.jsonl.Close(); err != nil && first == nil {
+			first = err
+		}
+		r.jsonl = nil
+	}
+	return first
+}
+
+// DumpMetrics renders the registry snapshot to w (no-op without
+// -metrics).
+func (r *Run) DumpMetrics(w io.Writer) {
+	if r == nil || r.Registry == nil {
+		return
+	}
+	fmt.Fprint(w, r.Registry.RenderTable())
+}

@@ -1,0 +1,166 @@
+// Package obs is the observability subsystem of the synthesis stack: a
+// structured event journal, a lightweight metrics registry (counters,
+// max-gauges, timers), and profiling hooks. It has no dependencies outside
+// the standard library and — crucially — is built so that a *disabled*
+// journal or registry costs next to nothing: every entry point is nil-safe
+// (methods on nil receivers return immediately, without allocating), so
+// instrumented code guards hot paths with a single predictable branch.
+//
+// The journal records the verify–test–learn loop as typed events
+// (iteration_start, check_result, cex_classified, replay_step,
+// probe_result, learn_delta, closure_patched, product_rebuilt, verdict)
+// with monotonic sequence numbers and wall-clock durations, the way
+// model-checking-driven black-box testing work reports per-query cost.
+// Two sinks ship with the package: a JSONL backend for machine analysis
+// (one event per line, schema-validated by ValidateJSONL) and a
+// human-readable text backend that keeps `legint -verbose` output
+// recognizable, including the paper-style trace listings carried as event
+// payloads.
+package obs
+
+import "sync"
+
+// EventKind names the type of a journal event.
+type EventKind string
+
+// The event taxonomy of the synthesis loop (DESIGN.md §7). An event's kind
+// determines which payload fields are meaningful; unknown kinds are
+// rejected by ValidateJSONL.
+const (
+	// KindIterationStart opens one loop iteration: model sizes before
+	// learning (n: model_states, model_transitions, model_blocked).
+	KindIterationStart EventKind = "iteration_start"
+	// KindClosurePatched reports that this iteration's verification system
+	// was produced by delta-patching the previous one (n: closure_states,
+	// system_states).
+	KindClosurePatched EventKind = "closure_patched"
+	// KindProductRebuilt reports a from-scratch system construction
+	// (s: reason — why patching was not possible).
+	KindProductRebuilt EventKind = "product_rebuilt"
+	// KindCheckResult is the model-checking outcome of one iteration
+	// (n: property_holds, deadlock_free, system_states; dur_ns).
+	KindCheckResult EventKind = "check_result"
+	// KindCexClassified classifies a counterexample before testing
+	// (s: kind, trace; n: in_learned_part, run_witnessed, length).
+	KindCexClassified EventKind = "cex_classified"
+	// KindReplayStep documents one record/replay execution against the
+	// black box (s: trace — the paper-style listing; n: periods,
+	// blocked_at, diverged).
+	KindReplayStep EventKind = "replay_step"
+	// KindProbeResult is one deadlock-confirmation probe (s: state, input,
+	// output; n: accepted).
+	KindProbeResult EventKind = "probe_result"
+	// KindLearnDelta is what one iteration's learning added
+	// (n: states, transitions, blocked).
+	KindLearnDelta EventKind = "learn_delta"
+	// KindVerdict closes a run (s: verdict, kind, trace; n: iterations).
+	KindVerdict EventKind = "verdict"
+	// KindComposeLevel is one BFS level of an n-ary composition frontier
+	// (n: level, frontier, parallel).
+	KindComposeLevel EventKind = "compose_level"
+	// KindNote is a freeform progress note (s: text).
+	KindNote EventKind = "note"
+)
+
+// KnownKinds is the closed set of event kinds accepted by the JSONL schema.
+var KnownKinds = map[EventKind]bool{
+	KindIterationStart: true,
+	KindClosurePatched: true,
+	KindProductRebuilt: true,
+	KindCheckResult:    true,
+	KindCexClassified:  true,
+	KindReplayStep:     true,
+	KindProbeResult:    true,
+	KindLearnDelta:     true,
+	KindVerdict:        true,
+	KindComposeLevel:   true,
+	KindNote:           true,
+}
+
+// Event is one journal record. The payload is split into integer fields
+// (N) and string fields (S) so that a JSONL round trip reproduces the
+// value exactly (no float64 widening). Iter is -1 for events not scoped to
+// a loop iteration.
+type Event struct {
+	// Seq is the monotonic sequence number, assigned by the Journal at
+	// emission; the first emitted event has Seq 1.
+	Seq  uint64    `json:"seq"`
+	Kind EventKind `json:"kind"`
+	// Iter is the loop iteration the event belongs to, or -1.
+	Iter int `json:"iter"`
+	// DurNS is the wall-clock duration covered by the event, if any.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// N holds integer payload fields (sizes, counts, booleans as 0/1).
+	N map[string]int64 `json:"n,omitempty"`
+	// S holds string payload fields (reasons, verdicts, rendered traces).
+	S map[string]string `json:"s,omitempty"`
+}
+
+// Sink receives emitted events. Implementations need not be goroutine-safe:
+// the Journal serializes emissions.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Journal assigns monotonic sequence numbers and forwards events to a
+// sink. A nil *Journal is a valid, disabled journal: Emit on it is a
+// single branch, and Enabled reports false so callers can skip payload
+// construction entirely.
+//
+// Journal is safe for concurrent use — the parallel ComposeAll frontier
+// and any future concurrent phases emit through the same mutex, so sinks
+// observe a strictly increasing sequence.
+type Journal struct {
+	mu   sync.Mutex
+	seq  uint64
+	sink Sink
+}
+
+// NewJournal wraps a sink. A nil sink yields a disabled journal.
+func NewJournal(sink Sink) *Journal {
+	if sink == nil {
+		return nil
+	}
+	return &Journal{sink: sink}
+}
+
+// Enabled reports whether emitted events reach a sink. Guard expensive
+// payload construction (rendered traces, size counts) behind this.
+func (j *Journal) Enabled() bool { return j != nil }
+
+// Emit assigns the next sequence number and forwards the event. Safe on a
+// nil journal and from concurrent goroutines.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.sink.Emit(e)
+	j.mu.Unlock()
+}
+
+// Seq returns the sequence number of the most recently emitted event
+// (0 when nothing was emitted or the journal is disabled).
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Close flushes and closes the underlying sink if it supports it.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.sink.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}

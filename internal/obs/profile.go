@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling hooks: opt-in runtime/pprof capture plus per-phase pprof
+// labels, so CPU samples of a long sweep attribute to the loop phase
+// (compose / check / replay / probe) they were taken in and flamegraphs
+// stay readable across hundreds of iterations.
+
+// StartCPUProfile begins writing a CPU profile to the file and returns a
+// stop function that finishes the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile captures a heap profile (after a GC, so the live set is
+// accurate) to the file.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// WithPhase runs f with the pprof label phase=name attached to the
+// goroutine, so profile samples taken inside attribute to the phase.
+func WithPhase(name string, f func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		err = f()
+	})
+	return err
+}

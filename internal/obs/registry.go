@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the span/counter half of the subsystem: a Registry
+// of named instruments, each nil-safe so that uninstrumented code paths
+// pay only a nil check. Instruments are hierarchical by naming convention:
+// dotted prefixes group related measures ("ctl.fixpoint_iters",
+// "core.check") and the rendered table sorts by full name, so a snapshot
+// reads as a tree.
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Safe on a nil counter and from concurrent
+// goroutines.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// MaxGauge tracks the maximum value observed. A nil *MaxGauge discards
+// updates.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the gauge to n if n exceeds the current maximum.
+func (g *MaxGauge) Observe(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the maximum observed so far (0 for a nil gauge).
+func (g *MaxGauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates wall-clock durations of a repeated span: total time
+// and observation count. A nil *Timer discards updates.
+type Timer struct {
+	count   atomic.Int64
+	totalNS atomic.Int64
+}
+
+// Observe adds one measured duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.count.Add(1)
+	t.totalNS.Add(d.Nanoseconds())
+}
+
+// Span starts a measurement; call the returned func to record the elapsed
+// time. On a nil timer the returned func is a no-op and no clock is read.
+func (t *Timer) Span() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.totalNS.Load())
+}
+
+// Registry is an expvar-style namespace of counters, max-gauges, and
+// timers. Instruments are created on first lookup and live for the
+// registry's lifetime; hot paths fetch their instrument once and then
+// update it lock-free. A nil *Registry hands out nil instruments, so an
+// uninstrumented stack composes without branches at the call sites.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*MaxGauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*MaxGauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// MaxGauge returns the named max-gauge, creating it if needed.
+func (r *Registry) MaxGauge(name string) *MaxGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &MaxGauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Metric is one instrument's snapshot value.
+type Metric struct {
+	Name string `json:"name"`
+	// Kind is "counter", "max", or "timer".
+	Kind  string `json:"kind"`
+	Value int64  `json:"value"` // count for counters/timers, max for gauges
+	// TotalNS is the accumulated duration (timers only).
+	TotalNS int64 `json:"total_ns,omitempty"`
+}
+
+// Snapshot returns every instrument's current value, sorted by name
+// (timers first keyed by name like the rest — the sort is global). Safe on
+// a nil registry (returns nil).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.timers))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "max", Value: g.Value()})
+	}
+	for name, t := range r.timers {
+		out = append(out, Metric{Name: name, Kind: "timer", Value: t.Count(), TotalNS: t.Total().Nanoseconds()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RenderTable formats the snapshot as an aligned summary table (the
+// -metrics flag output).
+func (r *Registry) RenderTable() string {
+	snap := r.Snapshot()
+	if len(snap) == 0 {
+		return "(no metrics recorded)\n"
+	}
+	width := 0
+	for _, m := range snap {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	var b strings.Builder
+	for _, m := range snap {
+		switch m.Kind {
+		case "timer":
+			total := time.Duration(m.TotalNS).Round(time.Microsecond)
+			avg := time.Duration(0)
+			if m.Value > 0 {
+				avg = time.Duration(m.TotalNS / m.Value).Round(time.Microsecond)
+			}
+			fmt.Fprintf(&b, "%-*s  %10d spans  total %-12s avg %s\n", width, m.Name, m.Value, total, avg)
+		case "max":
+			fmt.Fprintf(&b, "%-*s  %10d (max)\n", width, m.Name, m.Value)
+		default:
+			fmt.Fprintf(&b, "%-*s  %10d\n", width, m.Name, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file defines the JSONL journal schema and its validator, used by
+// cmd/obscheck and the Makefile's obs-smoke gate: every line must decode
+// into an Event with no unknown fields, carry a known kind, an iteration
+// of -1 or greater, a non-negative duration, and sequence numbers must be
+// strictly increasing across the file.
+
+// DecodeJSONL parses a JSONL journal into its events, enforcing the
+// schema. It fails on the first invalid line, reporting its 1-based line
+// number.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	var prevSeq uint64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("journal line %d: empty line", line)
+		}
+		var e Event
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("journal line %d: trailing data after event", line)
+		}
+		if err := validateEvent(e, prevSeq); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", line, err)
+		}
+		prevSeq = e.Seq
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// ValidateJSONL checks a JSONL journal against the schema and returns the
+// number of valid events.
+func ValidateJSONL(r io.Reader) (int, error) {
+	events, err := DecodeJSONL(r)
+	return len(events), err
+}
+
+func validateEvent(e Event, prevSeq uint64) error {
+	if e.Seq <= prevSeq {
+		return fmt.Errorf("sequence %d not greater than predecessor %d", e.Seq, prevSeq)
+	}
+	if !KnownKinds[e.Kind] {
+		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	if e.Iter < -1 {
+		return fmt.Errorf("invalid iteration %d", e.Iter)
+	}
+	if e.DurNS < 0 {
+		return fmt.Errorf("negative duration %d", e.DurNS)
+	}
+	return nil
+}

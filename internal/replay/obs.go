@@ -1,0 +1,39 @@
+package replay
+
+import "muml/internal/obs"
+
+// Observability hooks mirroring internal/automata: package-level nil-safe
+// counters, attached once before a run. They account the black-box test
+// effort the paper argues dominates on real targets — component resets
+// (each record, replay, and probe re-executes from scratch) and probe
+// outcomes.
+var (
+	obsRecords        *obs.Counter
+	obsReplays        *obs.Counter
+	obsProbes         *obs.Counter
+	obsProbesAccepted *obs.Counter
+	obsProbesRefused  *obs.Counter
+	obsResets         *obs.Counter
+)
+
+// EnableObservability registers this package's counters in the registry:
+// replay.records, replay.replays, replay.probes, replay.probes_accepted,
+// replay.probes_refused, and replay.resets.
+func EnableObservability(r *obs.Registry) {
+	obsRecords = r.Counter("replay.records")
+	obsReplays = r.Counter("replay.replays")
+	obsProbes = r.Counter("replay.probes")
+	obsProbesAccepted = r.Counter("replay.probes_accepted")
+	obsProbesRefused = r.Counter("replay.probes_refused")
+	obsResets = r.Counter("replay.resets")
+}
+
+// DisableObservability detaches all hooks (the default state).
+func DisableObservability() {
+	obsRecords = nil
+	obsReplays = nil
+	obsProbes = nil
+	obsProbesAccepted = nil
+	obsProbesRefused = nil
+	obsResets = nil
+}

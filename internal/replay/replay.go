@@ -145,6 +145,8 @@ func Record(comp legacy.Component, iface legacy.Interface, inputs []automata.Sig
 	if pa, ok := comp.(ProbeAware); ok {
 		pa.SetHeavyProbes(false)
 	}
+	obsRecords.Add(1)
+	obsResets.Add(1)
 	comp.Reset()
 	rec := Recording{Iface: iface, BlockedAt: -1}
 	for period, in := range inputs {
@@ -174,6 +176,8 @@ func Replay(comp legacy.Component, rec Recording) (Trace, automata.ObservedRun, 
 		pa.SetHeavyProbes(true)
 		defer pa.SetHeavyProbes(false)
 	}
+	obsReplays.Add(1)
+	obsResets.Add(1)
 	comp.Reset()
 	var trace Trace
 	run := automata.ObservedRun{Initial: stateName(comp)}
@@ -232,6 +236,8 @@ func Probe(comp legacy.Component, rec Recording, in automata.SignalSet) (ProbeRe
 		pa.SetHeavyProbes(true)
 		defer pa.SetHeavyProbes(false)
 	}
+	obsProbes.Add(1)
+	obsResets.Add(1)
 	comp.Reset()
 	for period, recIn := range rec.Inputs {
 		out, ok := comp.Step(recIn)
@@ -241,6 +247,11 @@ func Probe(comp legacy.Component, rec Recording, in automata.SignalSet) (ProbeRe
 	}
 	before := stateName(comp)
 	out, ok := comp.Step(in)
+	if ok {
+		obsProbesAccepted.Add(1)
+	} else {
+		obsProbesRefused.Add(1)
+	}
 	return ProbeResult{
 		State:    before,
 		Input:    in,
