@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench timings obs-smoke printcheck
+.PHONY: all check fmt vet build test race bench timings obs-smoke printcheck mbt-soak fuzz-smoke
 
 all: check
 
@@ -18,8 +18,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package, so
+# order-dependent tests fail loudly instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -40,6 +42,22 @@ obs-smoke:
 	$(GO) run ./cmd/legint -scenario correct -journal "$$tmp" >/dev/null && \
 	$(GO) run ./cmd/obscheck "$$tmp"; \
 	status=$$?; rm -f "$$tmp"; exit $$status
+
+# Model-based soundness soak: run the synthesis loop against SOAK_N
+# generated systems with known ground truth, checking every verdict
+# against the oracles in internal/mbt. Failures are shrunk and written
+# to the regression corpus. Replay one seed: go run ./cmd/mbt -seed S -n 1
+SOAK_SEED ?= 1
+SOAK_N ?= 200
+mbt-soak:
+	$(GO) run ./cmd/mbt -seed $(SOAK_SEED) -n $(SOAK_N) -corpus internal/mbt/testdata
+
+# Short randomized fuzzing pass over the model-based harness entry
+# points; CI-sized, not a real fuzzing campaign.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test ./internal/mbt -fuzz FuzzSynthesisSoundness -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mbt -fuzz FuzzRefinementLaws -fuzztime $(FUZZTIME)
 
 # All progress reporting goes through internal/obs; stray fmt.Print* in
 # internal/ (outside obs, trace, and tests) bypasses the journal.

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSoak(t *testing.T) {
+	var out, errBuf strings.Builder
+	journal := filepath.Join(t.TempDir(), "soak.jsonl")
+	code := run([]string{"-seed", "1", "-n", "3", "-journal", journal}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "all checks passed") {
+		t.Fatalf("missing pass summary: %s", out.String())
+	}
+}
+
+func TestRunRejectsUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-no-such-flag"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errBuf strings.Builder
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr: %s)", args, code, errBuf.String())
+		}
+	}
+}
+
+func TestRunReportsJournalOpenFailure(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{"-n", "1", "-journal", filepath.Join(t.TempDir(), "absent", "x.jsonl")}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

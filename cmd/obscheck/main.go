@@ -7,6 +7,9 @@
 //
 //	obscheck run.jsonl
 //	legint -journal /dev/stdout ... | obscheck -
+//
+// Exit codes: 0 on success, 1 on a missing or malformed journal, 2 on a
+// usage error.
 package main
 
 import (
@@ -19,33 +22,40 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run() error {
-	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: obscheck <journal.jsonl | ->")
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: obscheck <journal.jsonl | ->")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 	var r io.Reader
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 	if name == "-" {
-		r = os.Stdin
+		r = stdin
 	} else {
 		f, err := os.Open(name)
 		if err != nil {
-			return err
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		r = f
 	}
 	n, err := obs.ValidateJSONL(r)
 	if err != nil {
-		return fmt.Errorf("obscheck: %s: %w", name, err)
+		fmt.Fprintf(stderr, "obscheck: %s: %v\n", name, err)
+		return 1
 	}
-	fmt.Printf("%s: %d events ok\n", name, n)
-	return nil
+	fmt.Fprintf(stdout, "%s: %d events ok\n", name, n)
+	return 0
 }

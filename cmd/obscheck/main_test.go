@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validJournal = `{"seq":1,"kind":"iteration_start","iter":0}
+{"seq":2,"kind":"check_result","iter":0}
+{"seq":3,"kind":"verdict","iter":0}
+`
+
+func TestRunValidJournalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(validJournal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf strings.Builder
+	if code := run([]string{path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "3 events ok") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunValidJournalFromStdin(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-"}, strings.NewReader(validJournal), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "-: 3 events ok") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunCorruptedJournal(t *testing.T) {
+	// A duplicated sequence number and a trailing garbage line must both
+	// fail with the data exit code.
+	for name, content := range map[string]string{
+		"dup-seq": `{"seq":1,"kind":"note","iter":-1}` + "\n" + `{"seq":1,"kind":"note","iter":-1}` + "\n",
+		"garbage": validJournal + "not json\n",
+	} {
+		path := filepath.Join(t.TempDir(), name+".jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errBuf strings.Builder
+		if code := run([]string{path}, nil, &out, &errBuf); code != 1 {
+			t.Errorf("%s: exit %d, want 1", name, code)
+		}
+		if !strings.Contains(errBuf.String(), "obscheck:") {
+			t.Errorf("%s: missing diagnostic, stderr: %q", name, errBuf.String())
+		}
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.jsonl")}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"a.jsonl", "b.jsonl"},
+		{"-no-such-flag"},
+	} {
+		var out, errBuf strings.Builder
+		if code := run(args, nil, &out, &errBuf); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

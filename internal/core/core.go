@@ -54,10 +54,14 @@ const (
 )
 
 func (v Verdict) String() string {
-	if v == VerdictProven {
+	switch v {
+	case VerdictProven:
 		return "proven"
+	case VerdictViolation:
+		return "violation"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
-	return "violation"
 }
 
 // ViolationKind distinguishes what a violation witnesses.
@@ -75,12 +79,14 @@ const (
 
 func (k ViolationKind) String() string {
 	switch k {
+	case ViolationNone:
+		return "none"
 	case ViolationConstraint:
 		return "constraint violation"
 	case ViolationDeadlock:
 		return "deadlock"
 	default:
-		return "none"
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
 	}
 }
 
@@ -202,6 +208,8 @@ const (
 
 func (t TestOutcome) String() string {
 	switch t {
+	case TestNotRun:
+		return "not-run"
 	case TestDiverged:
 		return "diverged"
 	case TestConfirmedDeadlock:
@@ -209,7 +217,7 @@ func (t TestOutcome) String() string {
 	case TestRealizable:
 		return "realizable"
 	default:
-		return "not-run"
+		return fmt.Sprintf("TestOutcome(%d)", int(t))
 	}
 }
 
@@ -956,12 +964,21 @@ func (s *Synthesizer) blockAllOutputs(state string, in automata.SignalSet, it *I
 // contextStateAt resolves the context automaton's own state matching the
 // context leaves of a composed system state.
 func (s *Synthesizer) contextStateAt(sys *automata.Automaton, composed automata.StateID) (automata.StateID, error) {
+	return ContextStateAt(s.context, sys, composed)
+}
+
+// ContextStateAt resolves the context automaton's own state matching the
+// context leaves of a composed system state. Exported for the model-based
+// soundness oracle (internal/mbt), which independently re-derives the
+// context's offers at the end of a violation witness to confirm a reported
+// deadlock against the ground-truth component.
+func ContextStateAt(context, sys *automata.Automaton, composed automata.StateID) (automata.StateID, error) {
 	parts := sys.StateParts(composed)
-	n := len(s.context.Leaves())
+	n := len(context.Leaves())
 	if len(parts) < n {
 		return automata.NoState, fmt.Errorf("core: composed state lacks context provenance")
 	}
-	id := s.context.StateByParts(parts[:n])
+	id := context.StateByParts(parts[:n])
 	if id == automata.NoState {
 		return automata.NoState, fmt.Errorf("core: no context state with parts %v", parts[:n])
 	}

@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+func TestVerdictString(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{VerdictProven, "proven"},
+		{VerdictViolation, "violation"},
+		{Verdict(0), "Verdict(0)"},
+		{Verdict(99), "Verdict(99)"},
+		{Verdict(-1), "Verdict(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(c.v), got, c.want)
+		}
+	}
+}
+
+func TestViolationKindString(t *testing.T) {
+	cases := []struct {
+		k    ViolationKind
+		want string
+	}{
+		{ViolationNone, "none"},
+		{ViolationConstraint, "constraint violation"},
+		{ViolationDeadlock, "deadlock"},
+		{ViolationKind(42), "ViolationKind(42)"},
+		{ViolationKind(-3), "ViolationKind(-3)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("ViolationKind(%d).String() = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}
+
+func TestTestOutcomeString(t *testing.T) {
+	cases := []struct {
+		o    TestOutcome
+		want string
+	}{
+		{TestNotRun, "not-run"},
+		{TestDiverged, "diverged"},
+		{TestConfirmedDeadlock, "confirmed-deadlock"},
+		{TestRealizable, "realizable"},
+		{TestOutcome(7), "TestOutcome(7)"},
+		{TestOutcome(-1), "TestOutcome(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("TestOutcome(%d).String() = %q, want %q", int(c.o), got, c.want)
+		}
+	}
+}
+
+func TestB2i(t *testing.T) {
+	if got := b2i(true); got != 1 {
+		t.Errorf("b2i(true) = %d, want 1", got)
+	}
+	if got := b2i(false); got != 0 {
+		t.Errorf("b2i(false) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,76 @@
+package mbt
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+	"muml/internal/gen"
+)
+
+// FuzzSynthesisSoundness drives the full oracle battery from a fuzzed
+// seed. Go's fuzzer mutates the seed; the generator turns it into a
+// reproducible instance, so any crash is replayable from the corpus
+// entry alone.
+func FuzzSynthesisSoundness(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inst, err := gen.New(seed, gen.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: generator failed: %v", seed, err)
+		}
+		if fail := CheckInstance(inst, Options{}); fail != nil {
+			shrunk := Shrink(fail, Options{})
+			t.Fatalf("seed %d: %v\nshrunk: %v", seed, fail, shrunk)
+		}
+	})
+}
+
+// FuzzRefinementLaws checks the refinement-preorder laws on generated
+// automata without running the synthesis loop: reflexivity, the chaotic
+// automaton as ⊑-top, and Simulates ⇒ Refines on pairs where refinement
+// genuinely can go either way.
+func FuzzRefinementLaws(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	universe := automata.Universe(automata.UniverseSingleton)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inst, err := gen.New(seed, gen.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: generator failed: %v", seed, err)
+		}
+		truth, err := inst.Truth()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		chaotic := automata.ChaoticAutomaton("chaos", truth.Inputs(), truth.Outputs(), universe)
+		for _, a := range []*automata.Automaton{truth, inst.Context, chaotic} {
+			if ok, cex, err := automata.Refines(a, a); err != nil || !ok {
+				t.Fatalf("seed %d: %s ⊑ %s (reflexivity) failed: cex=%v err=%v",
+					seed, a.Name(), a.Name(), cex, err)
+			}
+		}
+		if ok, cex, err := automata.Refines(truth, chaotic); err != nil || !ok {
+			t.Fatalf("seed %d: truth ⊑ chaotic failed: cex=%v err=%v", seed, cex, err)
+		}
+		pairs := [][2]*automata.Automaton{
+			{truth, chaotic},
+			{chaotic, truth},
+			{inst.Context, inst.Context},
+		}
+		for _, p := range pairs {
+			if automata.Simulates(p[0], p[1]) {
+				ok, _, err := automata.Refines(p[0], p[1])
+				if err != nil {
+					t.Fatalf("seed %d: Refines(%s, %s): %v", seed, p[0].Name(), p[1].Name(), err)
+				}
+				if !ok {
+					t.Fatalf("seed %d: Simulates(%s, %s) accepted but Refines rejected",
+						seed, p[0].Name(), p[1].Name())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package mbt is the model-based soundness harness for the synthesis loop:
+// it runs the full core.Synthesizer against generated instances
+// (internal/gen) and checks every verdict against the generator's ground
+// truth, plus the algebraic laws the construction rests on.
+//
+// The checks encode the paper's guarantees directly:
+//
+//   - VerdictProven (Lemma 5): model checking the *true* composition
+//     M_a^c ‖ M_r must confirm both the property and deadlock freedom.
+//   - VerdictViolation (Lemma 6): the true composition must really violate
+//     the claimed kind, and the reported witness must replay step-for-step
+//     on the ground-truth component; a deadlock witness must additionally
+//     end in a state where no context offer forms a joint step.
+//   - Theorem 1: the explored ground truth refines the chaotic closure of
+//     the learned model, which must be observation conforming.
+//   - Refinement preorder laws: reflexivity, the chaotic automaton as
+//     ⊑-top, and Simulates ⇒ Refines.
+//   - Incremental-vs-rebuild equivalence: the delta-patched pipeline must
+//     be observationally identical to the from-scratch one
+//     (core.EquivalentReports).
+//
+// On failure, Shrink greedily minimizes the instance while the same check
+// keeps failing, and WriteRepro stores it under testdata/ as a regression
+// corpus replayed by the package tests.
+package mbt
+
+import (
+	"fmt"
+
+	"muml/internal/automata"
+	"muml/internal/core"
+	"muml/internal/ctl"
+	"muml/internal/gen"
+	"muml/internal/legacy"
+	"muml/internal/obs"
+)
+
+// Check names reported in Failure.Check. Shrinking reproduces by exact
+// check name, so these are part of the harness's stable surface.
+const (
+	CheckRunError               = "run-error"
+	CheckProvenUnsound          = "proven-unsound"
+	CheckViolationUnsound       = "violation-unsound"
+	CheckWitnessMissing         = "witness-missing"
+	CheckWitnessReplay          = "witness-replay"
+	CheckWitnessDeadlock        = "witness-deadlock-unconfirmed"
+	CheckLawChaosOverapprox     = "law-chaos-overapprox"
+	CheckLawConformance         = "law-observation-conformance"
+	CheckLawRefinesReflexive    = "law-refines-reflexive"
+	CheckLawChaoticTop          = "law-chaotic-top"
+	CheckLawSimulatesRefines    = "law-simulates-implies-refines"
+	CheckIncrementalEquivalence = "incremental-equivalence"
+)
+
+// Failure describes one soundness violation found on an instance.
+type Failure struct {
+	// Check is the stable name of the violated oracle check.
+	Check string
+	// Detail is a human-readable account of the violation.
+	Detail string
+	// Instance is the instance the check failed on (the original or, after
+	// Shrink, a minimized one).
+	Instance *gen.Instance
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("mbt: %s: %s (%s)", f.Check, f.Detail, f.Instance.Summary())
+}
+
+func fail(inst *gen.Instance, check, format string, args ...any) *Failure {
+	return &Failure{Check: check, Detail: fmt.Sprintf(format, args...), Instance: inst}
+}
+
+// Options configure one oracle run.
+type Options struct {
+	// Journal, when non-nil, receives the synthesis loop's structured
+	// event stream (passed through to core.Options.Journal).
+	Journal *obs.Journal
+	// Component overrides the component under test. By default the
+	// ground-truth automaton is wrapped; tests of the harness itself
+	// inject a component that deliberately diverges from the recorded
+	// ground truth to prove the oracle catches it.
+	Component legacy.Component
+	// SkipLaws disables the algebraic-law checks, leaving only the
+	// verdict-soundness oracles (for cheaper soak configurations).
+	SkipLaws bool
+}
+
+// CheckInstance runs the full synthesis loop on the instance and checks
+// every soundness property against the ground truth. It returns nil when
+// all checks pass.
+func CheckInstance(inst *gen.Instance, opts Options) *Failure {
+	iface := inst.Interface()
+	universe := automata.Universe(automata.UniverseSingleton)
+
+	newComponent := func() (legacy.Component, error) {
+		if opts.Component != nil {
+			opts.Component.Reset()
+			return opts.Component, nil
+		}
+		return inst.Component()
+	}
+
+	runOnce := func(coreOpts core.Options) (*core.Report, *Failure) {
+		comp, err := newComponent()
+		if err != nil {
+			return nil, fail(inst, CheckRunError, "wrap component: %v", err)
+		}
+		synth, err := core.New(inst.Context, comp, iface, coreOpts)
+		if err != nil {
+			return nil, fail(inst, CheckRunError, "core.New: %v", err)
+		}
+		report, err := synth.Run()
+		if err != nil {
+			return nil, fail(inst, CheckRunError, "synthesis: %v", err)
+		}
+		return report, nil
+	}
+
+	report, f := runOnce(core.Options{Property: inst.Property, Journal: opts.Journal})
+	if f != nil {
+		return f
+	}
+
+	// Ground truth: the real integrated system, model checked directly.
+	truth, err := inst.Truth()
+	if err != nil {
+		return fail(inst, CheckRunError, "explore ground truth: %v", err)
+	}
+	sys, err := automata.Compose("truth", inst.Context, truth)
+	if err != nil {
+		return fail(inst, CheckRunError, "compose ground truth: %v", err)
+	}
+	checker := ctl.NewChecker(sys)
+	propHolds := inst.Property == nil || checker.Holds(inst.Property)
+	deadlockFree := checker.Holds(ctl.NoDeadlock())
+
+	switch report.Verdict {
+	case core.VerdictProven:
+		if !propHolds || !deadlockFree {
+			return fail(inst, CheckProvenUnsound,
+				"verdict proven but ground truth has property=%v deadlock-free=%v", propHolds, deadlockFree)
+		}
+	case core.VerdictViolation:
+		if propHolds && deadlockFree {
+			return fail(inst, CheckViolationUnsound,
+				"verdict violation (%v) but ground truth satisfies property and deadlock freedom", report.Kind)
+		}
+		switch report.Kind {
+		case core.ViolationConstraint:
+			if propHolds {
+				return fail(inst, CheckViolationUnsound,
+					"constraint violation reported but the property holds on the ground truth")
+			}
+		case core.ViolationDeadlock:
+			if deadlockFree {
+				return fail(inst, CheckViolationUnsound,
+					"deadlock reported but the ground truth composition is deadlock free")
+			}
+		}
+		if f := checkWitness(inst, iface, report, newComponent); f != nil {
+			return f
+		}
+	default:
+		return fail(inst, CheckRunError, "unknown verdict %d", report.Verdict)
+	}
+
+	if !opts.SkipLaws {
+		if f := checkLaws(inst, truth, report, universe); f != nil {
+			return f
+		}
+	}
+
+	// Incremental-vs-rebuild equivalence: the delta-patched pipeline must
+	// follow the exact same trajectory as a from-scratch rebuild.
+	rebuilt, f := runOnce(core.Options{Property: inst.Property, DisableIncremental: true})
+	if f != nil {
+		return f
+	}
+	if err := core.EquivalentReports(report, rebuilt); err != nil {
+		return fail(inst, CheckIncrementalEquivalence, "%v", err)
+	}
+	return nil
+}
+
+// checkWitness validates a violation witness against the ground-truth
+// component: every step must replay, and a witness ending in a composed
+// deadlock must end in a state where no context offer can form a joint
+// step with the component's deterministic reaction.
+func checkWitness(inst *gen.Instance, iface legacy.Interface, report *core.Report, newComponent func() (legacy.Component, error)) *Failure {
+	if report.Witness == nil || report.WitnessSystem == nil {
+		return fail(inst, CheckWitnessMissing, "violation verdict without witness run")
+	}
+	proj, err := report.WitnessSystem.ProjectRun(*report.Witness, iface.Name)
+	if err != nil {
+		return fail(inst, CheckWitnessReplay, "project witness: %v", err)
+	}
+
+	replayPrefix := func(steps int) (legacy.Component, *Failure) {
+		comp, err := newComponent()
+		if err != nil {
+			return nil, fail(inst, CheckRunError, "wrap component: %v", err)
+		}
+		comp.Reset()
+		for i := 0; i < steps; i++ {
+			out, ok := comp.Step(proj.Steps[i].In)
+			if !ok {
+				return nil, fail(inst, CheckWitnessReplay,
+					"witness step %d refused by the implementation (input %v)", i, proj.Steps[i].In)
+			}
+			if !out.Equal(proj.Steps[i].Out) {
+				return nil, fail(inst, CheckWitnessReplay,
+					"witness step %d diverges: implementation produced %v, witness claims %v",
+					i, out, proj.Steps[i].Out)
+			}
+		}
+		return comp, nil
+	}
+	if _, f := replayPrefix(len(proj.Steps)); f != nil {
+		return f
+	}
+
+	// Only a deadlock verdict claims the run is inextensible in the real
+	// system; confirm no context offer forms a joint step there. (A
+	// constraint witness may end in a state the *partial* learned system
+	// considers deadlocked simply because learning stopped — that is not
+	// a claim about the ground truth.)
+	if report.Kind != core.ViolationDeadlock {
+		return nil
+	}
+	final := report.Witness.States[len(report.Witness.States)-1]
+	if !report.WitnessSystem.IsDeadlock(final) {
+		return nil
+	}
+	ctxState, err := core.ContextStateAt(inst.Context, report.WitnessSystem, final)
+	if err != nil {
+		return fail(inst, CheckWitnessDeadlock, "resolve context state: %v", err)
+	}
+	for _, offer := range inst.Context.TransitionsFrom(ctxState) {
+		if !offer.Label.Out.SubsetOf(iface.Inputs) {
+			continue // the offer cannot reach the component
+		}
+		comp, f := replayPrefix(len(proj.Steps))
+		if f != nil {
+			return f
+		}
+		out, ok := comp.Step(offer.Label.Out)
+		if ok && offer.Label.In.Intersect(iface.Outputs).Equal(out) {
+			return fail(inst, CheckWitnessDeadlock,
+				"witness claims a deadlock but context offer %v forms a joint step (implementation answered %v)",
+				offer.Label, out)
+		}
+	}
+	return nil
+}
+
+// checkLaws asserts the algebraic and metamorphic laws the construction
+// rests on, over the explored ground truth and the final learned model.
+func checkLaws(inst *gen.Instance, truth *automata.Automaton, report *core.Report, universe automata.InteractionUniverse) *Failure {
+	// Reflexivity of the refinement preorder.
+	if ok, cex, err := automata.Refines(truth, truth); err != nil || !ok {
+		return fail(inst, CheckLawRefinesReflexive, "truth ⊑ truth failed: cex=%v err=%v", cex, err)
+	}
+	// The chaotic automaton is ⊑-maximal: everything refines it.
+	chaotic := automata.ChaoticAutomaton("chaos", truth.Inputs(), truth.Outputs(), universe)
+	if ok, cex, err := automata.Refines(truth, chaotic); err != nil || !ok {
+		return fail(inst, CheckLawChaoticTop, "truth ⊑ M_c failed: cex=%v err=%v", cex, err)
+	}
+	// Observation conformance of the final learned model (Definition 10)
+	// and Theorem 1: M_r ⊑ chaos(M_l^n).
+	if err := report.Model.ObservationConforming(truth); err != nil {
+		return fail(inst, CheckLawConformance, "%v", err)
+	}
+	closure := automata.ChaoticClosure(report.Model, universe)
+	if ok, cex, err := automata.Refines(truth, closure); err != nil || !ok {
+		return fail(inst, CheckLawChaosOverapprox, "M_r ⊑ chaos(M_l) failed: cex=%v err=%v", cex, err)
+	}
+	// Simulates is sound for ⊑ (Simulates ⇒ Refines). Exercise the
+	// implication on a pair that genuinely can fail: the closure against
+	// the ground truth — an over-approximation rarely refines its
+	// implementation, so a Simulates acceptance here would expose an
+	// unsound simulation check.
+	if automata.Simulates(closure, truth) {
+		if ok, _, err := automata.Refines(closure, truth); err == nil && !ok {
+			return fail(inst, CheckLawSimulatesRefines, "Simulates(chaos(M_l), truth) accepted but Refines rejected")
+		}
+	}
+	return nil
+}

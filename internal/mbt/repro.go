@@ -1,0 +1,96 @@
+package mbt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"muml/internal/automata"
+	"muml/internal/ctl"
+	"muml/internal/gen"
+)
+
+// reproFile is the on-disk form of a minimized failing instance. The
+// automata use the package automata JSON interchange format; the property
+// is stored as CCTL text (generated properties round-trip through the
+// parser — see gen's round-trip test).
+type reproFile struct {
+	Check    string          `json:"check"`
+	Detail   string          `json:"detail,omitempty"`
+	Seed     int64           `json:"seed,omitempty"`
+	Property string          `json:"property,omitempty"`
+	Context  json.RawMessage `json:"context"`
+	Legacy   json.RawMessage `json:"legacy"`
+}
+
+// WriteRepro stores a (typically shrunk) failure as a regression-corpus
+// entry at the given path.
+func WriteRepro(path string, f *Failure) error {
+	ctx, err := automata.EncodeJSON(f.Instance.Context)
+	if err != nil {
+		return fmt.Errorf("mbt: encode context: %w", err)
+	}
+	leg, err := automata.EncodeJSON(f.Instance.Legacy)
+	if err != nil {
+		return fmt.Errorf("mbt: encode legacy: %w", err)
+	}
+	spec := reproFile{
+		Check:   f.Check,
+		Detail:  f.Detail,
+		Seed:    f.Instance.Seed,
+		Context: ctx,
+		Legacy:  leg,
+	}
+	if f.Instance.Property != nil {
+		spec.Property = f.Instance.Property.String()
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReproName derives a corpus file name from a failure.
+func ReproName(f *Failure) string {
+	return fmt.Sprintf("%s-seed%d.json", f.Check, f.Instance.Seed)
+}
+
+// LoadRepro reads a corpus entry back into an instance and the name of the
+// check it once failed.
+func LoadRepro(path string) (*gen.Instance, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var spec reproFile
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, "", fmt.Errorf("mbt: %s: %w", path, err)
+	}
+	ctx, err := automata.DecodeJSON(spec.Context)
+	if err != nil {
+		return nil, "", fmt.Errorf("mbt: %s: context: %w", path, err)
+	}
+	leg, err := automata.DecodeJSON(spec.Legacy)
+	if err != nil {
+		return nil, "", fmt.Errorf("mbt: %s: legacy: %w", path, err)
+	}
+	inst := &gen.Instance{Seed: spec.Seed, Cfg: gen.DefaultConfig(), Context: ctx, Legacy: leg}
+	if spec.Property != "" {
+		prop, err := ctl.Parse(spec.Property)
+		if err != nil {
+			return nil, "", fmt.Errorf("mbt: %s: property: %w", path, err)
+		}
+		inst.Property = prop
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, "", fmt.Errorf("mbt: %s: %w", path, err)
+	}
+	return inst, spec.Check, nil
+}
+
+// CorpusFiles lists the repro entries under a corpus directory.
+func CorpusFiles(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, "*.json"))
+}

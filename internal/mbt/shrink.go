@@ -1,0 +1,106 @@
+package mbt
+
+import (
+	"muml/internal/automata"
+	"muml/internal/gen"
+)
+
+// shrinkBudget caps the number of oracle invocations one Shrink call may
+// spend; greedy minimization stops early rather than stalling a soak run
+// on a pathological instance.
+const shrinkBudget = 400
+
+// Shrink greedily minimizes a failing instance: it repeatedly tries to
+// drop the property, a state, a transition, or a signal, keeping any
+// reduction under which the *same* check still fails, until no single
+// removal reproduces (a local minimum) or the budget is exhausted. The
+// returned failure carries the minimized instance; its Seed is cleared
+// because the instance no longer corresponds to a generator seed.
+func Shrink(f *Failure, opts Options) *Failure {
+	if f == nil {
+		return nil
+	}
+	cur := f
+	budget := shrinkBudget
+	reproduces := func(cand *gen.Instance) *Failure {
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		if err := cand.Validate(); err != nil {
+			return nil
+		}
+		got := CheckInstance(cand, opts)
+		if got != nil && got.Check == f.Check {
+			return got
+		}
+		return nil
+	}
+	for budget > 0 {
+		next := shrinkStep(cur.Instance, reproduces)
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// shrinkStep tries every single-removal candidate in order of expected
+// payoff and returns the first failure that reproduces, or nil at a local
+// minimum. Untouched automata are shared between the original and the
+// candidate — nothing in the oracle mutates them.
+func shrinkStep(inst *gen.Instance, reproduces func(*gen.Instance) *Failure) *Failure {
+	derive := func(mutate func(*gen.Instance)) *Failure {
+		cand := &gen.Instance{Cfg: inst.Cfg, Context: inst.Context, Legacy: inst.Legacy, Property: inst.Property}
+		mutate(cand)
+		if cand.Context == nil || cand.Legacy == nil {
+			return nil
+		}
+		return reproduces(cand)
+	}
+
+	if inst.Property != nil {
+		if got := derive(func(c *gen.Instance) { c.Property = nil }); got != nil {
+			return got
+		}
+	}
+	// States, highest ID first: generated automata mark state 0 initial,
+	// so this order leaves the initial state for last (where DropState
+	// refuses it anyway).
+	for id := inst.Legacy.NumStates() - 1; id >= 0; id-- {
+		victim := automata.StateID(id)
+		if got := derive(func(c *gen.Instance) { c.Legacy = gen.DropState(inst.Legacy, victim) }); got != nil {
+			return got
+		}
+	}
+	for id := inst.Context.NumStates() - 1; id >= 0; id-- {
+		victim := automata.StateID(id)
+		if got := derive(func(c *gen.Instance) { c.Context = gen.DropState(inst.Context, victim) }); got != nil {
+			return got
+		}
+	}
+	for i := inst.Legacy.NumTransitions() - 1; i >= 0; i-- {
+		idx := i
+		if got := derive(func(c *gen.Instance) { c.Legacy = gen.DropTransition(inst.Legacy, idx) }); got != nil {
+			return got
+		}
+	}
+	for i := inst.Context.NumTransitions() - 1; i >= 0; i-- {
+		idx := i
+		if got := derive(func(c *gen.Instance) { c.Context = gen.DropTransition(inst.Context, idx) }); got != nil {
+			return got
+		}
+	}
+	signals := append(inst.Legacy.Inputs().Signals(), inst.Legacy.Outputs().Signals()...)
+	for _, sig := range signals {
+		victim := sig
+		if got := derive(func(c *gen.Instance) {
+			c.Legacy = gen.DropSignal(inst.Legacy, victim)
+			c.Context = gen.DropSignal(inst.Context, victim)
+		}); got != nil {
+			return got
+		}
+	}
+	return nil
+}
