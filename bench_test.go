@@ -8,14 +8,17 @@ package muml_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"muml/internal/automata"
+	"muml/internal/batch"
 	"muml/internal/conformance"
 	"muml/internal/core"
 	"muml/internal/crossing"
 	"muml/internal/ctl"
 	"muml/internal/experiments"
+	"muml/internal/gen"
 	"muml/internal/learning"
 	"muml/internal/legacy"
 	"muml/internal/obs"
@@ -486,5 +489,42 @@ func pongerIface(idx string) legacy.Interface {
 		Name:    "service" + idx,
 		Inputs:  automata.NewSignalSet(automata.Signal("ping" + idx)),
 		Outputs: automata.NewSignalSet(automata.Signal("pong" + idx)),
+	}
+}
+
+// BenchmarkBatchThroughput: the same 32-instance generated batch through
+// the internal/batch pool sequentially and at GOMAXPROCS workers, each
+// with a fresh shared memo cache. Per-op metrics report instances/sec and
+// the cache hit rate; compare the legs (and the committed BENCH_batch.json
+// regenerated by `experiments -batch`) for the parallel speedup. On a
+// single-core runner the legs should be within noise of each other.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const instances = 32
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts[1] = 8 // still exercise the stealing/cache paths
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var throughput, hitRate float64
+			for i := 0; i < b.N; i++ {
+				sum, err := batch.Verify(batch.GenItems(1, instances, gen.DefaultConfig()), batch.Options{
+					Workers: workers,
+					Memo:    automata.NewMemoCache(nil),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Errored != 0 {
+					b.Fatalf("%d instances errored", sum.Errored)
+				}
+				throughput = sum.Throughput()
+				if total := sum.CacheHits + sum.CacheMisses; total > 0 {
+					hitRate = float64(sum.CacheHits) / float64(total)
+				}
+			}
+			b.ReportMetric(throughput, "instances/sec")
+			b.ReportMetric(hitRate, "memo-hit-rate")
+		})
 	}
 }

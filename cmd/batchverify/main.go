@@ -1,0 +1,175 @@
+// Command batchverify runs many independent synthesis instances
+// concurrently on the internal/batch work-stealing pool and reports
+// per-instance verdicts plus aggregate throughput.
+//
+//	batchverify -seed 1 -n 64 -workers 8
+//	batchverify -scenarios -workers 2 -deadline 5s
+//	batchverify -manifest batch.jsonl -journal run.jsonl -metrics
+//
+// Instances come from one of three sources: seeded generator instances
+// (-seed/-n, optionally -wide/-max-states), the railroad-crossing example
+// scenarios (-scenarios), or a JSONL manifest (-manifest) with lines like
+// {"seed": 42, "config": "wide"}. Exit status: 0 when every instance
+// reached a verdict, 1 when any errored or panicked, 2 on usage errors,
+// 3 when instances timed out (but none hard-errored).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"muml/internal/automata"
+	"muml/internal/batch"
+	"muml/internal/core"
+	"muml/internal/gen"
+	"muml/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("batchverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workers   = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		deadline  = fs.Duration("deadline", 0, "per-instance deadline (0 = unbounded)")
+		manifest  = fs.String("manifest", "", "JSONL manifest of instances (one {\"seed\":..,\"config\":..} per line)")
+		scenarios = fs.Bool("scenarios", false, "run the railroad-crossing example scenarios")
+		seed      = fs.Int64("seed", 1, "generator seed of the first instance")
+		n         = fs.Int("n", 64, "number of generated instances")
+		wide      = fs.Bool("wide", false, "use the wide-alphabet generator configuration")
+		maxStates = fs.Int("max-states", 0, "cap on states per generated automaton (0 = generator default)")
+		noMemo    = fs.Bool("no-memo", false, "disable the shared closure/product memo cache")
+		journal   = fs.String("journal", "", "write the batch event journal (JSONL) to this file")
+		metrics   = fs.Bool("metrics", false, "print batch counters and timers on exit")
+		verbose   = fs.Bool("v", false, "print every instance result, not just the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "batchverify: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *manifest != "" && *scenarios {
+		fmt.Fprintf(stderr, "batchverify: -manifest and -scenarios are mutually exclusive\n")
+		return 2
+	}
+
+	var items []batch.Item
+	switch {
+	case *manifest != "":
+		f, err := os.Open(*manifest)
+		if err != nil {
+			fmt.Fprintf(stderr, "batchverify: %v\n", err)
+			return 2
+		}
+		items, err = batch.ManifestItems(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "batchverify: %v\n", err)
+			return 2
+		}
+	case *scenarios:
+		items = batch.ScenarioItems()
+	default:
+		if *n <= 0 {
+			fmt.Fprintf(stderr, "batchverify: -n must be positive\n")
+			return 2
+		}
+		cfg := gen.DefaultConfig()
+		if *wide {
+			cfg = gen.WideConfig()
+		}
+		if *maxStates > 0 {
+			cfg.MaxLegacyStates = *maxStates
+			cfg.MaxContextStates = *maxStates
+		}
+		items = batch.GenItems(*seed, *n, cfg)
+	}
+	if len(items) == 0 {
+		fmt.Fprintf(stderr, "batchverify: no instances to run\n")
+		return 2
+	}
+
+	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *metrics})
+	if err != nil {
+		fmt.Fprintf(stderr, "batchverify: %v\n", err)
+		return 1
+	}
+	defer obsRun.Close()
+
+	var memo *automata.MemoCache
+	if !*noMemo {
+		memo = automata.NewMemoCache(obsRun.Journal)
+	}
+	sum, err := batch.Verify(items, batch.Options{
+		Workers:  *workers,
+		Deadline: *deadline,
+		Memo:     memo,
+		Journal:  obsRun.Journal,
+		Metrics:  obsRun.Registry,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "batchverify: %v\n", err)
+		return 1
+	}
+
+	hardErrors := 0
+	for _, res := range sum.Results {
+		if res.Err != nil && !res.TimedOut {
+			hardErrors++
+		}
+		if *verbose || res.Err != nil {
+			w := stdout
+			if res.Err != nil {
+				w = stderr
+			}
+			fmt.Fprintf(w, "%s\n", describe(res))
+		}
+	}
+
+	fmt.Fprintf(stdout,
+		"batchverify: %d instances on %d workers in %v (%.1f/s, %d steals): %d proven, %d violations, %d timed out, %d errors\n",
+		len(sum.Results), sum.Workers, sum.Duration.Round(time.Millisecond), sum.Throughput(),
+		sum.Steals, sum.Proven, sum.Violations, sum.TimedOut, sum.Errored-sum.TimedOut)
+	if memo != nil {
+		hits, misses, entries := memo.Stats()
+		fmt.Fprintf(stdout, "batchverify: memo cache: %d hits, %d misses, %d entries\n", hits, misses, entries)
+	}
+	obsRun.DumpMetrics(stdout)
+
+	switch {
+	case hardErrors > 0:
+		return 1
+	case sum.TimedOut > 0:
+		return 3
+	}
+	return 0
+}
+
+func describe(res batch.Result) string {
+	switch {
+	case res.TimedOut:
+		return fmt.Sprintf("%-28s TIMEOUT after %v (worker %d): %v",
+			res.Name, res.Duration.Round(time.Millisecond), res.Worker, res.Err)
+	case res.Panicked:
+		return fmt.Sprintf("%-28s PANIC (worker %d): %v", res.Name, res.Worker, res.Err)
+	case res.Err != nil:
+		return fmt.Sprintf("%-28s ERROR (worker %d): %v", res.Name, res.Worker, res.Err)
+	case res.Verdict == core.VerdictViolation:
+		return fmt.Sprintf("%-28s %s (%s) in %d iterations, %v (worker %d)",
+			res.Name, res.Verdict, res.Kind, res.Iterations,
+			res.Duration.Round(time.Millisecond), res.Worker)
+	default:
+		return fmt.Sprintf("%-28s %s in %d iterations, %v (worker %d)",
+			res.Name, res.Verdict, res.Iterations,
+			res.Duration.Round(time.Millisecond), res.Worker)
+	}
+}

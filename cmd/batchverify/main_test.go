@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunGenerated(t *testing.T) {
+	code, out, errOut := runCLI(t, "-seed", "1", "-n", "8", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "8 instances on 4 workers") {
+		t.Errorf("summary missing: %q", out)
+	}
+	if !strings.Contains(out, "memo cache:") {
+		t.Errorf("memo stats missing: %q", out)
+	}
+}
+
+func TestRunScenariosVerbose(t *testing.T) {
+	code, out, errOut := runCLI(t, "-scenarios", "-v", "-workers", "2", "-no-memo")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"crossing-swift-constraint", "crossing-stuck-constraint", "violation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "memo cache:") {
+		t.Errorf("-no-memo still printed cache stats: %q", out)
+	}
+}
+
+func TestRunManifestAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "batch.jsonl")
+	journal := filepath.Join(dir, "run.jsonl")
+	lines := "# two tiny instances\n{\"seed\": 3}\n{\"seed\": 4, \"name\": \"second\"}\n"
+	if err := os.WriteFile(manifest, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-manifest", manifest, "-journal", journal, "-metrics", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "2 instances") {
+		t.Errorf("summary missing: %q", out)
+	}
+	if !strings.Contains(out, "batch.instances") {
+		t.Errorf("-metrics table missing: %q", out)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"batch_start", "instance_done"} {
+		if !strings.Contains(string(data), kind) {
+			t.Errorf("journal missing %s events:\n%s", kind, data)
+		}
+	}
+}
+
+func TestRunTimeoutExitCode(t *testing.T) {
+	// Wide instances under a 1ns deadline cannot finish: expect exit 3.
+	code, _, _ := runCLI(t, "-seed", "7", "-n", "2", "-wide", "-max-states", "6",
+		"-deadline", "1ns", "-workers", "1")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 on timeout", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-bogus-flag"},
+		{"-manifest", "nonexistent.jsonl"},
+		{"-manifest", "x", "-scenarios"},
+		{"positional"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command benchcmp compares two benchmark report JSON documents (the
+// committed BENCH_*.json baselines vs freshly measured ones) and fails
+// when a wall-time metric regresses beyond the threshold.
+//
+//	benchcmp BENCH_incremental.json /tmp/incremental.json
+//	benchcmp -threshold 0.5 -keys wall_ns,ns_per_instance old.json new.json
+//
+// Both documents are walked structurally: objects by key, arrays element
+// by element (by their "name" field when present, so reordered or added
+// scenarios still line up). Only numeric leaves whose key matches -keys
+// are compared — these are lower-is-better nanosecond aggregates; noisy
+// per-iteration breakdowns are ignored. A metric present only in the
+// baseline is a failure (a scenario silently disappeared); a metric only
+// in the current report is informational. Exit status: 0 when within the
+// threshold, 1 on regression or missing metrics, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 0.30, "allowed relative slowdown before failing (0.30 = +30%)")
+		keys      = fs.String("keys", "wall_ns,ns_per_instance", "comma-separated numeric leaf keys to compare (lower is better)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintf(stderr, "benchcmp: usage: benchcmp [flags] baseline.json current.json\n")
+		fs.Usage()
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintf(stderr, "benchcmp: -threshold must be positive\n")
+		return 2
+	}
+	compared := map[string]bool{}
+	for _, k := range strings.Split(*keys, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			compared[k] = true
+		}
+	}
+	if len(compared) == 0 {
+		fmt.Fprintf(stderr, "benchcmp: -keys selects nothing\n")
+		return 2
+	}
+
+	baseline, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+	current, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+
+	base := map[string]float64{}
+	cur := map[string]float64{}
+	collect(baseline, "", compared, base)
+	collect(current, "", compared, cur)
+	if len(base) == 0 {
+		fmt.Fprintf(stderr, "benchcmp: baseline %s has no %v metrics\n", fs.Arg(0), sortedKeys(compared))
+		return 2
+	}
+
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	failures := 0
+	for _, p := range paths {
+		b := base[p]
+		c, ok := cur[p]
+		if !ok {
+			fmt.Fprintf(stderr, "MISSING %-52s baseline %.0fns, absent from current report\n", p, b)
+			failures++
+			continue
+		}
+		ratio := 0.0
+		if b > 0 {
+			ratio = c/b - 1
+		}
+		switch {
+		case b > 0 && ratio > *threshold:
+			fmt.Fprintf(stderr, "REGRESS %-52s %.0fns -> %.0fns (%+.1f%%, limit %+.0f%%)\n",
+				p, b, c, 100*ratio, 100**threshold)
+			failures++
+		default:
+			fmt.Fprintf(stdout, "ok      %-52s %.0fns -> %.0fns (%+.1f%%)\n", p, b, c, 100*ratio)
+		}
+	}
+	for p := range cur {
+		if _, ok := base[p]; !ok {
+			fmt.Fprintf(stdout, "new     %-52s %.0fns (no baseline)\n", p, cur[p])
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(stderr, "benchcmp: %d metric(s) regressed beyond %+.0f%%\n", failures, 100**threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchcmp: %d metric(s) within %+.0f%%\n", len(paths), 100**threshold)
+	return 0
+}
+
+func load(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// collect walks the document and records every selected numeric leaf under
+// a slash-separated structural path. Array elements carrying a "name"
+// field are addressed by it so report reordering does not shift paths.
+func collect(doc any, path string, keys map[string]bool, out map[string]float64) {
+	switch v := doc.(type) {
+	case map[string]any:
+		for k, child := range v {
+			if num, ok := child.(float64); ok && keys[k] {
+				out[join(path, k)] = num
+				continue
+			}
+			collect(child, join(path, k), keys, out)
+		}
+	case []any:
+		for i, child := range v {
+			label := fmt.Sprintf("%d", i)
+			if m, ok := child.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					label = name
+				}
+			}
+			collect(child, join(path, label), keys, out)
+		}
+	}
+}
+
+func join(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "/" + key
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+const baseline = `{
+  "scenarios": [
+    {"name": "a", "incremental": {"wall_ns": 1000, "compose_ns": 1}, "rebuild": {"wall_ns": 2000}},
+    {"name": "b", "incremental": {"wall_ns": 5000}}
+  ],
+  "parallel": {"ns_per_instance": 100}
+}`
+
+func TestWithinThreshold(t *testing.T) {
+	current := strings.ReplaceAll(baseline, "1000", "1200") // +20% < 30%
+	code, out, errOut := runCLI(t, write(t, "base.json", baseline), write(t, "cur.json", current))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "within +30%") {
+		t.Errorf("summary missing: %q", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	current := strings.ReplaceAll(baseline, `"wall_ns": 5000`, `"wall_ns": 9000`) // +80%
+	code, _, errOut := runCLI(t, write(t, "base.json", baseline), write(t, "cur.json", current))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "REGRESS") || !strings.Contains(errOut, "scenarios/b/incremental/wall_ns") {
+		t.Errorf("regression report missing: %q", errOut)
+	}
+	// compose_ns is not a compared key: inflating it must not fail.
+	current = strings.ReplaceAll(baseline, `"compose_ns": 1`, `"compose_ns": 99999`)
+	if code, _, errOut := runCLI(t, write(t, "b2.json", baseline), write(t, "c2.json", current)); code != 0 {
+		t.Errorf("uncompared key caused failure: exit %d, %s", code, errOut)
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	current := strings.ReplaceAll(baseline, "1000", "1200") // +20%
+	code, _, _ := runCLI(t, "-threshold", "0.1",
+		write(t, "base.json", baseline), write(t, "cur.json", current))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 at 10%% threshold", code)
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	current := `{"scenarios": [{"name": "a", "incremental": {"wall_ns": 1000}, "rebuild": {"wall_ns": 2000}}]}`
+	code, _, errOut := runCLI(t, write(t, "base.json", baseline), write(t, "cur.json", current))
+	if code != 1 || !strings.Contains(errOut, "MISSING") {
+		t.Fatalf("exit %d, stderr %q; want MISSING failure", code, errOut)
+	}
+}
+
+func TestArrayMatchingByName(t *testing.T) {
+	// Same scenarios, reversed order: paths must still line up.
+	current := `{
+  "scenarios": [
+    {"name": "b", "incremental": {"wall_ns": 5100}},
+    {"name": "a", "incremental": {"wall_ns": 1000, "compose_ns": 1}, "rebuild": {"wall_ns": 2000}}
+  ],
+  "parallel": {"ns_per_instance": 100}
+}`
+	code, _, errOut := runCLI(t, write(t, "base.json", baseline), write(t, "cur.json", current))
+	if code != 0 {
+		t.Fatalf("reordered scenarios failed: exit %d, %s", code, errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	base := write(t, "base.json", baseline)
+	for _, args := range [][]string{
+		{},
+		{base},
+		{base, "nonexistent.json"},
+		{"-threshold", "0", base, base},
+		{"-keys", " ", base, base},
+		{write(t, "empty.json", `{}`), base},
+		{write(t, "junk.json", `not json`), base},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestCommittedBaselinesAreComparable(t *testing.T) {
+	// The committed reports must compare clean against themselves, so the
+	// CI gate's only moving part is the fresh measurement.
+	for _, name := range []string{"BENCH_incremental.json", "BENCH_batch.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if code, _, errOut := runCLI(t, path, path); code != 0 {
+			t.Errorf("%s vs itself: exit %d, %s", name, code, errOut)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	experiments -run E5
 //	experiments -all [-report EXPERIMENTS.md]
 //	experiments -timings BENCH_incremental.json
+//	experiments -batch BENCH_batch.json
 package main
 
 import (
@@ -36,6 +37,10 @@ func run() error {
 		parallel   = flag.Int("parallel", 1, "number of experiments to run concurrently (with -all)")
 		report     = flag.String("report", "", "write the markdown report to this file (with -all)")
 		timings    = flag.String("timings", "", "run the incremental-vs-rebuild timing scenarios and write per-iteration stats as JSON to this file")
+		batchOut   = flag.String("batch", "", "run the batch-throughput scenario (sequential vs parallel) and write the report as JSON to this file")
+		batchN     = flag.Int("batch-n", 64, "number of generated instances for -batch")
+		batchSeed  = flag.Int64("batch-seed", 1, "generator seed of the first -batch instance")
+		batchW     = flag.Int("batch-workers", 0, "parallel worker count for -batch (0 = GOMAXPROCS)")
 		journal    = flag.String("journal", "", "write the structured run journal (JSONL) to this file")
 		metrics    = flag.Bool("metrics", false, "collect span timers and counters; print the table after the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,6 +67,24 @@ func run() error {
 	defer run.DumpMetrics(os.Stderr)
 
 	switch {
+	case *batchOut != "":
+		rep, err := experiments.CollectBatchBench(*batchSeed, *batchN, *batchW, run.Journal, run.Registry)
+		if err != nil {
+			return err
+		}
+		data, err := experiments.MarshalBatchBench(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*batchOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write batch report: %w", err)
+		}
+		fmt.Printf("batch: %d instances, %d workers vs sequential: %.2fx speedup (%.1f/s vs %.1f/s, gomaxprocs %d)\n",
+			rep.Instances, rep.Parallel.Workers, rep.Speedup,
+			rep.Parallel.Throughput, rep.Sequential.Throughput, rep.MaxProcs)
+		fmt.Printf("batch report written to %s\n", *batchOut)
+		return nil
+
 	case *timings != "":
 		rep, err := experiments.CollectTimings(run.Journal, run.Registry)
 		if err != nil {

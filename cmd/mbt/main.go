@@ -6,12 +6,17 @@
 //	mbt -seed 1 -n 200
 //	mbt -seed 42 -n 5000 -max-states 8 -skip-laws
 //	mbt -seed 7 -n 100 -journal soak.jsonl -corpus internal/mbt/testdata
+//	mbt -seed 1 -n 100000 -deadline 5m
 //
 // The run is fully reproducible: instance k uses generator seed
 // seed+k, so a reported failing seed can be replayed with -seed <s> -n 1.
+// Exit status: 0 when every instance passed, 1 on soundness failures,
+// 2 on usage errors, 3 when -deadline expired before the soak finished
+// (no failures among the instances that did run).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		skipLaws  = fs.Bool("skip-laws", false, "check verdict soundness only, skipping the algebraic-law oracles")
 		journal   = fs.String("journal", "", "write the synthesis event journal (JSONL) to this file")
 		corpus    = fs.String("corpus", "", "directory to write shrunk repros of failures into (empty = report only)")
+		deadline  = fs.Duration("deadline", 0, "overall wall-clock budget for the soak (0 = unbounded); exceeding it exits 3")
 		verbose   = fs.Bool("v", false, "log every instance, not just failures")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +74,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer obsRun.Close()
-	opts := mbt.Options{Journal: obsRun.Journal, SkipLaws: *skipLaws}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	opts := mbt.Options{Journal: obsRun.Journal, SkipLaws: *skipLaws, Context: ctx}
+	timedOut := false
 
 	var stats struct {
 		run, failures, shrunk    int
@@ -76,6 +90,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		deadlockFree, deadlocked int
 	}
 	for i := 0; i < *n; i++ {
+		if ctx.Err() != nil {
+			timedOut = true
+			fmt.Fprintf(stderr, "mbt: deadline %v exceeded after %d of %d instances\n", *deadline, i, *n)
+			break
+		}
 		s := *seed + int64(i)
 		inst, err := gen.New(s, cfg)
 		if err != nil {
@@ -102,6 +121,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f := mbt.CheckInstance(inst, opts)
 		if f == nil {
 			continue
+		}
+		if f.Canceled() {
+			timedOut = true
+			stats.run-- // the verdict was never reached
+			fmt.Fprintf(stderr, "mbt: deadline %v exceeded during seed %d (%d of %d instances done)\n",
+				*deadline, s, i, *n)
+			break
 		}
 		stats.failures++
 		fmt.Fprintf(stderr, "FAIL seed %d: %v\n", s, f)
@@ -130,6 +156,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if stats.failures > 0 {
 		fmt.Fprintf(stdout, "mbt: %d soundness FAILURES (%d shrunk)\n", stats.failures, stats.shrunk)
 		return 1
+	}
+	if timedOut {
+		fmt.Fprintf(stdout, "mbt: no failures in the %d instances that ran before the deadline\n", stats.run)
+		return 3
 	}
 	fmt.Fprintf(stdout, "mbt: all checks passed\n")
 	return 0

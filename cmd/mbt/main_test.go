@@ -39,3 +39,19 @@ func TestRunReportsJournalOpenFailure(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }
+
+func TestRunDeadlineExitCode(t *testing.T) {
+	// A 1ns budget cannot finish even one instance: the soak must stop
+	// early and exit 3 (timeout), not 1 (soundness failure).
+	var out, errBuf strings.Builder
+	code := run([]string{"-seed", "1", "-n", "50", "-deadline", "1ns"}, &out, &errBuf)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stdout: %s stderr: %s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "deadline") {
+		t.Errorf("stderr missing deadline notice: %s", errBuf.String())
+	}
+	if strings.Contains(out.String(), "FAILURES") {
+		t.Errorf("timeout misreported as soundness failure: %s", out.String())
+	}
+}

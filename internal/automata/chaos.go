@@ -1,5 +1,7 @@
 package automata
 
+import "context"
+
 // This file implements the chaotic automaton (Definition 8) and the chaotic
 // closure (Definition 9).
 //
@@ -63,6 +65,41 @@ const (
 // states s_all and s_delta are labeled with the chaos proposition χ only
 // (see ChaosProposition for how formulas are weakened accordingly).
 func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
+	c, err := ChaoticClosureCtx(context.Background(), m, universe, nil)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return c
+}
+
+// ChaoticClosureCtx is ChaoticClosure under a context and an optional
+// memoization cache. Construction polls the context between states and
+// aborts with its error once it is done. When a cache is given, the model
+// and the universe's enumeration over its alphabets are fingerprinted and
+// an identical prior closure is answered with a private clone of the
+// cached result. Both features are zero-cost when disabled (background
+// context, nil cache).
+func ChaoticClosureCtx(ctx context.Context, m *Incomplete, universe InteractionUniverse, memo *MemoCache) (*Automaton, error) {
+	var fpM, fpU uint64
+	if memo != nil {
+		fpM = m.Fingerprint()
+		fpU = UniverseFingerprint(universe, m.auto.inputs, m.auto.outputs)
+		if hit, ok := memo.lookup(memoClosure, fpM, fpU, m.auto.name); ok {
+			return hit, nil
+		}
+	}
+	c, err := chaoticClosure(m, universe, newCtxPoll(ctx))
+	if err != nil {
+		return nil, err
+	}
+	memo.store(memoClosure, fpM, fpU, c)
+	return c, nil
+}
+
+// chaoticClosure is the construction shared by ChaoticClosure and
+// ChaoticClosureCtx; a stopped poller aborts it with the context's error.
+func chaoticClosure(m *Incomplete, universe InteractionUniverse, p *ctxPoll) (*Automaton, error) {
 	obsClosureBuilds.Add(1)
 	src := m.auto
 	labels := universe.Enumerate(src.inputs, src.outputs)
@@ -88,6 +125,9 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 
 	// Learned transitions go from both copies to both copies.
 	for from, ts := range src.adj {
+		if p.stop() {
+			return nil, p.err
+		}
 		for _, t := range ts {
 			appendTransitions(c, closed[from],
 				Transition{Label: t.Label, To: closed[t.To]},
@@ -133,6 +173,9 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 		}
 		known := make(map[InternKey]struct{})
 		for id := range src.states {
+			if p.stop() {
+				return nil, p.err
+			}
 			s := StateID(id)
 			clear(known)
 			for _, t := range src.adj[s] {
@@ -155,6 +198,9 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 		}
 		known := make(map[string]struct{})
 		for id := range src.states {
+			if p.stop() {
+				return nil, p.err
+			}
 			s := StateID(id)
 			clear(known)
 			for _, t := range src.adj[s] {
@@ -181,7 +227,7 @@ func ChaoticClosure(m *Incomplete, universe InteractionUniverse) *Automaton {
 		c.MarkInitial(closed[q])
 		c.MarkInitial(open[q])
 	}
-	return c
+	return c, nil
 }
 
 // appendTransitions appends pre-validated transitions to a state's adjacency

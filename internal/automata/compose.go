@@ -1,6 +1,7 @@
 package automata
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -8,6 +9,45 @@ import (
 
 	"muml/internal/obs"
 )
+
+// ctxPollInterval rate-limits context polling inside construction BFS
+// loops: one Err() call per this many dequeued states bounds cancellation
+// latency without a per-state syscall-adjacent check.
+const ctxPollInterval = 256
+
+// ctxPoll polls a context at a bounded rate. The zero poll happens on the
+// first stop() call, so an already-expired deadline aborts before any
+// work. A nil *ctxPoll (or one over a background context) never stops.
+type ctxPoll struct {
+	ctx   context.Context
+	err   error
+	count int
+}
+
+func newCtxPoll(ctx context.Context) *ctxPoll {
+	if ctx == nil || ctx == context.Background() || ctx == context.TODO() {
+		return nil
+	}
+	return &ctxPoll{ctx: ctx, count: 1}
+}
+
+func (p *ctxPoll) stop() bool {
+	if p == nil {
+		return false
+	}
+	if p.err != nil {
+		return true
+	}
+	if p.count--; p.count > 0 {
+		return false
+	}
+	p.count = ctxPollInterval
+	if err := p.ctx.Err(); err != nil {
+		p.err = err
+		return true
+	}
+	return false
+}
 
 // Compose builds the parallel composition M‖M' of Definition 3. The two
 // automata must be composable: I ∩ I' = ∅ and O ∩ O' = ∅.
@@ -28,6 +68,16 @@ import (
 // loop runs on interned bitset labels; the result is identical to the
 // slice-based fallback, including state and transition order.
 func Compose(name string, left, right *Automaton) (*Automaton, error) {
+	return ComposeCtx(context.Background(), name, left, right, nil)
+}
+
+// ComposeCtx is Compose under a context and an optional memoization cache.
+// The product BFS polls the context and aborts with its error once it is
+// done. When a cache is given, the operands are fingerprinted and an
+// identical prior composition is answered with a private clone of the
+// cached result; misses are stored for future calls. Both features are
+// zero-cost when disabled (background context, nil cache).
+func ComposeCtx(ctx context.Context, name string, left, right *Automaton, memo *MemoCache) (*Automaton, error) {
 	if !left.inputs.Disjoint(right.inputs) {
 		return nil, fmt.Errorf("automata: compose %q‖%q: shared inputs %v",
 			left.name, right.name, left.inputs.Intersect(right.inputs))
@@ -40,23 +90,38 @@ func Compose(name string, left, right *Automaton) (*Automaton, error) {
 		return nil, fmt.Errorf("automata: compose %q‖%q: missing initial states", left.name, right.name)
 	}
 
+	var fpL, fpR uint64
+	if memo != nil {
+		fpL, fpR = left.Fingerprint(), right.Fingerprint()
+		if hit, ok := memo.lookup(memoCompose, fpL, fpR, name); ok {
+			return hit, nil
+		}
+	}
+
 	c := New(name, left.inputs.Union(right.inputs), left.outputs.Union(right.outputs))
 	c.leaves = append(append([]leafInfo(nil), left.leaves...), right.leaves...)
 
+	p := newCtxPoll(ctx)
+	built := false
 	if in, ok := NewInterner(c.inputs, c.outputs); ok {
-		if composeFast(c, left, right, in) {
-			return c, nil
-		}
+		built = composeFast(c, left, right, in, p)
 	}
-	composeSlow(c, left, right)
+	if !built {
+		composeSlow(c, left, right, p)
+	}
+	if p != nil && p.err != nil {
+		return nil, p.err
+	}
+	memo.store(memoCompose, fpL, fpR, c)
 	return c, nil
 }
 
 // composeFast runs the product BFS on interned labels. It reports false
 // (leaving c's states untouched) only if a label unexpectedly falls outside
 // the interner's alphabet, in which case the caller falls back to the
-// slice-based path.
-func composeFast(c, left, right *Automaton, in *Interner) bool {
+// slice-based path. A stopped poller aborts the BFS; the caller surfaces
+// the context error.
+func composeFast(c, left, right *Automaton, in *Interner, p *ctxPoll) bool {
 	leftAdj, ok := maskAdjacency(left, in)
 	if !ok {
 		return false
@@ -93,12 +158,12 @@ func composeFast(c, left, right *Automaton, in *Interner) bool {
 		to StateID
 	}
 	seen := make(map[dupKey]struct{})
-	for head := 0; head < len(queue); head++ {
-		p := queue[head]
-		from := ids[p]
+	for head := 0; head < len(queue) && !p.stop(); head++ {
+		pr := queue[head]
+		from := ids[pr]
 		clear(seen)
-		for _, tl := range leftAdj[p.l] {
-			for _, tr := range rightAdj[p.r] {
+		for _, tl := range leftAdj[pr.l] {
+			for _, tr := range rightAdj[pr.r] {
 				if tl.in&rightOut != tr.out {
 					continue
 				}
@@ -133,8 +198,9 @@ func addComposedPairState(c, left, right *Automaton, l, r StateID) StateID {
 }
 
 // composeSlow is the slice-based product BFS, used when the combined
-// alphabet exceeds the interner width.
-func composeSlow(c, left, right *Automaton) {
+// alphabet exceeds the interner width. A stopped poller aborts the BFS;
+// the caller surfaces the context error.
+func composeSlow(c, left, right *Automaton, p *ctxPoll) {
 	type pair struct{ l, r StateID }
 	ids := make(map[pair]StateID)
 	var queue []pair
@@ -155,11 +221,11 @@ func composeSlow(c, left, right *Automaton) {
 		}
 	}
 
-	for head := 0; head < len(queue); head++ {
-		p := queue[head]
-		from := ids[p]
-		for _, tl := range left.adj[p.l] {
-			for _, tr := range right.adj[p.r] {
+	for head := 0; head < len(queue) && !p.stop(); head++ {
+		pr := queue[head]
+		from := ids[pr]
+		for _, tl := range left.adj[pr.l] {
+			for _, tr := range right.adj[pr.r] {
 				if !tl.Label.In.Intersect(right.outputs).Equal(tr.Label.Out) {
 					continue
 				}

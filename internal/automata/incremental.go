@@ -1,6 +1,7 @@
 package automata
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,6 +52,13 @@ type IncrementalSystem struct {
 	model    *Incomplete
 	universe InteractionUniverse
 
+	// runCtx, when non-nil, bounds every construction the system performs
+	// (initial build, rebuilds, patches): BFS loops poll it and abort with
+	// its error. memo, when non-nil, memoizes closure rebuilds across
+	// instances.
+	runCtx context.Context
+	memo   *MemoCache
+
 	in        *Interner
 	labels    []Interaction // universe enumeration over the model alphabets
 	labelKeys []InternKey
@@ -82,18 +90,32 @@ type IncrementalSystem struct {
 // model's closure (same requirements as Compose). Returns
 // ErrIncrementalUnsupported when the combined alphabet cannot be interned.
 func NewIncrementalSystem(context *Automaton, model *Incomplete, universe InteractionUniverse) (*IncrementalSystem, error) {
+	return NewIncrementalSystemWith(nil, context, model, universe, nil)
+}
+
+// NewIncrementalSystemWith is NewIncrementalSystem under a context and an
+// optional memoization cache. The context (when non-nil) bounds the initial
+// build and every later Apply; the cache memoizes closure rebuilds, which
+// across a batch of instances sharing an initial model turns all but the
+// first iteration-0 closure into a clone.
+func NewIncrementalSystemWith(ctx context.Context, ctxAuto *Automaton, model *Incomplete, universe InteractionUniverse, memo *MemoCache) (*IncrementalSystem, error) {
 	src := model.Automaton()
-	if !context.inputs.Disjoint(src.inputs) || !context.outputs.Disjoint(src.outputs) {
+	if !ctxAuto.inputs.Disjoint(src.inputs) || !ctxAuto.outputs.Disjoint(src.outputs) {
 		return nil, fmt.Errorf("automata: incremental system: context and model alphabets must be composable")
 	}
-	in, ok := NewInterner(context.inputs, context.outputs, src.inputs, src.outputs)
+	in, ok := NewInterner(ctxAuto.inputs, ctxAuto.outputs, src.inputs, src.outputs)
 	if !ok {
 		return nil, ErrIncrementalUnsupported
 	}
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil
+	}
 	ic := &IncrementalSystem{
-		context:  context,
+		context:  ctxAuto,
 		model:    model,
 		universe: universe,
+		runCtx:   ctx,
+		memo:     memo,
 		in:       in,
 		labels:   universe.Enumerate(src.inputs, src.outputs),
 	}
@@ -105,11 +127,11 @@ func NewIncrementalSystem(context *Automaton, model *Incomplete, universe Intera
 		}
 		ic.labelKeys[i] = k
 	}
-	ic.ctxMask, ok = maskAdjacency(context, in)
+	ic.ctxMask, ok = maskAdjacency(ctxAuto, in)
 	if !ok {
 		return nil, ErrIncrementalUnsupported
 	}
-	ic.ctxOut, _ = in.Mask(context.outputs)
+	ic.ctxOut, _ = in.Mask(ctxAuto.outputs)
 	ic.closOut, _ = in.Mask(src.outputs)
 	ic.lastReason = "initial-build"
 	if err := ic.rebuild(); err != nil {
@@ -150,7 +172,15 @@ func (ic *IncrementalSystem) Counts() (patches, rebuilds int) {
 // rebuild constructs closure and product from scratch and reindexes.
 func (ic *IncrementalSystem) rebuild() error {
 	src := ic.model.Automaton()
-	ic.closure = ChaoticClosure(ic.model, ic.universe)
+	ctx := ic.runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	closure, err := ChaoticClosureCtx(ctx, ic.model, ic.universe, ic.memo)
+	if err != nil {
+		return err
+	}
+	ic.closure = closure
 	ic.closed = make([]StateID, src.NumStates())
 	ic.open = make([]StateID, src.NumStates())
 	for id, st := range src.states {
@@ -190,7 +220,11 @@ func (ic *IncrementalSystem) rebuild() error {
 		}
 	}
 	seen := make(map[pairDupKey]struct{})
+	p := newCtxPoll(ic.runCtx)
 	for head := 0; head < len(queue); head++ {
+		if p.stop() {
+			return p.err
+		}
 		queue = ic.computePairAdjacency(queue[head], queue, seen)
 	}
 	ic.reachable = ic.product.NumStates()
@@ -351,9 +385,15 @@ func (ic *IncrementalSystem) Apply(delta LearnDelta) (bool, error) {
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	seen := make(map[pairDupKey]struct{})
+	p := newCtxPoll(ic.runCtx)
 	var queue []StateID
 	var prev StateID = NoState
 	for _, pid := range affected {
+		if p.stop() {
+			// The product is partially patched and unusable; the caller
+			// aborts the whole run on a context error.
+			return false, p.err
+		}
 		if pid == prev { // byClosure lists are disjoint per closure state, but be safe
 			continue
 		}
@@ -361,6 +401,9 @@ func (ic *IncrementalSystem) Apply(delta LearnDelta) (bool, error) {
 		queue = ic.computePairAdjacency(pid, queue, seen)
 	}
 	for head := 0; head < len(queue); head++ {
+		if p.stop() {
+			return false, p.err
+		}
 		queue = ic.computePairAdjacency(queue[head], queue, seen)
 	}
 

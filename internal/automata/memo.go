@@ -1,0 +1,164 @@
+package automata
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"muml/internal/obs"
+)
+
+// MemoCache memoizes the two expensive deterministic constructions of the
+// synthesis loop — chaotic closures and binary compositions — across
+// independent synthesis instances. Keys are structural fingerprints of the
+// operands (see Fingerprint); since ChaoticClosure and Compose are pure
+// functions of exactly the fingerprinted structure, a hit may substitute
+// the cached result for a rebuild.
+//
+// Coherence: masters stored in the cache are deep private copies and are
+// never handed out directly — Lookup returns a fresh deep clone per hit.
+// Callers (notably IncrementalSystem) mutate their automata in place, so
+// sharing a single instance across workers would race; clone-on-handout
+// keeps the cache sound at the cost of one copy per hit, which is still far
+// cheaper than the product BFS it replaces.
+//
+// The cache is sharded by key hash: concurrent batch workers hit different
+// shard mutexes, and each shard's critical section is a single map
+// operation (cloning happens outside the lock).
+//
+// A nil *MemoCache is a valid disabled cache: Lookup always misses and
+// Store is a no-op, so construction sites thread an optional cache without
+// branching.
+type MemoCache struct {
+	shards  [memoShardCount]memoShard
+	hits    atomic.Int64
+	misses  atomic.Int64
+	journal *obs.Journal // set at construction; may be nil
+}
+
+const memoShardCount = 16
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[memoKey]*Automaton
+}
+
+// memoOp distinguishes the memoized constructions so closure and compose
+// results with coincidentally equal operand hashes cannot alias.
+type memoOp uint8
+
+const (
+	memoCompose memoOp = iota + 1
+	memoClosure
+)
+
+func (op memoOp) String() string {
+	switch op {
+	case memoCompose:
+		return "compose"
+	case memoClosure:
+		return "closure"
+	}
+	return "unknown"
+}
+
+type memoKey struct {
+	op   memoOp
+	a, b uint64
+}
+
+// NewMemoCache creates an empty cache. The journal, when non-nil, receives
+// one cache_hit event per Lookup hit (s: op; n: key_a, key_b, hits); pass
+// nil for an unobserved cache.
+func NewMemoCache(journal *obs.Journal) *MemoCache {
+	c := &MemoCache{journal: journal}
+	for i := range c.shards {
+		c.shards[i].m = make(map[memoKey]*Automaton)
+	}
+	return c
+}
+
+func (c *MemoCache) shard(k memoKey) *memoShard {
+	return &c.shards[(k.a^k.b^uint64(k.op))%memoShardCount]
+}
+
+// lookup returns a private deep clone of the cached result under the given
+// name, or (nil, false) on a miss. Safe on a nil cache and from concurrent
+// goroutines.
+func (c *MemoCache) lookup(op memoOp, a, b uint64, name string) (*Automaton, bool) {
+	if c == nil {
+		return nil, false
+	}
+	k := memoKey{op: op, a: a, b: b}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	master := sh.m[k]
+	sh.mu.Unlock()
+	if master == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	hits := c.hits.Add(1)
+	if c.journal.Enabled() {
+		c.journal.Emit(obs.Event{Kind: obs.KindCacheHit, Iter: -1,
+			S: map[string]string{"op": op.String()},
+			N: map[string]int64{"key_a": int64(a), "key_b": int64(b), "hits": hits},
+		})
+	}
+	return master.cloneDeep(name), true
+}
+
+// store records the construction result. The cache keeps its own deep copy
+// as the master, so the caller remains free to mutate the original. The
+// first store for a key wins; concurrent duplicate stores are identical by
+// construction, so dropping the loser is sound.
+func (c *MemoCache) store(op memoOp, a, b uint64, auto *Automaton) {
+	if c == nil {
+		return
+	}
+	k := memoKey{op: op, a: a, b: b}
+	master := auto.cloneDeep(auto.name)
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if _, dup := sh.m[k]; !dup {
+		sh.m[k] = master
+	}
+	sh.mu.Unlock()
+}
+
+// Stats returns the hit and miss counts and the number of cached entries.
+func (c *MemoCache) Stats() (hits, misses, entries int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		entries += int64(len(sh.m))
+		sh.mu.Unlock()
+	}
+	return c.hits.Load(), c.misses.Load(), entries
+}
+
+// cloneDeep returns a deep copy of the automaton preserving composed-state
+// provenance (parts) and the leaf decomposition, which Clone/Rename do not
+// carry over. Memoized results must keep provenance: counterexample
+// classification (IsChaosState) and run projection read it.
+func (a *Automaton) cloneDeep(name string) *Automaton {
+	b := New(name, a.inputs, a.outputs)
+	b.leaves = append([]leafInfo(nil), a.leaves...)
+	b.states = make([]stateInfo, len(a.states))
+	for i, st := range a.states {
+		b.states[i] = stateInfo{
+			name:   st.name,
+			labels: append([]Proposition(nil), st.labels...),
+			parts:  append([]string(nil), st.parts...),
+		}
+		b.index[st.name] = StateID(i)
+	}
+	b.adj = make([][]Transition, len(a.adj))
+	for i, row := range a.adj {
+		b.adj[i] = append([]Transition(nil), row...)
+	}
+	b.initial = append([]StateID(nil), a.initial...)
+	return b
+}

@@ -1,0 +1,274 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"muml/internal/automata"
+	"muml/internal/core"
+	"muml/internal/ctl"
+	"muml/internal/legacy"
+	"muml/internal/obs"
+)
+
+// Problem is one fully materialized synthesis input: the verification
+// question M_a^c ‖ chaos(M_l) ⊨ φ ∧ ¬δ over one black-box component.
+type Problem struct {
+	Context   *automata.Automaton
+	Component legacy.Component
+	Interface legacy.Interface
+	// Property may be nil to check deadlock freedom only.
+	Property ctl.Formula
+	// MaxIterations bounds the loop (0 = core's default).
+	MaxIterations int
+}
+
+// Item is one independent synthesis instance of a batch. Build is called
+// exactly once, on the worker that runs the instance, so construction cost
+// parallelizes and the stateful component it returns is confined to a
+// single goroutine for its whole life.
+type Item struct {
+	Name  string
+	Build func() (Problem, error)
+}
+
+// Result is the outcome of one instance. Results are reported in item
+// order, independent of worker scheduling, so batches are comparable
+// across worker counts.
+type Result struct {
+	Index  int
+	Name   string
+	Worker int
+	// Verdict and Kind are valid only when Err is nil.
+	Verdict    core.Verdict
+	Kind       core.ViolationKind
+	Iterations int
+	Err        error
+	// TimedOut reports that Err wraps a context deadline/cancellation.
+	TimedOut bool
+	// Panicked reports that the instance panicked; the panic was recovered
+	// and converted into Err without taking down the batch.
+	Panicked bool
+	Duration time.Duration
+}
+
+// Options configure a batch run.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Deadline bounds each instance individually (0 = unbounded). An
+	// instance exceeding it yields a Result with TimedOut set; the batch
+	// continues.
+	Deadline time.Duration
+	// Context, when non-nil, bounds the whole batch: once done, running
+	// instances abort and no further instances start.
+	Context context.Context
+	// Memo, when non-nil, is shared across all instances so identical
+	// closure/product sub-problems are solved once (pass
+	// automata.NewMemoCache; nil disables memoization).
+	Memo *automata.MemoCache
+	// Journal receives batch_start, one instance_done per item, and — when
+	// the memo cache was built over the same journal — cache_hit events.
+	// Per-instance synthesis events are NOT forwarded: interleaved
+	// iteration streams from concurrent runs would be unreadable and are
+	// available by re-running a single instance.
+	Journal *obs.Journal
+	// Metrics, when non-nil, receives batch.instances, batch.timeouts,
+	// batch.panics, batch.steals counters and the batch.instance timer.
+	Metrics *obs.Registry
+}
+
+// Summary aggregates a batch run.
+type Summary struct {
+	Results  []Result
+	Duration time.Duration
+	Workers  int
+	// Steals counts work-stealing events in the pool.
+	Steals                                          int
+	Proven, Violations, Errored, TimedOut, Panicked int
+	// CacheHits/CacheMisses are the shared memo cache's counters (0/0
+	// without a cache).
+	CacheHits, CacheMisses int64
+}
+
+// Throughput returns completed instances per second of wall-clock time.
+func (s Summary) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(len(s.Results)) / s.Duration.Seconds()
+}
+
+// Verify runs all items to completion and returns the per-instance results
+// in item order. Instance failures — synthesis errors, per-instance
+// deadline hits, even panics — are isolated into their Result; Verify
+// itself fails only on invalid options. The batch-level context (when
+// given) aborts remaining work but still returns the results gathered so
+// far, with unstarted items marked as canceled.
+func Verify(items []Item, opts Options) (*Summary, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(items) == 0 {
+		return &Summary{Workers: workers}, nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	batchCtx := opts.Context
+	if batchCtx == nil {
+		batchCtx = context.Background()
+	}
+
+	mInstances := opts.Metrics.Counter("batch.instances")
+	mTimeouts := opts.Metrics.Counter("batch.timeouts")
+	mPanics := opts.Metrics.Counter("batch.panics")
+	mSteals := opts.Metrics.Counter("batch.steals")
+	tInstance := opts.Metrics.Timer("batch.instance")
+
+	if j := opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindBatchStart, Iter: -1, N: map[string]int64{
+			"instances":   int64(len(items)),
+			"workers":     int64(workers),
+			"deadline_ns": int64(opts.Deadline),
+		}})
+	}
+
+	start := time.Now()
+	results := make([]Result, len(items))
+	p := newPool(len(items), workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, ok := p.next(w)
+				if !ok {
+					return
+				}
+				if err := batchCtx.Err(); err != nil {
+					results[idx] = Result{Index: idx, Name: items[idx].Name, Worker: w,
+						Err: fmt.Errorf("batch: not started: %w", err), TimedOut: true}
+					continue
+				}
+				res := runOne(batchCtx, items[idx], idx, w, opts)
+				mInstances.Add(1)
+				tInstance.Observe(res.Duration)
+				if res.TimedOut {
+					mTimeouts.Add(1)
+				}
+				if res.Panicked {
+					mPanics.Add(1)
+				}
+				if j := opts.Journal; j.Enabled() {
+					j.Emit(obs.Event{Kind: obs.KindInstanceDone, Iter: -1,
+						DurNS: int64(res.Duration),
+						N: map[string]int64{
+							"index":      int64(res.Index),
+							"worker":     int64(res.Worker),
+							"timed_out":  b2i(res.TimedOut),
+							"panicked":   b2i(res.Panicked),
+							"iterations": int64(res.Iterations),
+						},
+						S: instanceDoneStrings(res),
+					})
+				}
+				results[idx] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sum := &Summary{Results: results, Duration: time.Since(start), Workers: workers, Steals: p.stolen()}
+	mSteals.Add(int64(sum.Steals))
+	for i := range results {
+		switch {
+		case results[i].Panicked:
+			sum.Panicked++
+			sum.Errored++
+		case results[i].TimedOut:
+			sum.TimedOut++
+			sum.Errored++
+		case results[i].Err != nil:
+			sum.Errored++
+		case results[i].Verdict == core.VerdictProven:
+			sum.Proven++
+		case results[i].Verdict == core.VerdictViolation:
+			sum.Violations++
+		}
+	}
+	sum.CacheHits, sum.CacheMisses, _ = opts.Memo.Stats()
+	return sum, nil
+}
+
+func instanceDoneStrings(res Result) map[string]string {
+	s := map[string]string{"name": res.Name, "verdict": ""}
+	if res.Err != nil {
+		s["error"] = res.Err.Error()
+	} else {
+		s["verdict"] = res.Verdict.String()
+	}
+	return s
+}
+
+// runOne executes one instance with panic isolation and its own deadline.
+func runOne(batchCtx context.Context, item Item, idx, worker int, opts Options) (res Result) {
+	res = Result{Index: idx, Name: item.Name, Worker: worker}
+	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		if r := recover(); r != nil {
+			res.Panicked = true
+			res.Err = fmt.Errorf("batch: instance %q panicked: %v", item.Name, r)
+		}
+		if res.Err != nil && (errors.Is(res.Err, context.DeadlineExceeded) || errors.Is(res.Err, context.Canceled)) {
+			res.TimedOut = true
+		}
+	}()
+
+	problem, err := item.Build()
+	if err != nil {
+		res.Err = fmt.Errorf("batch: build %q: %w", item.Name, err)
+		return res
+	}
+
+	ctx := batchCtx
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(batchCtx, opts.Deadline)
+		defer cancel()
+	}
+
+	synth, err := core.New(problem.Context, problem.Component, problem.Interface, core.Options{
+		Property:      problem.Property,
+		MaxIterations: problem.MaxIterations,
+		Context:       ctx,
+		Memo:          opts.Memo,
+	})
+	if err != nil {
+		res.Err = fmt.Errorf("batch: %q: %w", item.Name, err)
+		return res
+	}
+	report, err := synth.Run()
+	if err != nil {
+		res.Err = fmt.Errorf("batch: %q: %w", item.Name, err)
+		return res
+	}
+	res.Verdict = report.Verdict
+	res.Kind = report.Kind
+	res.Iterations = report.Stats.Iterations
+	return res
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

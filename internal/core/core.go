@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -95,6 +96,19 @@ type Options struct {
 	// Property is the constraint φ to establish (timed ACTL). May be nil
 	// to check deadlock freedom only.
 	Property ctl.Formula
+	// Context, when non-nil, bounds the whole run: its deadline or
+	// cancellation aborts long fixpoints inside the model checker and the
+	// composition BFS promptly, and Run returns an error wrapping the
+	// context's error (errors.Is-matchable against
+	// context.DeadlineExceeded / context.Canceled). A nil or background
+	// context leaves the run unbounded at zero overhead.
+	Context context.Context
+	// Memo, when non-nil, memoizes chaotic closures and compositions by
+	// structural fingerprint, shared safely across concurrent synthesis
+	// runs (see automata.MemoCache). Identical sub-problems — notably the
+	// iteration-0 closure of instances sharing an initial model — are then
+	// solved once per batch.
+	Memo *automata.MemoCache
 	// SkipDeadlockCheck disables the ¬δ check (not recommended; deadlock
 	// freedom is what makes role invariants compositional, Section 2.4).
 	SkipDeadlockCheck bool
@@ -394,10 +408,21 @@ func New(context *automata.Automaton, comp legacy.Component, iface legacy.Interf
 // Model returns the current learned incomplete automaton M_l^i.
 func (s *Synthesizer) Model() *automata.Incomplete { return s.model }
 
+// runCtx returns the run's bound context (Background when none was given).
+func (s *Synthesizer) runCtx() context.Context {
+	if s.opts.Context != nil {
+		return s.opts.Context
+	}
+	return context.Background()
+}
+
 // Run executes iterations until a verdict is reached.
 func (s *Synthesizer) Run() (*Report, error) {
 	report := &Report{Property: s.opts.Property}
 	for i := 0; i < s.opts.MaxIterations; i++ {
+		if err := s.runCtx().Err(); err != nil {
+			return nil, fmt.Errorf("core: run aborted before iteration %d: %w", i, err)
+		}
 		it, done, err := s.step(i, report)
 		if err != nil {
 			return nil, err
@@ -478,7 +503,10 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		// per round (the §7 optimization).
 		it.PropertyHolds = true
 		if s.weakProperty != nil {
-			many := checker.CheckMany(s.weakProperty, s.opts.CounterexampleBatch)
+			many, err := checker.CheckManyCtx(s.runCtx(), s.weakProperty, s.opts.CounterexampleBatch)
+			if err != nil {
+				return fmt.Errorf("core: check aborted: %w", err)
+			}
 			if !many[0].Holds {
 				it.PropertyHolds = false
 				results = many
@@ -488,7 +516,10 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		// Deadlock freedom.
 		it.DeadlockFree = true
 		if results == nil && !s.opts.SkipDeadlockCheck {
-			many := checker.CheckMany(s.noDeadlock, s.opts.CounterexampleBatch)
+			many, err := checker.CheckManyCtx(s.runCtx(), s.noDeadlock, s.opts.CounterexampleBatch)
+			if err != nil {
+				return fmt.Errorf("core: check aborted: %w", err)
+			}
 			if !many[0].Holds {
 				it.DeadlockFree = false
 				results = many
@@ -630,7 +661,7 @@ func b2i(b bool) int64 {
 func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
 	if !s.opts.DisableIncremental && !s.incUnsupported {
 		if s.inc == nil {
-			inc, err := automata.NewIncrementalSystem(s.context, s.model, s.opts.Universe)
+			inc, err := automata.NewIncrementalSystemWith(s.runCtx(), s.context, s.model, s.opts.Universe, s.opts.Memo)
 			switch {
 			case errors.Is(err, automata.ErrIncrementalUnsupported):
 				s.incUnsupported = true
@@ -674,9 +705,12 @@ func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
 	} else {
 		it.BuildReason = "incremental-disabled"
 	}
-	closure := automata.ChaoticClosure(s.model, s.opts.Universe)
+	closure, err := automata.ChaoticClosureCtx(s.runCtx(), s.model, s.opts.Universe, s.opts.Memo)
+	if err != nil {
+		return nil, fmt.Errorf("core: closure: %w", err)
+	}
 	it.ClosureStates = closure.NumStates()
-	sys, err := automata.Compose("system", s.context, closure)
+	sys, err := automata.ComposeCtx(s.runCtx(), "system", s.context, closure, s.opts.Memo)
 	if err != nil {
 		return nil, fmt.Errorf("core: compose: %w", err)
 	}

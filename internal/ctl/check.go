@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"context"
 	"fmt"
 
 	"muml/internal/automata"
@@ -21,6 +22,14 @@ type Checker struct {
 	boolPool [][]bool           // scratch layers for the bounded operators
 	intPool  [][]int            // remaining-successor counters
 	queue    []automata.StateID // reused BFS worklist
+
+	// ctx, when non-nil, bounds the current evaluation: fixpoint loops
+	// poll it (rate-limited by polls) and unwind early once it is done.
+	// ctxErr latches the first observed error so partial satisfaction
+	// sets are never cached and entry points can report the abort.
+	ctx    context.Context
+	ctxErr error
+	polls  int
 
 	// Optional instrumentation (see Instrument); nil counters are no-ops,
 	// so the uninstrumented checker pays one branch per update site.
@@ -50,6 +59,81 @@ func (c *Checker) Rebind(a *automata.Automaton) {
 
 // Automaton returns the automaton under analysis.
 func (c *Checker) Automaton() *automata.Automaton { return c.auto }
+
+// ctxPollInterval rate-limits context polling inside fixpoint loops: one
+// Err() call per this many work units keeps cancellation latency bounded
+// without a syscall-adjacent check on every state visit.
+const ctxPollInterval = 1024
+
+// bind attaches a context to the checker for one evaluation. The first
+// poll happens immediately, so an already-expired deadline aborts before
+// any fixpoint work.
+func (c *Checker) bind(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil
+	}
+	c.ctx = ctx
+	c.ctxErr = nil
+	c.polls = 1
+}
+
+func (c *Checker) unbind() { c.ctx = nil }
+
+// canceled reports whether the bound context is done. Fixpoint loops call
+// it once per work unit; the actual ctx.Err() poll runs every
+// ctxPollInterval calls. With no bound context it is a single branch.
+func (c *Checker) canceled() bool {
+	if c.ctx == nil {
+		return false
+	}
+	if c.ctxErr != nil {
+		return true
+	}
+	if c.polls--; c.polls > 0 {
+		return false
+	}
+	c.polls = ctxPollInterval
+	if err := c.ctx.Err(); err != nil {
+		c.ctxErr = err
+		return true
+	}
+	return false
+}
+
+// HoldsCtx is Holds under a context: a deadline or cancellation aborts
+// long fixpoints promptly and surfaces the context's error. Aborted
+// evaluations leave no partial results in the satisfaction cache.
+func (c *Checker) HoldsCtx(ctx context.Context, f Formula) (bool, error) {
+	c.bind(ctx)
+	defer c.unbind()
+	holds := c.Holds(f)
+	if c.ctxErr != nil {
+		return false, c.ctxErr
+	}
+	return holds, nil
+}
+
+// CheckCtx is Check under a context (see HoldsCtx).
+func (c *Checker) CheckCtx(ctx context.Context, f Formula) (Result, error) {
+	c.bind(ctx)
+	defer c.unbind()
+	res := c.Check(f)
+	if c.ctxErr != nil {
+		return Result{}, c.ctxErr
+	}
+	return res, nil
+}
+
+// CheckManyCtx is CheckMany under a context (see HoldsCtx).
+func (c *Checker) CheckManyCtx(ctx context.Context, f Formula, max int) ([]Result, error) {
+	c.bind(ctx)
+	defer c.unbind()
+	res := c.CheckMany(f, max)
+	if c.ctxErr != nil {
+		return nil, c.ctxErr
+	}
+	return res, nil
+}
 
 // Instrument registers the checker's effort counters in the registry:
 // ctl.fixpoint_iters (worklist pops and layer sweeps inside fixpoint
@@ -139,6 +223,11 @@ func (c *Checker) Sat(f Formula) []bool {
 	}
 	var sat []bool
 	n := c.auto.NumStates()
+	if c.canceled() {
+		// Unwind without caching: the zero set is wrong in general, but
+		// every entry point checks ctxErr before trusting any result.
+		return make([]bool, n)
+	}
 	c.mChecks.Add(1)
 	c.mStatesTouched.Add(int64(n))
 	switch node := f.(type) {
@@ -215,7 +304,9 @@ func (c *Checker) Sat(f Formula) []bool {
 	default:
 		panic(fmt.Sprintf("ctl: unknown formula node %T", f))
 	}
-	c.sat[f] = sat
+	if c.ctxErr == nil {
+		c.sat[f] = sat
+	}
 	return sat
 }
 
@@ -262,7 +353,7 @@ func (c *Checker) unboundedEF(f []bool) []bool {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for head := 0; head < len(queue); head++ {
+	for head := 0; head < len(queue) && !c.canceled(); head++ {
 		s := queue[head]
 		for _, t := range c.pred[s] {
 			if !out[t.From] {
@@ -291,7 +382,7 @@ func (c *Checker) unboundedAF(f []bool) []bool {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for head := 0; head < len(queue); head++ {
+	for head := 0; head < len(queue) && !c.canceled(); head++ {
 		s := queue[head]
 		for _, t := range c.pred[s] {
 			remaining[t.From]--
@@ -313,7 +404,7 @@ func (c *Checker) unboundedAF(f []bool) []bool {
 func (c *Checker) unboundedAG(f []bool) []bool {
 	out := clone(f)
 	sweeps := int64(0)
-	for changed := true; changed; {
+	for changed := true; changed && !c.canceled(); {
 		changed = false
 		sweeps++
 		for i := range out {
@@ -338,7 +429,7 @@ func (c *Checker) unboundedAG(f []bool) []bool {
 func (c *Checker) unboundedEG(f []bool) []bool {
 	out := clone(f)
 	sweeps := int64(0)
-	for changed := true; changed; {
+	for changed := true; changed && !c.canceled(); {
 		changed = false
 		sweeps++
 		for i := range out {
@@ -376,7 +467,7 @@ func (c *Checker) unboundedEU(f, g []bool) []bool {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for head := 0; head < len(queue); head++ {
+	for head := 0; head < len(queue) && !c.canceled(); head++ {
 		s := queue[head]
 		for _, t := range c.pred[s] {
 			if !out[t.From] && f[t.From] {
@@ -403,7 +494,7 @@ func (c *Checker) unboundedAU(f, g []bool) []bool {
 			queue = append(queue, automata.StateID(i))
 		}
 	}
-	for head := 0; head < len(queue); head++ {
+	for head := 0; head < len(queue) && !c.canceled(); head++ {
 		s := queue[head]
 		for _, t := range c.pred[s] {
 			remaining[t.From]--
@@ -427,7 +518,7 @@ func (c *Checker) boundedAF(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
 	next := c.getBool(n) // ok(·, j+1); starts as j = hi layer input
 	cur := c.getBool(n)
-	for j := b.Hi; j >= 0; j-- {
+	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
 			if j >= b.Lo && f[i] {
@@ -461,7 +552,7 @@ func (c *Checker) boundedEF(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
 	next := c.getBool(n)
 	cur := c.getBool(n)
-	for j := b.Hi; j >= 0; j-- {
+	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
 			cur[i] = j >= b.Lo && f[i]
@@ -490,7 +581,7 @@ func (c *Checker) boundedAG(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
 	next := fillTrue(c.getBool(n))
 	cur := c.getBool(n)
-	for j := b.Hi; j >= 0; j-- {
+	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
 			ok := j < b.Lo || f[i]
@@ -519,7 +610,7 @@ func (c *Checker) boundedEG(f []bool, b Bound) []bool {
 	n := c.auto.NumStates()
 	next := fillTrue(c.getBool(n))
 	cur := c.getBool(n)
-	for j := b.Hi; j >= 0; j-- {
+	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
 		for i := 0; i < n; i++ {
 			s := automata.StateID(i)
 			ok := j < b.Lo || f[i]

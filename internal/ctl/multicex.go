@@ -41,7 +41,7 @@ func (c *Checker) CheckMany(f Formula, max int) []Result {
 			queue = append(queue, q)
 		}
 	}
-	for head := 0; head < len(queue) && targetsFound < max; head++ {
+	for head := 0; head < len(queue) && targetsFound < max && !c.canceled(); head++ {
 		s := queue[head]
 		if !sat[s] {
 			run := reconstructPath(s, parent)

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectBatchBench(t *testing.T) {
+	rep, err := CollectBatchBench(1, 8, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instances != 8 || rep.Sequential.Workers != 1 || rep.Parallel.Workers != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	for _, run := range []BatchRun{rep.Sequential, rep.Parallel} {
+		if run.Errored != 0 {
+			t.Fatalf("workers=%d: %d instances errored", run.Workers, run.Errored)
+		}
+		if run.Proven+run.Violations != 8 {
+			t.Fatalf("workers=%d: %d verdicts, want 8", run.Workers, run.Proven+run.Violations)
+		}
+		if run.WallNS <= 0 || run.NSPerInstance <= 0 || run.Throughput <= 0 {
+			t.Fatalf("workers=%d: non-positive timing: %+v", run.Workers, run)
+		}
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup %v", rep.Speedup)
+	}
+
+	data, err := MarshalBatchBench(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"sequential", "parallel", "speedup", "gomaxprocs"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report missing %q:\n%s", key, data)
+		}
+	}
+}

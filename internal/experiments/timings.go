@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"muml/internal/core"
@@ -112,7 +113,27 @@ func CollectTimings(journal *obs.Journal, metrics *obs.Registry) (*TimingReport,
 	return report, nil
 }
 
+// timingRepeats is the number of measurements per scenario leg; the
+// median is reported. A single sample of these sub-millisecond scenarios
+// is dominated by scheduler and GC noise on shared runners, and the
+// minimum has a heavy lower tail there too — the median is the estimator
+// stable enough for the bench-check regression gate.
+const timingRepeats = 9
+
 func timeRun(sc timingScenario, opts core.Options, mode string) (*RunTiming, error) {
+	runs := make([]*RunTiming, 0, timingRepeats)
+	for r := 0; r < timingRepeats; r++ {
+		out, err := timeRunOnce(sc, opts, mode)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, out)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].WallNS < runs[j].WallNS })
+	return runs[len(runs)/2], nil
+}
+
+func timeRunOnce(sc timingScenario, opts core.Options, mode string) (*RunTiming, error) {
 	synth, err := sc.synth(opts)
 	if err != nil {
 		return nil, err

@@ -1,11 +1,19 @@
 package mbt
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"muml/internal/automata"
 	"muml/internal/gen"
 )
+
+// fuzzExecDeadline bounds one oracle execution during fuzzing. A mutated
+// seed occasionally lands on a pathologically slow instance; without a
+// bound one such input stalls the whole campaign. Deadline hits are
+// skipped, not failed — slowness is not unsoundness.
+const fuzzExecDeadline = 30 * time.Second
 
 // FuzzSynthesisSoundness drives the full oracle battery from a fuzzed
 // seed. Go's fuzzer mutates the seed; the generator turns it into a
@@ -20,7 +28,12 @@ func FuzzSynthesisSoundness(f *testing.F) {
 		if err != nil {
 			t.Fatalf("seed %d: generator failed: %v", seed, err)
 		}
-		if fail := CheckInstance(inst, Options{}); fail != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), fuzzExecDeadline)
+		defer cancel()
+		if fail := CheckInstance(inst, Options{Context: ctx}); fail != nil {
+			if fail.Canceled() {
+				t.Skipf("seed %d: exceeded the %v per-exec deadline", seed, fuzzExecDeadline)
+			}
 			shrunk := Shrink(fail, Options{})
 			t.Fatalf("seed %d: %v\nshrunk: %v", seed, fail, shrunk)
 		}

@@ -25,6 +25,8 @@
 package mbt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"muml/internal/automata"
@@ -50,6 +52,11 @@ const (
 	CheckLawChaoticTop          = "law-chaotic-top"
 	CheckLawSimulatesRefines    = "law-simulates-implies-refines"
 	CheckIncrementalEquivalence = "incremental-equivalence"
+	// CheckCanceled is reported when Options.Context expired mid-run. It is
+	// a scheduling outcome, not a soundness violation: callers running
+	// under a deadline (cmd/mbt -deadline, the fuzz harness) detect it via
+	// Failure.Canceled() and stop instead of reporting a failure.
+	CheckCanceled = "canceled"
 )
 
 // Failure describes one soundness violation found on an instance.
@@ -66,6 +73,10 @@ type Failure struct {
 func (f *Failure) Error() string {
 	return fmt.Sprintf("mbt: %s: %s (%s)", f.Check, f.Detail, f.Instance.Summary())
 }
+
+// Canceled reports whether the failure is a deadline/cancellation outcome
+// rather than a soundness violation.
+func (f *Failure) Canceled() bool { return f != nil && f.Check == CheckCanceled }
 
 func fail(inst *gen.Instance, check, format string, args ...any) *Failure {
 	return &Failure{Check: check, Detail: fmt.Sprintf(format, args...), Instance: inst}
@@ -84,6 +95,17 @@ type Options struct {
 	// SkipLaws disables the algebraic-law checks, leaving only the
 	// verdict-soundness oracles (for cheaper soak configurations).
 	SkipLaws bool
+	// Context, when non-nil, bounds the oracle run: synthesis aborts when
+	// it expires and CheckInstance returns a CheckCanceled failure.
+	Context context.Context
+}
+
+// ctx returns the effective context (never nil).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // CheckInstance runs the full synthesis loop on the instance and checks
@@ -106,17 +128,24 @@ func CheckInstance(inst *gen.Instance, opts Options) *Failure {
 		if err != nil {
 			return nil, fail(inst, CheckRunError, "wrap component: %v", err)
 		}
+		coreOpts.Context = opts.Context
 		synth, err := core.New(inst.Context, comp, iface, coreOpts)
 		if err != nil {
 			return nil, fail(inst, CheckRunError, "core.New: %v", err)
 		}
 		report, err := synth.Run()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, fail(inst, CheckCanceled, "synthesis: %v", err)
+			}
 			return nil, fail(inst, CheckRunError, "synthesis: %v", err)
 		}
 		return report, nil
 	}
 
+	if err := opts.ctx().Err(); err != nil {
+		return fail(inst, CheckCanceled, "%v", err)
+	}
 	report, f := runOnce(core.Options{Property: inst.Property, Journal: opts.Journal})
 	if f != nil {
 		return f

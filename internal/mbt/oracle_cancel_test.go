@@ -1,0 +1,31 @@
+package mbt
+
+import (
+	"context"
+	"testing"
+
+	"muml/internal/gen"
+)
+
+// TestCheckInstanceCanceled: an expired context must surface as a
+// CheckCanceled failure, distinguishable from a soundness violation.
+func TestCheckInstanceCanceled(t *testing.T) {
+	inst, err := gen.New(1, gen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := CheckInstance(inst, Options{Context: ctx})
+	if f == nil {
+		t.Fatal("expired context: CheckInstance returned nil")
+	}
+	if !f.Canceled() || f.Check != CheckCanceled {
+		t.Fatalf("want CheckCanceled, got %v", f)
+	}
+	// And without a context the same instance passes — proving the
+	// cancellation path, not the instance, caused the failure above.
+	if f := CheckInstance(inst, Options{}); f != nil {
+		t.Fatalf("baseline run failed: %v", f)
+	}
+}

@@ -58,6 +58,16 @@ const (
 	// KindComposeLevel is one BFS level of an n-ary composition frontier
 	// (n: level, frontier, parallel).
 	KindComposeLevel EventKind = "compose_level"
+	// KindBatchStart opens a batch-verification run (n: instances, workers,
+	// deadline_ns).
+	KindBatchStart EventKind = "batch_start"
+	// KindInstanceDone closes one batch instance (s: name, verdict, error;
+	// n: index, worker, timed_out, panicked, iterations; dur_ns).
+	KindInstanceDone EventKind = "instance_done"
+	// KindCacheHit is one memoization-cache hit: an interned-automaton
+	// fingerprint key resolved to a previously solved sub-problem
+	// (s: op; n: key_a, key_b, hits).
+	KindCacheHit EventKind = "cache_hit"
 	// KindNote is a freeform progress note (s: text).
 	KindNote EventKind = "note"
 )
@@ -74,6 +84,9 @@ var KnownKinds = map[EventKind]bool{
 	KindLearnDelta:     true,
 	KindVerdict:        true,
 	KindComposeLevel:   true,
+	KindBatchStart:     true,
+	KindInstanceDone:   true,
+	KindCacheHit:       true,
 	KindNote:           true,
 }
 
