@@ -69,13 +69,42 @@ bench-check:
 batch-smoke:
 	$(GO) run ./cmd/batchverify -seed 1 -n 64 -workers 8
 
-# End-to-end journal check: run a full synthesis with -journal and
-# validate every emitted line against the event schema.
+# End-to-end observability smoke, in two halves. First the journal
+# schema check: a full synthesis with -journal, validated line by line
+# (including the causal-trace span invariants). Then the live plane: a
+# batchverify with -http and -linger runs in the background, /progress is
+# polled until the pool drains, /healthz, /metrics (Prometheus), and the
+# final /progress snapshot are scraped and asserted, the process is shut
+# down with SIGINT (exercising the graceful-drain path), and the batch
+# journal goes through obscheck plus the offline journalstat analytics
+# with a Chrome-trace export. Everything lands in OBS_SMOKE_DIR so CI can
+# upload the artifacts when the smoke fails.
+OBS_SMOKE_DIR ?= /tmp/obs-smoke
+OBS_HTTP_ADDR ?= 127.0.0.1:8473
 obs-smoke:
-	@tmp="$$(mktemp)"; \
-	$(GO) run ./cmd/legint -scenario correct -journal "$$tmp" >/dev/null && \
-	$(GO) run ./cmd/obscheck "$$tmp"; \
-	status=$$?; rm -f "$$tmp"; exit $$status
+	@set -e; rm -rf "$(OBS_SMOKE_DIR)"; mkdir -p "$(OBS_SMOKE_DIR)"; \
+	$(GO) run ./cmd/legint -scenario correct -journal "$(OBS_SMOKE_DIR)/legint.jsonl" >/dev/null; \
+	$(GO) run ./cmd/obscheck "$(OBS_SMOKE_DIR)/legint.jsonl"; \
+	$(GO) build -o "$(OBS_SMOKE_DIR)/batchverify" ./cmd/batchverify; \
+	"$(OBS_SMOKE_DIR)/batchverify" -seed 1 -n 16 -workers 4 \
+		-journal "$(OBS_SMOKE_DIR)/batch.jsonl" -http "$(OBS_HTTP_ADDR)" -linger \
+		>"$(OBS_SMOKE_DIR)/batchverify.out" 2>"$(OBS_SMOKE_DIR)/batchverify.err" & \
+	pid=$$!; \
+	for i in $$(seq 1 150); do \
+		if curl -fsS "http://$(OBS_HTTP_ADDR)/progress" 2>/dev/null | grep -q '"queued":0,"running":0'; then break; fi; \
+		if ! kill -0 $$pid 2>/dev/null; then echo "batchverify exited early:"; cat "$(OBS_SMOKE_DIR)/batchverify.err"; exit 1; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS "http://$(OBS_HTTP_ADDR)/healthz" | grep -q ok; \
+	curl -fsS "http://$(OBS_HTTP_ADDR)/metrics" >"$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -q '^muml_batch_instances_total 16$$' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	curl -fsS "http://$(OBS_HTTP_ADDR)/progress" >"$(OBS_SMOKE_DIR)/progress.json"; \
+	grep -q '"done":16' "$(OBS_SMOKE_DIR)/progress.json"; \
+	kill -INT $$pid; wait $$pid; \
+	$(GO) run ./cmd/obscheck "$(OBS_SMOKE_DIR)/batch.jsonl"; \
+	$(GO) run ./cmd/journalstat -trace "$(OBS_SMOKE_DIR)/trace.json" "$(OBS_SMOKE_DIR)/batch.jsonl"; \
+	$(GO) run ./cmd/journalstat -diff "$(OBS_SMOKE_DIR)/legint.jsonl" "$(OBS_SMOKE_DIR)/batch.jsonl" >/dev/null; \
+	echo "obs-smoke: live plane and analytics ok"
 
 # Model-based soundness soak: run the synthesis loop against SOAK_N
 # generated systems with known ground truth, checking every verdict

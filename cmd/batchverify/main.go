@@ -5,20 +5,35 @@
 //	batchverify -seed 1 -n 64 -workers 8
 //	batchverify -scenarios -workers 2 -deadline 5s
 //	batchverify -manifest batch.jsonl -journal run.jsonl -metrics
+//	batchverify -n 256 -http 127.0.0.1:8473 -linger
 //
 // Instances come from one of three sources: seeded generator instances
 // (-seed/-n, optionally -wide/-max-states), the railroad-crossing example
 // scenarios (-scenarios), or a JSONL manifest (-manifest) with lines like
-// {"seed": 42, "config": "wide"}. Exit status: 0 when every instance
-// reached a verdict, 1 when any errored or panicked, 2 on usage errors,
-// 3 when instances timed out (but none hard-errored).
+// {"seed": 42, "config": "wide"}.
+//
+// -http serves the live observability plane while the batch runs:
+// Prometheus metrics on /metrics, a JSON progress snapshot (verdict
+// tallies, queue depth, cache hit rate, ETA) on /progress, /healthz, and
+// /debug/pprof. With -linger the server stays up after the batch
+// completes until the process is interrupted, so the final snapshot can
+// be scraped. SIGINT/SIGTERM cancel the run gracefully: running
+// instances abort, the pool drains, and the journal and metrics sinks
+// flush before exit.
+//
+// Exit status: 0 when every instance reached a verdict, 1 when any
+// errored or panicked, 2 on usage errors, 3 when instances timed out or
+// were canceled by an interrupt (but none hard-errored).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"muml/internal/automata"
@@ -26,6 +41,7 @@ import (
 	"muml/internal/core"
 	"muml/internal/gen"
 	"muml/internal/obs"
+	"muml/internal/obs/httpd"
 )
 
 func main() {
@@ -47,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noMemo    = fs.Bool("no-memo", false, "disable the shared closure/product memo cache")
 		journal   = fs.String("journal", "", "write the batch event journal (JSONL) to this file")
 		metrics   = fs.Bool("metrics", false, "print batch counters and timers on exit")
+		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /healthz, and /debug/pprof on this address while the batch runs")
+		linger    = fs.Bool("linger", false, "with -http: keep serving after the batch completes until interrupted")
 		verbose   = fs.Bool("v", false, "print every instance result, not just the summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,12 +116,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *metrics})
+	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *metrics || *httpAddr != ""})
 	if err != nil {
 		fmt.Fprintf(stderr, "batchverify: %v\n", err)
 		return 1
 	}
 	defer obsRun.Close()
+
+	// SIGINT/SIGTERM cancel the run context: running instances abort,
+	// the pool drains, and the deferred obsRun.Close flushes the journal
+	// so an interrupted run still leaves valid JSONL behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	progress := batch.NewProgress()
+	var srv *httpd.Server
+	if *httpAddr != "" {
+		srv, err = httpd.Start(*httpAddr, httpd.Options{
+			Registry: obsRun.Registry,
+			Progress: func() any { return progress.Snapshot() },
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "batchverify: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "batchverify: serving /metrics /progress /healthz /debug/pprof on http://%s\n", srv.Addr())
+	}
 
 	var memo *automata.MemoCache
 	if !*noMemo {
@@ -112,14 +151,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sum, err := batch.Verify(items, batch.Options{
 		Workers:  *workers,
 		Deadline: *deadline,
+		Context:  ctx,
 		Memo:     memo,
 		Journal:  obsRun.Journal,
 		Metrics:  obsRun.Registry,
+		Progress: progress,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "batchverify: %v\n", err)
 		return 1
 	}
+	// Distinguish an interrupt that cut the batch short (exit 3) from one
+	// that merely ends a -linger wait after a complete run (exit 0).
+	interrupted := ctx.Err() != nil
 
 	hardErrors := 0
 	for _, res := range sum.Results {
@@ -143,12 +187,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hits, misses, entries := memo.Stats()
 		fmt.Fprintf(stdout, "batchverify: memo cache: %d hits, %d misses, %d entries\n", hits, misses, entries)
 	}
-	obsRun.DumpMetrics(stdout)
+	if *metrics {
+		obsRun.DumpMetrics(stdout)
+	}
+
+	if *linger && srv != nil && ctx.Err() == nil {
+		fmt.Fprintf(stderr, "batchverify: batch complete, lingering on http://%s until interrupted\n", srv.Addr())
+		<-ctx.Done()
+	}
 
 	switch {
 	case hardErrors > 0:
 		return 1
-	case sum.TimedOut > 0:
+	case sum.TimedOut > 0, interrupted:
 		return 3
 	}
 	return 0

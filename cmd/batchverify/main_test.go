@@ -93,3 +93,28 @@ func TestRunUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWithHTTPPlane(t *testing.T) {
+	// An ephemeral port: the plane must come up, serve for the duration
+	// of the batch, and tear down cleanly without affecting the verdicts.
+	code, out, errOut := runCLI(t, "-seed", "1", "-n", "4", "-workers", "2", "-http", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "serving /metrics /progress /healthz /debug/pprof on http://127.0.0.1:") {
+		t.Errorf("bound address not announced: %q", errOut)
+	}
+	if !strings.Contains(out, "4 instances on 2 workers") {
+		t.Errorf("summary missing: %q", out)
+	}
+}
+
+func TestRunHTTPBadAddress(t *testing.T) {
+	code, _, errOut := runCLI(t, "-n", "1", "-http", "256.0.0.1:bogus")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "listen") {
+		t.Errorf("missing listen diagnostic: %q", errOut)
+	}
+}

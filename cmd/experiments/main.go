@@ -9,6 +9,11 @@
 //	experiments -all [-report EXPERIMENTS.md]
 //	experiments -timings BENCH_incremental.json
 //	experiments -batch BENCH_batch.json
+//	experiments -all -http 127.0.0.1:8475 -metrics
+//
+// -http serves the live observability plane while experiments run:
+// Prometheus metrics on /metrics, a JSON journal-position snapshot on
+// /progress, /healthz, and /debug/pprof.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"muml/internal/automata"
 	"muml/internal/experiments"
 	"muml/internal/obs"
+	"muml/internal/obs/httpd"
 	"muml/internal/replay"
 )
 
@@ -43,6 +49,7 @@ func run() error {
 		batchW     = flag.Int("batch-workers", 0, "parallel worker count for -batch (0 = GOMAXPROCS)")
 		journal    = flag.String("journal", "", "write the structured run journal (JSONL) to this file")
 		metrics    = flag.Bool("metrics", false, "collect span timers and counters; print the table after the run")
+		httpAddr   = flag.String("http", "", "serve /metrics, /progress, /healthz, and /debug/pprof on this address while experiments run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -50,7 +57,7 @@ func run() error {
 
 	run, err := obs.OpenRun(obs.RunOptions{
 		JournalPath: *journal,
-		Metrics:     *metrics,
+		Metrics:     *metrics || *httpAddr != "",
 		CPUProfile:  *cpuProfile,
 		MemProfile:  *memProfile,
 	})
@@ -58,13 +65,30 @@ func run() error {
 		return err
 	}
 	defer run.Close()
+	if *httpAddr != "" {
+		srv, err := httpd.Start(*httpAddr, httpd.Options{
+			Registry: run.Registry,
+			Progress: func() any {
+				return struct {
+					JournalSeq uint64 `json:"journal_seq"`
+				}{JournalSeq: run.Journal.Seq()}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: serving /metrics /progress /healthz /debug/pprof on http://%s\n", srv.Addr())
+	}
 	if run.Journal.Enabled() || run.Registry != nil {
 		automata.EnableObservability(run.Journal, run.Registry)
 		replay.EnableObservability(run.Registry)
 		defer automata.DisableObservability()
 		defer replay.DisableObservability()
 	}
-	defer run.DumpMetrics(os.Stderr)
+	if *metrics {
+		defer run.DumpMetrics(os.Stderr)
+	}
 
 	switch {
 	case *batchOut != "":

@@ -1,0 +1,124 @@
+// Command journalstat aggregates structured run journals (JSONL, as
+// written by -journal on legint, batchverify, mbt, and experiments) into
+// per-phase latency distributions (p50/p90/p99), event counts, verdict
+// tallies, and the top-k slowest batch instances — the offline half of
+// the observability plane. It also exports journals as Chrome
+// trace-event JSON for chrome://tracing / Perfetto, and diffs two
+// journals for regression triage.
+//
+//	journalstat run.jsonl
+//	journalstat -format json run.jsonl more.jsonl
+//	journalstat -top 10 batch.jsonl
+//	journalstat -diff before.jsonl after.jsonl
+//	journalstat -trace trace.json run.jsonl    # load trace.json in Perfetto
+//
+// Multiple journals aggregate into one report (the diff mode takes
+// exactly two). Exit codes: 0 on success, 1 on a missing or malformed
+// journal, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"muml/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("journalstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		format   = fs.String("format", "text", "output format: text or json")
+		topK     = fs.Int("top", 5, "number of slowest instances to report")
+		diff     = fs.Bool("diff", false, "compare exactly two journals (baseline, candidate)")
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON export to this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: journalstat [-format text|json] [-top k] [-trace out.json] <journal.jsonl>...")
+		fmt.Fprintln(stderr, "       journalstat -diff <baseline.jsonl> <candidate.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "journalstat: unknown format %q\n", *format)
+		return 2
+	}
+	if *diff && fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "journalstat: -diff takes exactly two journals")
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	journals := make([][]obs.Event, fs.NArg())
+	for i, name := range fs.Args() {
+		events, err := decodeFile(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "journalstat: %s: %v\n", name, err)
+			return 1
+		}
+		journals[i] = events
+	}
+
+	if *diff {
+		a := obs.Analyze(journals[0], *topK)
+		b := obs.Analyze(journals[1], *topK)
+		fmt.Fprintf(stdout, "baseline:  %s\ncandidate: %s\n\n", fs.Arg(0), fs.Arg(1))
+		obs.DiffText(stdout, a, b)
+		return 0
+	}
+
+	var all []obs.Event
+	for _, events := range journals {
+		all = append(all, events...)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "journalstat: %v\n", err)
+			return 1
+		}
+		err = obs.WriteChromeTrace(f, all)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "journalstat: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "chrome trace written to %s\n", *traceOut)
+	}
+
+	stats := obs.Analyze(all, *topK)
+	if *format == "json" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fmt.Fprintf(stderr, "journalstat: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	stats.RenderText(stdout)
+	return 0
+}
+
+func decodeFile(name string) ([]obs.Event, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.DecodeJSONL(f)
+}

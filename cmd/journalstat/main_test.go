@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "testdata/batch.jsonl"
+
+// TestGoldenText pins the default text report over the committed batch
+// fixture. Regenerate with OBS_UPDATE_GOLDEN=1 go test ./cmd/journalstat.
+func TestGoldenText(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{fixture}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+
+	golden := filepath.Join("testdata", "batch.golden")
+	if os.Getenv("OBS_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("report diverged from %s\ngot:\n%swant:\n%s", golden, out.Bytes(), want)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-format", "json", fixture}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var stats struct {
+		Events   int            `json:"events"`
+		Traces   int            `json:"traces"`
+		Verdicts map[string]int `json:"verdicts"`
+		Phases   map[string]struct {
+			Count   int64 `json:"count"`
+			TotalNS int64 `json:"total_ns"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &stats); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if stats.Events != 16 || stats.Traces != 2 {
+		t.Errorf("events=%d traces=%d", stats.Events, stats.Traces)
+	}
+	if stats.Phases["check"].TotalNS != 4000000 || stats.Phases["compose"].Count != 2 {
+		t.Errorf("phases %+v", stats.Phases)
+	}
+	if stats.Verdicts["proven"] != 2 || stats.Verdicts["violation"] != 1 || stats.Verdicts["error"] != 1 {
+		t.Errorf("verdicts %v", stats.Verdicts)
+	}
+}
+
+func TestTopKBoundsSlowest(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-top", "1", fixture}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "alpha") || strings.Contains(out.String(), "beta") {
+		t.Errorf("-top 1 should keep only the slowest instance:\n%s", out.String())
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-diff", fixture, fixture}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"baseline:", "candidate:", "1.00x", "verdicts (unchanged)", "events: 16→16"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output misses %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	traceOut := filepath.Join(t.TempDir(), "trace.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-trace", traceOut, fixture}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace export is not JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace export is empty")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // no journals
+		{"-format", "xml", fixture},          // unknown format
+		{"-diff", fixture},                   // diff needs two
+		{"-diff", fixture, fixture, fixture}, // diff takes exactly two
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"testdata/absent.jsonl"}, &out, &errBuf); code != 1 {
+		t.Errorf("missing journal: exit %d, want 1", code)
+	}
+}

@@ -7,26 +7,71 @@
 //	mbt -seed 42 -n 5000 -max-states 8 -skip-laws
 //	mbt -seed 7 -n 100 -journal soak.jsonl -corpus internal/mbt/testdata
 //	mbt -seed 1 -n 100000 -deadline 5m
+//	mbt -seed 1 -n 100000 -http 127.0.0.1:8474
 //
 // The run is fully reproducible: instance k uses generator seed
 // seed+k, so a reported failing seed can be replayed with -seed <s> -n 1.
+//
+// -http serves the live observability plane for long soaks: Prometheus
+// counters (mbt.instances, mbt.failures, mbt.shrunk) on /metrics, a JSON
+// soak snapshot on /progress, /healthz, and /debug/pprof. SIGINT/SIGTERM
+// cancel the soak gracefully — the current instance aborts, sinks flush,
+// and the run reports what it covered (exit 3, like a deadline).
+//
 // Exit status: 0 when every instance passed, 1 on soundness failures,
-// 2 on usage errors, 3 when -deadline expired before the soak finished
-// (no failures among the instances that did run).
+// 2 on usage errors, 3 when -deadline expired or the soak was
+// interrupted before finishing (no failures among the instances that
+// did run).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
 
 	"muml/internal/gen"
 	"muml/internal/mbt"
 	"muml/internal/obs"
+	"muml/internal/obs/httpd"
 )
+
+// soakProgress is the /progress snapshot source for a soak run: the
+// loop publishes after every instance, concurrent HTTP handlers read.
+type soakProgress struct {
+	mu   sync.Mutex
+	snap soakSnapshot
+}
+
+type soakSnapshot struct {
+	Target       int `json:"target"`
+	Run          int `json:"run"`
+	Failures     int `json:"failures"`
+	Shrunk       int `json:"shrunk"`
+	PropHeld     int `json:"prop_held"`
+	PropViolated int `json:"prop_violated"`
+	DeadlockFree int `json:"deadlock_free"`
+	Deadlocked   int `json:"deadlocked"`
+}
+
+func (p *soakProgress) publish(s soakSnapshot) {
+	p.mu.Lock()
+	p.snap = s
+	p.mu.Unlock()
+}
+
+func (p *soakProgress) Snapshot() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -44,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		journal   = fs.String("journal", "", "write the synthesis event journal (JSONL) to this file")
 		corpus    = fs.String("corpus", "", "directory to write shrunk repros of failures into (empty = report only)")
 		deadline  = fs.Duration("deadline", 0, "overall wall-clock budget for the soak (0 = unbounded); exceeding it exits 3")
+		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /healthz, and /debug/pprof on this address while the soak runs")
 		verbose   = fs.Bool("v", false, "log every instance, not just failures")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,19 +114,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.MaxContextStates = *maxStates
 	}
 
-	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal})
+	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *httpAddr != ""})
 	if err != nil {
 		fmt.Fprintf(stderr, "mbt: %v\n", err)
 		return 1
 	}
 	defer obsRun.Close()
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the soak context: the current instance
+	// aborts via Canceled(), and the deferred obsRun.Close flushes the
+	// journal so an interrupted soak still leaves valid JSONL behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
+
+	progress := &soakProgress{}
+	progress.publish(soakSnapshot{Target: *n})
+	instCounter := obsRun.Registry.Counter("mbt.instances")
+	failCounter := obsRun.Registry.Counter("mbt.failures")
+	shrunkCounter := obsRun.Registry.Counter("mbt.shrunk")
+	if *httpAddr != "" {
+		srv, err := httpd.Start(*httpAddr, httpd.Options{
+			Registry: obsRun.Registry,
+			Progress: progress.Snapshot,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "mbt: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "mbt: serving /metrics /progress /healthz /debug/pprof on http://%s\n", srv.Addr())
+	}
+
 	opts := mbt.Options{Journal: obsRun.Journal, SkipLaws: *skipLaws, Context: ctx}
 	timedOut := false
 
@@ -92,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := 0; i < *n; i++ {
 		if ctx.Err() != nil {
 			timedOut = true
-			fmt.Fprintf(stderr, "mbt: deadline %v exceeded after %d of %d instances\n", *deadline, i, *n)
+			fmt.Fprintf(stderr, "mbt: %s after %d of %d instances\n", stopCause(ctx, *deadline), i, *n)
 			break
 		}
 		s := *seed + int64(i)
@@ -102,6 +171,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		stats.run++
+		instCounter.Add(1)
 		if inst.Property != nil {
 			if inst.TruePropertyHolds {
 				stats.propHeld++
@@ -120,23 +190,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		f := mbt.CheckInstance(inst, opts)
 		if f == nil {
+			progress.publish(soakSnapshot{
+				Target: *n, Run: stats.run, Failures: stats.failures, Shrunk: stats.shrunk,
+				PropHeld: stats.propHeld, PropViolated: stats.propViolated,
+				DeadlockFree: stats.deadlockFree, Deadlocked: stats.deadlocked,
+			})
 			continue
 		}
 		if f.Canceled() {
 			timedOut = true
 			stats.run-- // the verdict was never reached
-			fmt.Fprintf(stderr, "mbt: deadline %v exceeded during seed %d (%d of %d instances done)\n",
-				*deadline, s, i, *n)
+			instCounter.Add(-1)
+			fmt.Fprintf(stderr, "mbt: %s during seed %d (%d of %d instances done)\n",
+				stopCause(ctx, *deadline), s, i, *n)
 			break
 		}
 		stats.failures++
+		failCounter.Add(1)
 		fmt.Fprintf(stderr, "FAIL seed %d: %v\n", s, f)
 		shrunk := mbt.Shrink(f, opts)
 		if shrunk != nil && shrunk != f {
 			stats.shrunk++
+			shrunkCounter.Add(1)
 			fmt.Fprintf(stderr, "  shrunk: %s\n", shrunk.Instance.Summary())
 			f = shrunk
 		}
+		progress.publish(soakSnapshot{
+			Target: *n, Run: stats.run, Failures: stats.failures, Shrunk: stats.shrunk,
+			PropHeld: stats.propHeld, PropViolated: stats.propViolated,
+			DeadlockFree: stats.deadlockFree, Deadlocked: stats.deadlocked,
+		})
 		if *corpus != "" {
 			// Name by the originating soak seed: Shrink clears the
 			// instance seed (the minimized instance no longer matches
@@ -158,9 +241,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if timedOut {
-		fmt.Fprintf(stdout, "mbt: no failures in the %d instances that ran before the deadline\n", stats.run)
+		fmt.Fprintf(stdout, "mbt: no failures in the %d instances that ran before the soak was cut short\n", stats.run)
 		return 3
 	}
 	fmt.Fprintf(stdout, "mbt: all checks passed\n")
 	return 0
+}
+
+// stopCause names why the soak context ended: an elapsed -deadline reads
+// as a timeout, anything else (SIGINT/SIGTERM) as an interrupt.
+func stopCause(ctx context.Context, deadline time.Duration) string {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Sprintf("deadline %v exceeded", deadline)
+	}
+	return "interrupted"
 }

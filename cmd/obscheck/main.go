@@ -1,7 +1,11 @@
 // Command obscheck validates a structured run journal written with
 // -journal: every line must be a well-formed event of a known kind with
-// strictly increasing sequence numbers. It prints the event count on
-// success and exits non-zero on the first malformed line.
+// strictly increasing sequence numbers, and the causal-trace invariants
+// must hold — span IDs unique, parents opened by earlier events, the
+// trace ID constant within a span tree, timestamps never running
+// backwards (DESIGN.md §10). It prints the event count on success and
+// exits non-zero on the first malformed line, naming the violating
+// event's sequence number.
 //
 // Usage:
 //

@@ -76,3 +76,22 @@ func TestRunUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunReportsFirstViolatingSeq(t *testing.T) {
+	// A broken span tree (the parent span was never opened) must report
+	// the sequence number of the first violating event.
+	journal := `{"seq":1,"kind":"iteration_start","iter":0,"trace":"r","span":1}` + "\n" +
+		`{"seq":2,"kind":"check_result","iter":0,"trace":"r","parent":1}` + "\n" +
+		`{"seq":3,"kind":"replay_step","iter":0,"trace":"r","parent":7}` + "\n"
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf strings.Builder
+	if code := run([]string{path}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "seq 3") {
+		t.Errorf("diagnostic does not name the violating seq: %q", errBuf.String())
+	}
+}

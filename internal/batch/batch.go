@@ -80,6 +80,10 @@ type Options struct {
 	// Metrics, when non-nil, receives batch.instances, batch.timeouts,
 	// batch.panics, batch.steals counters and the batch.instance timer.
 	Metrics *obs.Registry
+	// Progress, when non-nil, receives live per-instance start/finish
+	// updates; the HTTP /progress endpoint snapshots it while the batch
+	// runs (see Progress).
+	Progress *Progress
 }
 
 // Summary aggregates a batch run.
@@ -131,13 +135,20 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 	mSteals := opts.Metrics.Counter("batch.steals")
 	tInstance := opts.Metrics.Timer("batch.instance")
 
+	// batchSpan groups the batch_start and instance_done events into one
+	// span tree under the "batch" trace.
+	var batchSpan uint64
 	if j := opts.Journal; j.Enabled() {
-		j.Emit(obs.Event{Kind: obs.KindBatchStart, Iter: -1, N: map[string]int64{
-			"instances":   int64(len(items)),
-			"workers":     int64(workers),
-			"deadline_ns": int64(opts.Deadline),
-		}})
+		batchSpan = j.NewSpan()
+		j.Emit(obs.Event{Kind: obs.KindBatchStart, Iter: -1,
+			Trace: "batch", Span: batchSpan,
+			N: map[string]int64{
+				"instances":   int64(len(items)),
+				"workers":     int64(workers),
+				"deadline_ns": int64(opts.Deadline),
+			}})
 	}
+	opts.Progress.begin(len(items), workers, opts.Memo)
 
 	start := time.Now()
 	results := make([]Result, len(items))
@@ -153,10 +164,13 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 					return
 				}
 				if err := batchCtx.Err(); err != nil {
-					results[idx] = Result{Index: idx, Name: items[idx].Name, Worker: w,
+					res := Result{Index: idx, Name: items[idx].Name, Worker: w,
 						Err: fmt.Errorf("batch: not started: %w", err), TimedOut: true}
+					results[idx] = res
+					opts.Progress.finished(res)
 					continue
 				}
+				opts.Progress.starting(idx, items[idx].Name)
 				res := runOne(batchCtx, items[idx], idx, w, opts)
 				mInstances.Add(1)
 				tInstance.Observe(res.Duration)
@@ -169,6 +183,7 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 				if j := opts.Journal; j.Enabled() {
 					j.Emit(obs.Event{Kind: obs.KindInstanceDone, Iter: -1,
 						DurNS: int64(res.Duration),
+						Trace: "batch", Parent: batchSpan,
 						N: map[string]int64{
 							"index":      int64(res.Index),
 							"worker":     int64(res.Worker),
@@ -180,6 +195,7 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 					})
 				}
 				results[idx] = res
+				opts.Progress.finished(res)
 			}
 		}(w)
 	}

@@ -1,0 +1,162 @@
+package batch
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"muml/internal/automata"
+	"muml/internal/core"
+)
+
+// Progress is a shared live view of a running batch: the worker pool
+// reports instance starts and finishes into it, and the HTTP /progress
+// endpoint (internal/obs/httpd) snapshots it concurrently. A nil
+// *Progress discards all updates, so batch.Verify threads it
+// unconditionally.
+type Progress struct {
+	mu      sync.Mutex
+	total   int
+	workers int
+	start   time.Time
+	running map[int]string // item index -> name
+	memo    *automata.MemoCache
+
+	done, proven, violations, errored, timedOut, panicked int
+	durs                                                  []int64 // completed instance durations (ns)
+}
+
+// NewProgress returns an empty tracker, ready to hand to batch.Options.
+func NewProgress() *Progress { return &Progress{} }
+
+// begin records the batch dimensions; called once by Verify.
+func (p *Progress) begin(total, workers int, memo *automata.MemoCache) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.workers = workers
+	p.memo = memo
+	p.start = time.Now()
+	p.running = make(map[int]string, workers)
+}
+
+// starting marks one instance as running on a worker.
+func (p *Progress) starting(idx int, name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running[idx] = name
+}
+
+// finished folds one result into the tallies, mirroring the
+// classification Verify uses for its Summary so a post-completion
+// snapshot agrees with the final batch report.
+func (p *Progress) finished(res Result) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.running, res.Index)
+	p.done++
+	p.durs = append(p.durs, int64(res.Duration))
+	switch {
+	case res.Panicked:
+		p.panicked++
+		p.errored++
+	case res.TimedOut:
+		p.timedOut++
+		p.errored++
+	case res.Err != nil:
+		p.errored++
+	case res.Verdict == core.VerdictProven:
+		p.proven++
+	case res.Verdict == core.VerdictViolation:
+		p.violations++
+	}
+}
+
+// ProgressSnapshot is one consistent point-in-time view of a batch,
+// serialized as the /progress JSON payload.
+type ProgressSnapshot struct {
+	Instances int `json:"instances"`
+	Workers   int `json:"workers"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+
+	Proven     int `json:"proven"`
+	Violations int `json:"violations"`
+	Errored    int `json:"errored"`
+	TimedOut   int `json:"timed_out"`
+	Panicked   int `json:"panicked"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// ElapsedNS is wall-clock time since the batch started; MedianNS is
+	// the running median over completed instance durations; ETANS
+	// extrapolates the remaining work from that median across the
+	// worker count (0 until the first instance completes).
+	ElapsedNS int64 `json:"elapsed_ns"`
+	MedianNS  int64 `json:"median_instance_ns"`
+	ETANS     int64 `json:"eta_ns"`
+
+	// RunningInstances names the instances currently on a worker,
+	// sorted by item index.
+	RunningInstances []string `json:"running_instances,omitempty"`
+}
+
+// Snapshot returns a consistent view of the batch. Safe on a nil or
+// not-yet-begun tracker (all zeros) and concurrently with pool updates.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Instances:  p.total,
+		Workers:    p.workers,
+		Running:    len(p.running),
+		Done:       p.done,
+		Queued:     p.total - p.done - len(p.running),
+		Proven:     p.proven,
+		Violations: p.violations,
+		Errored:    p.errored,
+		TimedOut:   p.timedOut,
+		Panicked:   p.panicked,
+	}
+	if !p.start.IsZero() {
+		s.ElapsedNS = time.Since(p.start).Nanoseconds()
+	}
+	if hits, misses, _ := p.memo.Stats(); hits+misses > 0 {
+		s.CacheHits, s.CacheMisses = hits, misses
+		s.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if len(p.durs) > 0 {
+		sorted := append([]int64(nil), p.durs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.MedianNS = sorted[len(sorted)/2]
+		if remaining := s.Queued + s.Running; remaining > 0 && p.workers > 0 {
+			s.ETANS = int64(remaining) * s.MedianNS / int64(p.workers)
+		}
+	}
+	if len(p.running) > 0 {
+		idxs := make([]int, 0, len(p.running))
+		for idx := range p.running {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			s.RunningInstances = append(s.RunningInstances, p.running[idx])
+		}
+	}
+	return s
+}

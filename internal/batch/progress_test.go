@@ -1,0 +1,117 @@
+package batch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"muml/internal/automata"
+	"muml/internal/gen"
+)
+
+// TestProgressSnapshotConsistencyUnderLoad polls Snapshot concurrently
+// with a running batch (run with -race): every observed snapshot must be
+// internally consistent, and the final one must agree exactly with the
+// batch Summary.
+func TestProgressSnapshotConsistencyUnderLoad(t *testing.T) {
+	const n = 48
+	progress := NewProgress()
+	memo := automata.NewMemoCache(nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := progress.Snapshot()
+				if s.Instances != 0 && s.Instances != n {
+					t.Errorf("snapshot instances = %d, want 0 or %d", s.Instances, n)
+					return
+				}
+				if s.Queued < 0 || s.Queued+s.Running+s.Done != s.Instances {
+					t.Errorf("unbalanced snapshot: queued %d + running %d + done %d != %d",
+						s.Queued, s.Running, s.Done, s.Instances)
+					return
+				}
+				if s.Proven+s.Violations+s.Errored > s.Done {
+					t.Errorf("more verdicts than completions: %+v", s)
+					return
+				}
+				if len(s.RunningInstances) != s.Running {
+					t.Errorf("running names %d != running count %d", len(s.RunningInstances), s.Running)
+					return
+				}
+			}
+		}()
+	}
+
+	sum, err := Verify(GenItems(1, n, gen.DefaultConfig()), Options{
+		Workers:  4,
+		Memo:     memo,
+		Progress: progress,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	final := progress.Snapshot()
+	if final.Done != n || final.Queued != 0 || final.Running != 0 {
+		t.Fatalf("final snapshot not drained: %+v", final)
+	}
+	if final.Proven != sum.Proven || final.Violations != sum.Violations ||
+		final.Errored != sum.Errored || final.TimedOut != sum.TimedOut ||
+		final.Panicked != sum.Panicked {
+		t.Fatalf("final snapshot %+v disagrees with summary proven=%d violations=%d errored=%d timedOut=%d panicked=%d",
+			final, sum.Proven, sum.Violations, sum.Errored, sum.TimedOut, sum.Panicked)
+	}
+	if hits, misses, _ := memo.Stats(); final.CacheHits != hits || final.CacheMisses != misses {
+		t.Fatalf("cache stats %d/%d, want %d/%d", final.CacheHits, final.CacheMisses, hits, misses)
+	}
+	if final.MedianNS <= 0 || final.ElapsedNS <= 0 {
+		t.Fatalf("timing fields not populated: %+v", final)
+	}
+	if final.ETANS != 0 {
+		t.Fatalf("ETA %d after completion, want 0", final.ETANS)
+	}
+}
+
+func TestProgressETAFromRunningMedian(t *testing.T) {
+	p := NewProgress()
+	p.begin(10, 2, nil)
+	for i := 0; i < 4; i++ {
+		p.starting(i, "x")
+		p.finished(Result{Index: i, Duration: time.Duration(i+1) * 100 * time.Millisecond})
+	}
+	s := p.Snapshot()
+	// Durations 100..400ms → median (upper) 300ms; 6 remaining on 2
+	// workers → ETA 3×300ms.
+	if want := (300 * time.Millisecond).Nanoseconds(); s.MedianNS != want {
+		t.Fatalf("median %v, want %v", s.MedianNS, want)
+	}
+	if want := (900 * time.Millisecond).Nanoseconds(); s.ETANS != want {
+		t.Fatalf("eta %v, want %v", s.ETANS, want)
+	}
+	if s.Queued != 6 || s.Done != 4 || s.Running != 0 {
+		t.Fatalf("counts %+v", s)
+	}
+}
+
+func TestProgressNilIsInert(t *testing.T) {
+	var p *Progress
+	p.begin(5, 2, nil)
+	p.starting(0, "x")
+	p.finished(Result{Index: 0})
+	if s := p.Snapshot(); !reflect.DeepEqual(s, ProgressSnapshot{}) {
+		t.Fatalf("nil progress snapshot %+v", s)
+	}
+}

@@ -150,9 +150,16 @@ type Options struct {
 	// product_rebuilt with its reason), check_result, and — when a
 	// counterexample is tested — cex_classified, replay_step,
 	// probe_result, and learn_delta, closed by a single verdict event.
-	// Nil disables journaling; every emission site is guarded so a
-	// disabled journal costs one branch and no allocation.
+	// Events carry causal identity: each iteration_start opens a span,
+	// its round's events parent to it, and the test section of each
+	// counterexample nests under the cex_classified span, so the journal
+	// reconstructs as a span tree (DESIGN.md §10). Nil disables
+	// journaling; every emission site is guarded so a disabled journal
+	// costs one branch and no allocation.
 	Journal *obs.Journal
+	// TraceID names this run's trace in the journal; all events of the
+	// run carry it. Defaults to the component interface's name.
+	TraceID string
 	// Metrics, when non-nil, receives the run's span timers
 	// (core.compose, core.check, core.replay, core.probe) and the bound
 	// checker's ctl.* counters. Callers typically also pass the same
@@ -179,6 +186,9 @@ func (o *Options) withDefaults(ifaceName string) Options {
 	}
 	if out.Labeler == nil {
 		out.Labeler = QualifiedLabeler(ifaceName)
+	}
+	if out.TraceID == "" {
+		out.TraceID = ifaceName
 	}
 	return out
 }
@@ -452,12 +462,17 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		ModelTransitions: s.model.Automaton().NumTransitions(),
 		ModelBlocked:     s.model.NumBlocked(),
 	}
+	// iterSpan is the iteration's span: the round's events parent to it.
+	var iterSpan uint64
 	if j := s.opts.Journal; j.Enabled() {
-		j.Emit(obs.Event{Kind: obs.KindIterationStart, Iter: index, N: map[string]int64{
-			"model_states":      int64(it.ModelStates),
-			"model_transitions": int64(it.ModelTransitions),
-			"model_blocked":     int64(it.ModelBlocked),
-		}})
+		iterSpan = j.NewSpan()
+		j.Emit(obs.Event{Kind: obs.KindIterationStart, Iter: index,
+			Trace: s.opts.TraceID, Span: iterSpan,
+			N: map[string]int64{
+				"model_states":      int64(it.ModelStates),
+				"model_transitions": int64(it.ModelTransitions),
+				"model_blocked":     int64(it.ModelBlocked),
+			}})
 	}
 
 	composeStart := time.Now()
@@ -480,10 +495,12 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		if it.Patched {
 			k = obs.KindClosurePatched
 		}
-		j.Emit(obs.Event{Kind: k, Iter: index, DurNS: int64(it.ComposeDuration), N: map[string]int64{
-			"closure_states": int64(it.ClosureStates),
-			"system_states":  int64(it.SystemStates),
-		}, S: map[string]string{"reason": it.BuildReason}})
+		j.Emit(obs.Event{Kind: k, Iter: index, DurNS: int64(it.ComposeDuration),
+			Trace: s.opts.TraceID, Parent: iterSpan,
+			N: map[string]int64{
+				"closure_states": int64(it.ClosureStates),
+				"system_states":  int64(it.SystemStates),
+			}, S: map[string]string{"reason": it.BuildReason}})
 	}
 
 	checkStart := time.Now()
@@ -534,12 +551,14 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 	s.stats.CheckTime += it.CheckDuration
 	s.tCheck.Observe(it.CheckDuration)
 	if j := s.opts.Journal; j.Enabled() {
-		j.Emit(obs.Event{Kind: obs.KindCheckResult, Iter: index, DurNS: int64(it.CheckDuration), N: map[string]int64{
-			"property_holds":  b2i(it.PropertyHolds),
-			"deadlock_free":   b2i(it.DeadlockFree),
-			"system_states":   int64(sys.NumStates()),
-			"counterexamples": int64(len(results)),
-		}})
+		j.Emit(obs.Event{Kind: obs.KindCheckResult, Iter: index, DurNS: int64(it.CheckDuration),
+			Trace: s.opts.TraceID, Parent: iterSpan,
+			N: map[string]int64{
+				"property_holds":  b2i(it.PropertyHolds),
+				"deadlock_free":   b2i(it.DeadlockFree),
+				"system_states":   int64(sys.NumStates()),
+				"counterexamples": int64(len(results)),
+			}})
 	}
 
 	if results == nil {
@@ -547,7 +566,7 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		// holds for the real integrated system (Lemma 5).
 		report.Verdict = VerdictProven
 		report.Kind = ViolationNone
-		s.emitVerdict(index, VerdictProven, ViolationNone, "checks-passed")
+		s.emitVerdict(index, iterSpan, VerdictProven, ViolationNone, "checks-passed")
 		return it, true, nil
 	}
 
@@ -567,17 +586,23 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 			it.CexInLearnedPart = runAvoidsChaos(sys, cex)
 			it.CexRunWitnessed = res.RunWitnessed
 		}
+		// cexSpan scopes this counterexample's test section: the
+		// replay_step and probe_result events nest under it.
+		var cexSpan uint64
 		if j := s.opts.Journal; j.Enabled() {
 			text := it.CounterexampleText
 			if idx != 0 {
 				text = trace.RenderCounterexample(sys, cex)
 			}
-			j.Emit(obs.Event{Kind: obs.KindCexClassified, Iter: index, N: map[string]int64{
-				"batch_index":     int64(idx),
-				"length":          int64(cex.Len()),
-				"in_learned_part": b2i(runAvoidsChaos(sys, cex)),
-				"run_witnessed":   b2i(res.RunWitnessed),
-			}, S: map[string]string{"kind": kind.String(), "trace": text}})
+			cexSpan = j.NewSpan()
+			j.Emit(obs.Event{Kind: obs.KindCexClassified, Iter: index,
+				Trace: s.opts.TraceID, Span: cexSpan, Parent: iterSpan,
+				N: map[string]int64{
+					"batch_index":     int64(idx),
+					"length":          int64(cex.Len()),
+					"in_learned_part": b2i(runAvoidsChaos(sys, cex)),
+					"run_witnessed":   b2i(res.RunWitnessed),
+				}, S: map[string]string{"kind": kind.String(), "trace": text}})
 		}
 
 		if kind == ViolationConstraint && runAvoidsChaos(sys, cex) && res.RunWitnessed {
@@ -595,14 +620,14 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 			report.Witness = cex
 			report.WitnessSystem = sys
 			report.WitnessText = trace.RenderCounterexample(sys, cex)
-			s.emitVerdict(index, VerdictViolation, ViolationConstraint, "fast-conflict")
+			s.emitVerdict(index, iterSpan, VerdictViolation, ViolationConstraint, "fast-conflict")
 			return it, true, nil
 		}
 
 		var confirmed bool
 		if err := s.phase("test", func() error {
 			var err error
-			confirmed, err = s.testCounterexample(sys, cex, kind, it)
+			confirmed, err = s.testCounterexample(sys, cex, kind, it, cexSpan)
 			return err
 		}); err != nil {
 			return nil, false, err
@@ -613,16 +638,18 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 			report.Witness = cex
 			report.WitnessSystem = sys
 			report.WitnessText = trace.RenderCounterexample(sys, cex)
-			s.emitVerdict(index, VerdictViolation, kind, "test-confirmed")
+			s.emitVerdict(index, iterSpan, VerdictViolation, kind, "test-confirmed")
 			return it, true, nil
 		}
 	}
 	if j := s.opts.Journal; j.Enabled() {
-		j.Emit(obs.Event{Kind: obs.KindLearnDelta, Iter: index, N: map[string]int64{
-			"states":      int64(it.Delta.States),
-			"transitions": int64(it.Delta.Transitions),
-			"blocked":     int64(it.Delta.Blocked),
-		}})
+		j.Emit(obs.Event{Kind: obs.KindLearnDelta, Iter: index,
+			Trace: s.opts.TraceID, Parent: iterSpan,
+			N: map[string]int64{
+				"states":      int64(it.Delta.States),
+				"transitions": int64(it.Delta.Transitions),
+				"blocked":     int64(it.Delta.Blocked),
+			}})
 	}
 	s.pending.Merge(it.Delta)
 	return it, false, nil
@@ -637,13 +664,15 @@ func (s *Synthesizer) phase(name string, f func() error) error {
 	return f()
 }
 
-func (s *Synthesizer) emitVerdict(index int, v Verdict, kind ViolationKind, reason string) {
+func (s *Synthesizer) emitVerdict(index int, iterSpan uint64, v Verdict, kind ViolationKind, reason string) {
 	if j := s.opts.Journal; j.Enabled() {
-		j.Emit(obs.Event{Kind: obs.KindVerdict, Iter: index, S: map[string]string{
-			"verdict": v.String(),
-			"kind":    kind.String(),
-			"reason":  reason,
-		}})
+		j.Emit(obs.Event{Kind: obs.KindVerdict, Iter: index,
+			Trace: s.opts.TraceID, Parent: iterSpan,
+			S: map[string]string{
+				"verdict": v.String(),
+				"kind":    kind.String(),
+				"reason":  reason,
+			}})
 	}
 }
 
@@ -721,8 +750,10 @@ func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
 
 // testCounterexample executes the counterexample against the legacy
 // component (Section 4.2 / Section 5) and learns from the observations.
-// It reports whether the counterexample was confirmed as real.
-func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.Run, kind ViolationKind, it *Iteration) (bool, error) {
+// It reports whether the counterexample was confirmed as real. cexSpan is
+// the journal span of the counterexample's cex_classified event; the
+// replay and probe events nest under it.
+func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.Run, kind ViolationKind, it *Iteration, cexSpan uint64) (bool, error) {
 	proj, err := sys.ProjectRun(*cex, s.iface.Name)
 	if err != nil {
 		return false, fmt.Errorf("core: project counterexample: %w", err)
@@ -753,10 +784,12 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 	s.stats.ReplayTime += replayDur
 	s.tReplay.Observe(replayDur)
 	if j := s.opts.Journal; j.Enabled() {
-		j.Emit(obs.Event{Kind: obs.KindReplayStep, Iter: it.Index, DurNS: int64(replayDur), N: map[string]int64{
-			"periods":    int64(len(rec.Outputs)),
-			"blocked_at": int64(rec.BlockedAt),
-		}, S: map[string]string{"trace": trace.Render()}})
+		j.Emit(obs.Event{Kind: obs.KindReplayStep, Iter: it.Index, DurNS: int64(replayDur),
+			Trace: s.opts.TraceID, Parent: cexSpan,
+			N: map[string]int64{
+				"periods":    int64(len(rec.Outputs)),
+				"blocked_at": int64(rec.BlockedAt),
+			}, S: map[string]string{"trace": trace.Render()}})
 	}
 
 	// Divergence: blocked early, or outputs departing from the
@@ -787,7 +820,7 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 	// witness path stops early). Probe every interaction the context
 	// offers at the end of the run: the stop is real iff no offer can
 	// form a joint step with the implementation's deterministic reaction.
-	return s.probeDeadlock(sys, cex, rec, observed, it)
+	return s.probeDeadlock(sys, cex, rec, observed, it, cexSpan)
 }
 
 // probeDeadlock checks whether the composed deadlock at the end of the
@@ -795,7 +828,7 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 // to the component at its final state, the executor replays the prefix and
 // performs one probe step (Section 5's replay makes the repeated
 // re-execution deterministic); the reactions are learned.
-func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, rec replay.Recording, observed automata.ObservedRun, it *Iteration) (bool, error) {
+func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, rec replay.Recording, observed automata.ObservedRun, it *Iteration, cexSpan uint64) (bool, error) {
 	probeStart := time.Now()
 	defer func() {
 		d := time.Since(probeStart)
@@ -825,7 +858,9 @@ func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, 
 		result, ok := probed[in.Key()]
 		if !ok {
 			var err error
+			probeOne := time.Now()
 			result, err = replay.Probe(s.comp, rec, in)
+			probeOneDur := time.Since(probeOne)
 			if err != nil {
 				return false, fmt.Errorf("core: probe: %w", err)
 			}
@@ -834,14 +869,16 @@ func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, 
 			s.stats.ProbesRun++
 			s.stats.ResetsUsed++
 			if j := s.opts.Journal; j.Enabled() {
-				j.Emit(obs.Event{Kind: obs.KindProbeResult, Iter: it.Index, N: map[string]int64{
-					"accepted": b2i(result.Accepted),
-				}, S: map[string]string{
-					"state":  result.State,
-					"input":  result.Input.String(),
-					"output": result.Output.String(),
-					"after":  result.After,
-				}})
+				j.Emit(obs.Event{Kind: obs.KindProbeResult, Iter: it.Index, DurNS: int64(probeOneDur),
+					Trace: s.opts.TraceID, Parent: cexSpan,
+					N: map[string]int64{
+						"accepted": b2i(result.Accepted),
+					}, S: map[string]string{
+						"state":  result.State,
+						"input":  result.Input.String(),
+						"output": result.Output.String(),
+						"after":  result.After,
+					}})
 			}
 			if err := s.learnProbe(observed, result, finalState, it); err != nil {
 				return false, err

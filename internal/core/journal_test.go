@@ -121,3 +121,101 @@ func TestTestTimeSplit(t *testing.T) {
 		t.Fatal("per-iteration durations do not sum to the aggregate stats")
 	}
 }
+
+// TestJournalSpanTree checks the causal-trace model of DESIGN.md §10 on
+// a run that exercises counterexamples: every event carries the run's
+// trace ID, each iteration opens a span that parents its compose/check/
+// learn/verdict events, and each counterexample opens a nested span that
+// parents its replay and probe events.
+func TestJournalSpanTree(t *testing.T) {
+	var sink obs.MemorySink
+	synth, err := New(railcab.FrontRole(), &railcab.EagerShuttle{},
+		railcab.RearInterface(railcab.RearRoleName),
+		Options{Property: railcab.Constraint(), Journal: obs.NewJournal(&sink),
+			TraceID: "span-tree-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := synth.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	spanKind := map[uint64]obs.EventKind{} // opener of each span
+	var iterSpans, cexSpans int
+	for _, e := range sink.Events() {
+		if e.Trace != "span-tree-test" {
+			t.Fatalf("seq %d (%s): trace %q, want run trace", e.Seq, e.Kind, e.Trace)
+		}
+		if e.Span != 0 {
+			if _, dup := spanKind[e.Span]; dup {
+				t.Fatalf("seq %d: span %d reopened", e.Seq, e.Span)
+			}
+			spanKind[e.Span] = e.Kind
+		}
+		switch e.Kind {
+		case obs.KindIterationStart:
+			iterSpans++
+			if e.Span == 0 || e.Parent != 0 {
+				t.Fatalf("iteration_start seq %d: span=%d parent=%d, want root span", e.Seq, e.Span, e.Parent)
+			}
+		case obs.KindCexClassified:
+			cexSpans++
+			if e.Span == 0 || spanKind[e.Parent] != obs.KindIterationStart {
+				t.Fatalf("cex_classified seq %d: span=%d, parent %d opened by %q, want iteration_start",
+					e.Seq, e.Span, e.Parent, spanKind[e.Parent])
+			}
+		case obs.KindClosurePatched, obs.KindProductRebuilt, obs.KindCheckResult,
+			obs.KindLearnDelta, obs.KindVerdict:
+			if spanKind[e.Parent] != obs.KindIterationStart {
+				t.Fatalf("%s seq %d: parent %d opened by %q, want iteration_start",
+					e.Kind, e.Seq, e.Parent, spanKind[e.Parent])
+			}
+		case obs.KindReplayStep, obs.KindProbeResult:
+			if spanKind[e.Parent] != obs.KindCexClassified {
+				t.Fatalf("%s seq %d: parent %d opened by %q, want cex_classified",
+					e.Kind, e.Seq, e.Parent, spanKind[e.Parent])
+			}
+		}
+	}
+	if iterSpans == 0 || cexSpans == 0 {
+		t.Fatalf("run did not exercise the tree: %d iteration spans, %d cex spans", iterSpans, cexSpans)
+	}
+}
+
+// TestJournalPhaseTotalsMatchStats is the journalstat acceptance check:
+// aggregating the journal's per-phase durations must reproduce the
+// compose/check/replay totals the report's Stats carry, and the
+// per-probe durations must stay within the aggregate probe time (which
+// also covers probe bookkeeping outside the individual probe calls).
+func TestJournalPhaseTotalsMatchStats(t *testing.T) {
+	var sink obs.MemorySink
+	synth, err := New(railcab.FrontRole(), &railcab.BlockingShuttle{},
+		railcab.RearInterface(railcab.RearRoleName),
+		Options{Property: railcab.Constraint(), Journal: obs.NewJournal(&sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := obs.Analyze(sink.Events(), 0)
+	for phase, want := range map[string]int64{
+		"compose": report.Stats.ComposeTime.Nanoseconds(),
+		"check":   report.Stats.CheckTime.Nanoseconds(),
+		"replay":  report.Stats.ReplayTime.Nanoseconds(),
+	} {
+		if got := stats.Phases[phase].TotalNS; got != want {
+			t.Errorf("%s: journal total %d ns, stats %d ns", phase, got, want)
+		}
+	}
+	probe := stats.Phases["probe"]
+	if probe.Count == 0 {
+		t.Fatal("blocking shuttle run emitted no probe_result events")
+	}
+	if probe.TotalNS > report.Stats.ProbeTime.Nanoseconds() {
+		t.Errorf("probe: journal total %d ns exceeds stats %d ns",
+			probe.TotalNS, report.Stats.ProbeTime.Nanoseconds())
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file aggregates decoded journals into the offline analytics
+// behind cmd/journalstat: per-phase latency distributions (p50/p90/p99
+// by nearest rank), event-kind counts, verdict tallies, and the top-k
+// slowest batch instances, plus a two-journal diff for regression
+// triage. Phases map onto the duration-carrying event kinds: "compose"
+// covers closure_patched and product_rebuilt, "check" covers
+// check_result, "replay" and "probe" the black-box test halves, and
+// "instance" the whole-instance instance_done durations of a batch.
+
+// PhaseStats is the latency distribution of one phase.
+type PhaseStats struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	P50NS   int64 `json:"p50_ns"`
+	P90NS   int64 `json:"p90_ns"`
+	P99NS   int64 `json:"p99_ns"`
+}
+
+// SlowInstance names one batch instance and its duration.
+type SlowInstance struct {
+	Name  string `json:"name"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// JournalStats is the aggregate of one or more journals.
+type JournalStats struct {
+	Events     int                   `json:"events"`
+	Traces     int                   `json:"traces"`
+	Iterations int                   `json:"iterations"`
+	Kinds      map[string]int        `json:"kinds"`
+	Phases     map[string]PhaseStats `json:"phases"`
+	// Verdicts tallies run verdicts ("proven", "violation") from verdict
+	// events and per-instance verdicts from instance_done events;
+	// errored instances count under "error".
+	Verdicts map[string]int `json:"verdicts"`
+	// Slowest lists the top-k slowest batch instances, longest first.
+	Slowest []SlowInstance `json:"slowest,omitempty"`
+}
+
+// phaseOf maps an event kind onto its analysis phase ("" = unphased).
+func phaseOf(k EventKind) string {
+	switch k {
+	case KindClosurePatched, KindProductRebuilt:
+		return "compose"
+	case KindCheckResult:
+		return "check"
+	case KindReplayStep:
+		return "replay"
+	case KindProbeResult:
+		return "probe"
+	case KindInstanceDone:
+		return "instance"
+	default:
+		return ""
+	}
+}
+
+// Analyze aggregates events (from one journal or several concatenated
+// ones) into JournalStats, keeping the topK slowest instances.
+func Analyze(events []Event, topK int) *JournalStats {
+	s := &JournalStats{
+		Events:   len(events),
+		Kinds:    make(map[string]int),
+		Phases:   make(map[string]PhaseStats),
+		Verdicts: make(map[string]int),
+	}
+	durs := make(map[string][]int64)
+	traces := make(map[string]bool)
+	var slow []SlowInstance
+	for _, e := range events {
+		s.Kinds[string(e.Kind)]++
+		if e.Trace != "" {
+			traces[e.Trace] = true
+		}
+		if e.Kind == KindIterationStart {
+			s.Iterations++
+		}
+		if p := phaseOf(e.Kind); p != "" {
+			durs[p] = append(durs[p], e.DurNS)
+		}
+		switch e.Kind {
+		case KindVerdict:
+			s.Verdicts[e.S["verdict"]]++
+		case KindInstanceDone:
+			v := e.S["verdict"]
+			if v == "" {
+				v = "error"
+			}
+			s.Verdicts[v]++
+			name := e.S["name"]
+			if name == "" {
+				name = fmt.Sprintf("#%d", e.N["index"])
+			}
+			slow = append(slow, SlowInstance{Name: name, DurNS: e.DurNS})
+		}
+	}
+	s.Traces = len(traces)
+	for phase, d := range durs {
+		s.Phases[phase] = distill(d)
+	}
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurNS > slow[j].DurNS })
+	if topK > 0 && len(slow) > topK {
+		slow = slow[:topK]
+	}
+	s.Slowest = slow
+	return s
+}
+
+// distill computes the distribution of one phase's durations.
+func distill(durs []int64) PhaseStats {
+	sorted := append([]int64(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st := PhaseStats{Count: int64(len(sorted))}
+	for _, d := range sorted {
+		st.TotalNS += d
+	}
+	st.MinNS = sorted[0]
+	st.MaxNS = sorted[len(sorted)-1]
+	st.P50NS = percentile(sorted, 50)
+	st.P90NS = percentile(sorted, 90)
+	st.P99NS = percentile(sorted, 99)
+	return st
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted
+// sample.
+func percentile(sorted []int64, p int) int64 {
+	rank := (len(sorted)*p + 99) / 100 // ceil(n*p/100)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// RenderText writes the human-readable report (the journalstat default
+// output format).
+func (s *JournalStats) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "events %d  traces %d  iterations %d\n", s.Events, s.Traces, s.Iterations)
+
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "\n%-10s %7s %12s %12s %12s %12s %12s\n",
+			"phase", "count", "total", "p50", "p90", "p99", "max")
+		for _, phase := range sortedKeys(s.Phases) {
+			st := s.Phases[phase]
+			fmt.Fprintf(w, "%-10s %7d %12s %12s %12s %12s %12s\n",
+				phase, st.Count, ns(st.TotalNS), ns(st.P50NS), ns(st.P90NS), ns(st.P99NS), ns(st.MaxNS))
+		}
+	}
+
+	if len(s.Verdicts) > 0 {
+		parts := make([]string, 0, len(s.Verdicts))
+		for _, v := range sortedKeys(s.Verdicts) {
+			parts = append(parts, fmt.Sprintf("%s %d", v, s.Verdicts[v]))
+		}
+		fmt.Fprintf(w, "\nverdicts: %s\n", strings.Join(parts, ", "))
+	}
+
+	if len(s.Slowest) > 0 {
+		fmt.Fprintf(w, "\nslowest instances:\n")
+		for i, inst := range s.Slowest {
+			fmt.Fprintf(w, "  %2d. %-28s %s\n", i+1, inst.Name, ns(inst.DurNS))
+		}
+	}
+
+	fmt.Fprintf(w, "\nevent counts:\n")
+	for _, kind := range sortedKeys(s.Kinds) {
+		fmt.Fprintf(w, "  %-18s %7d\n", kind, s.Kinds[kind])
+	}
+}
+
+// DiffText writes a phase-by-phase comparison of two aggregated journals
+// (regression triage: a is the baseline, b the candidate).
+func DiffText(w io.Writer, a, b *JournalStats) {
+	fmt.Fprintf(w, "%-10s %16s %16s %8s   %16s %16s %8s\n",
+		"phase", "total(a)", "total(b)", "ratio", "p50(a)", "p50(b)", "ratio")
+	phases := map[string]bool{}
+	for p := range a.Phases {
+		phases[p] = true
+	}
+	for p := range b.Phases {
+		phases[p] = true
+	}
+	for _, phase := range sortedKeys(phases) {
+		pa, pb := a.Phases[phase], b.Phases[phase]
+		fmt.Fprintf(w, "%-10s %16s %16s %8s   %16s %16s %8s\n",
+			phase, ns(pa.TotalNS), ns(pb.TotalNS), ratio(pa.TotalNS, pb.TotalNS),
+			ns(pa.P50NS), ns(pb.P50NS), ratio(pa.P50NS, pb.P50NS))
+	}
+
+	verdicts := map[string]bool{}
+	for v := range a.Verdicts {
+		verdicts[v] = true
+	}
+	for v := range b.Verdicts {
+		verdicts[v] = true
+	}
+	if len(verdicts) > 0 {
+		parts := make([]string, 0, len(verdicts))
+		changed := false
+		for _, v := range sortedKeys(verdicts) {
+			ca, cb := a.Verdicts[v], b.Verdicts[v]
+			if ca != cb {
+				changed = true
+			}
+			parts = append(parts, fmt.Sprintf("%s %d→%d", v, ca, cb))
+		}
+		status := "unchanged"
+		if changed {
+			status = "CHANGED"
+		}
+		fmt.Fprintf(w, "verdicts (%s): %s\n", status, strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(w, "events: %d→%d, iterations: %d→%d\n",
+		a.Events, b.Events, a.Iterations, b.Iterations)
+}
+
+func ratio(a, b int64) string {
+	if a == 0 {
+		if b == 0 {
+			return "—"
+		}
+		return "+∞"
+	}
+	return fmt.Sprintf("%.2fx", float64(b)/float64(a))
+}
+
+// ns renders a nanosecond count compactly (µs precision).
+func ns(v int64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}

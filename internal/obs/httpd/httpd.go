@@ -1,0 +1,104 @@
+// Package httpd serves the live observability plane of a running
+// verification command over HTTP (the -http flag on batchverify, mbt,
+// and experiments):
+//
+//	/metrics       Prometheus text exposition of the obs.Registry
+//	/progress      JSON snapshot of the run's progress source
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// The server binds eagerly (Start fails fast on a bad address) and
+// serves from a background goroutine until Close. It holds no run state
+// of its own — both data endpoints pull from the snapshot sources handed
+// in via Options, so a request always observes a consistent
+// point-in-time view no matter how the run is progressing.
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"muml/internal/obs"
+)
+
+// Options name the data sources behind the endpoints. Both are optional:
+// a nil Registry serves an empty (valid) exposition, a nil Progress
+// serves an empty JSON object.
+type Options struct {
+	// Registry backs /metrics.
+	Registry *obs.Registry
+	// Progress backs /progress; it must be safe to call from concurrent
+	// request handlers and should return a JSON-serializable snapshot.
+	Progress func() any
+}
+
+// Server is a live observability endpoint bound to one address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (host:port; an empty port picks a free one) and
+// serves the observability endpoints until Close.
+func Start(addr string, o Options) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, o.Registry.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap any = struct{}{}
+		if o.Progress != nil {
+			snap = o.Progress()
+		}
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with a ":0" listen address).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close drains in-flight requests briefly, then tears the server down.
+// Safe on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

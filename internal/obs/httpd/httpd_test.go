@@ -1,0 +1,173 @@
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"muml/internal/obs"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("batch.instances").Add(7)
+	var done atomic.Int64
+	srv, err := Start("127.0.0.1:0", Options{
+		Registry: reg,
+		Progress: func() any {
+			return struct {
+				Done int64 `json:"done"`
+			}{Done: done.Load()}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ctype := get(t, base+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/healthz content type %q", ctype)
+	}
+
+	body, ctype = get(t, base+"/metrics")
+	if !strings.Contains(body, "muml_batch_instances_total 7") {
+		t.Errorf("/metrics misses the counter:\n%s", body)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	done.Store(42)
+	body, ctype = get(t, base+"/progress")
+	var snap struct {
+		Done int64 `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v: %s", err, body)
+	}
+	if snap.Done != 42 {
+		t.Errorf("/progress done = %d, want 42", snap.Done)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/progress content type %q", ctype)
+	}
+
+	body, _ = get(t, base+"/debug/pprof/cmdline")
+	if body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServerDefaultsAndClose(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	// A nil registry is an empty (valid) exposition; a nil progress
+	// source is an empty JSON object.
+	body, _ := get(t, base+"/metrics")
+	if body != "" {
+		t.Errorf("/metrics with nil registry = %q", body)
+	}
+	body, _ = get(t, base+"/progress")
+	if strings.TrimSpace(body) != "{}" {
+		t.Errorf("/progress with nil source = %q", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Error("nil server is not inert")
+	}
+}
+
+func TestStartFailsFastOnBadAddress(t *testing.T) {
+	if _, err := Start("256.0.0.1:bogus", Options{}); err == nil {
+		t.Fatal("Start accepted an unusable address")
+	}
+}
+
+func TestProgressConsistentUnderConcurrentWrites(t *testing.T) {
+	// The /progress handler must always serve a decodable, internally
+	// consistent snapshot while the source is being updated concurrently
+	// (run with -race to catch unsynchronized access).
+	type snap struct {
+		Done  int64 `json:"done"`
+		Twice int64 `json:"twice"`
+	}
+	var mu struct {
+		ch   chan struct{}
+		done atomic.Int64
+	}
+	mu.ch = make(chan struct{})
+	srv, err := Start("127.0.0.1:0", Options{
+		Progress: func() any {
+			d := mu.done.Load()
+			return snap{Done: d, Twice: 2 * d}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	go func() {
+		for i := 0; i < 500; i++ {
+			mu.done.Add(1)
+		}
+		close(mu.ch)
+	}()
+
+	base := "http://" + srv.Addr()
+	for i := 0; i < 20; i++ {
+		body, _ := get(t, base+"/progress")
+		var s snap
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatalf("iteration %d: %v: %s", i, err, body)
+		}
+		if s.Twice != 2*s.Done {
+			t.Fatalf("iteration %d: torn snapshot %+v", i, s)
+		}
+	}
+	<-mu.ch
+	body, _ := get(t, base+"/progress")
+	if want := fmt.Sprintf(`{"done":500,"twice":1000}`); strings.TrimSpace(body) != want {
+		t.Errorf("final snapshot %q, want %q", body, want)
+	}
+}

@@ -18,7 +18,11 @@
 // payloads.
 package obs
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // EventKind names the type of a journal event.
 type EventKind string
@@ -94,6 +98,13 @@ var KnownKinds = map[EventKind]bool{
 // (N) and string fields (S) so that a JSONL round trip reproduces the
 // value exactly (no float64 widening). Iter is -1 for events not scoped to
 // a loop iteration.
+//
+// Events carry causal identity (DESIGN.md §10): Trace groups all events
+// of one synthesis instance, Span marks events that open a span (an
+// iteration, a counterexample's test section), and Parent points at the
+// enclosing span, so a journal reconstructs as a span tree and exports as
+// a Chrome trace (WriteChromeTrace). All three are optional — events from
+// untraced emitters (compose_level, cache_hit) simply leave them zero.
 type Event struct {
 	// Seq is the monotonic sequence number, assigned by the Journal at
 	// emission; the first emitted event has Seq 1.
@@ -101,8 +112,22 @@ type Event struct {
 	Kind EventKind `json:"kind"`
 	// Iter is the loop iteration the event belongs to, or -1.
 	Iter int `json:"iter"`
+	// TNS is the emission timestamp in nanoseconds since the journal was
+	// opened (monotonic clock), stamped by Journal.Emit; 0 on events that
+	// never passed through a journal.
+	TNS int64 `json:"t_ns,omitempty"`
 	// DurNS is the wall-clock duration covered by the event, if any.
 	DurNS int64 `json:"dur_ns,omitempty"`
+	// Trace identifies the synthesis instance the event belongs to; it is
+	// constant across all events of one instance.
+	Trace string `json:"trace,omitempty"`
+	// Span, when non-zero, is the journal-unique ID of the span this
+	// event opens (allocated by Journal.NewSpan); later events reference
+	// it via Parent.
+	Span uint64 `json:"span,omitempty"`
+	// Parent, when non-zero, is the enclosing span's ID. The opening
+	// event always precedes its children in the journal.
+	Parent uint64 `json:"parent,omitempty"`
 	// N holds integer payload fields (sizes, counts, booleans as 0/1).
 	N map[string]int64 `json:"n,omitempty"`
 	// S holds string payload fields (reasons, verdicts, rendered traces).
@@ -124,9 +149,11 @@ type Sink interface {
 // and any future concurrent phases emit through the same mutex, so sinks
 // observe a strictly increasing sequence.
 type Journal struct {
-	mu   sync.Mutex
-	seq  uint64
-	sink Sink
+	mu    sync.Mutex
+	seq   uint64
+	spans atomic.Uint64
+	epoch time.Time
+	sink  Sink
 }
 
 // NewJournal wraps a sink. A nil sink yields a disabled journal.
@@ -134,14 +161,16 @@ func NewJournal(sink Sink) *Journal {
 	if sink == nil {
 		return nil
 	}
-	return &Journal{sink: sink}
+	return &Journal{sink: sink, epoch: time.Now()}
 }
 
 // Enabled reports whether emitted events reach a sink. Guard expensive
 // payload construction (rendered traces, size counts) behind this.
 func (j *Journal) Enabled() bool { return j != nil }
 
-// Emit assigns the next sequence number and forwards the event. Safe on a
+// Emit assigns the next sequence number, stamps the emission timestamp
+// (nanoseconds since the journal was opened, monotonic — so timestamps
+// are non-decreasing across the file), and forwards the event. Safe on a
 // nil journal and from concurrent goroutines.
 func (j *Journal) Emit(e Event) {
 	if j == nil {
@@ -150,8 +179,20 @@ func (j *Journal) Emit(e Event) {
 	j.mu.Lock()
 	j.seq++
 	e.Seq = j.seq
+	e.TNS = time.Since(j.epoch).Nanoseconds()
 	j.sink.Emit(e)
 	j.mu.Unlock()
+}
+
+// NewSpan allocates a journal-unique span ID (0 on a disabled journal,
+// where it is never emitted anyway). Span IDs are independent of sequence
+// numbers: an emitter may allocate one before knowing how many events the
+// span will cover.
+func (j *Journal) NewSpan() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.spans.Add(1)
 }
 
 // Seq returns the sequence number of the most recently emitted event

@@ -36,8 +36,16 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if len(got) != len(want) {
 		t.Fatalf("decoded %d events, want %d", len(got), len(want))
 	}
+	var prevTNS int64
 	for i := range want {
 		want[i].Seq = uint64(i + 1)
+		// Emit stamps the monotonic journal clock; it must never run
+		// backwards within one journal.
+		if got[i].TNS < prevTNS {
+			t.Errorf("event %d: t_ns %d ran backwards (previous %d)", i, got[i].TNS, prevTNS)
+		}
+		prevTNS = got[i].TNS
+		want[i].TNS = got[i].TNS
 		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
 		}

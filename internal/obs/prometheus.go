@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry snapshot in the Prometheus text exposition
+// format (version 0.0.4), served by the HTTP /metrics endpoint
+// (internal/obs/httpd). Instrument names map to the muml_* namespace with
+// dots flattened to underscores: the counter "batch.instances" becomes
+// muml_batch_instances_total, the max-gauge "ctl.peak_states" becomes
+// muml_ctl_peak_states_max, and a timer "core.check" becomes the pair
+// muml_core_check_spans_total / muml_core_check_seconds_total.
+
+// WritePrometheus renders the snapshot as Prometheus text exposition.
+// A nil or empty snapshot renders nothing, which is a valid exposition.
+func WritePrometheus(w io.Writer, snap []Metric) error {
+	var b strings.Builder
+	for _, m := range snap {
+		base := "muml_" + promSanitize(m.Name)
+		switch m.Kind {
+		case "counter":
+			writePromFamily(&b, base+"_total", "counter", strconv.FormatInt(m.Value, 10))
+		case "max":
+			writePromFamily(&b, base+"_max", "gauge", strconv.FormatInt(m.Value, 10))
+		case "timer":
+			writePromFamily(&b, base+"_spans_total", "counter", strconv.FormatInt(m.Value, 10))
+			seconds := float64(m.TotalNS) / 1e9
+			writePromFamily(&b, base+"_seconds_total", "counter",
+				strconv.FormatFloat(seconds, 'g', -1, 64))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePromFamily(b *strings.Builder, name, typ, value string) {
+	fmt.Fprintf(b, "# TYPE %s %s\n%s %s\n", name, typ, name, value)
+}
+
+// promSanitize maps an instrument name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_]; anything else (the dots of the registry's
+// hierarchy, mostly) becomes an underscore.
+func promSanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

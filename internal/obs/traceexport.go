@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file exports a journal as Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto (ui.perfetto.dev) for flamegraph-style
+// phase attribution. Duration-carrying events (check_result, replay_step,
+// closure_patched, instance_done, ...) become complete ("X") slices;
+// everything else becomes an instant ("i") marker. Processes map to trace
+// IDs, threads to worker IDs where present, so a concurrent batch renders
+// as one row per worker and a single synthesis run as one nested
+// timeline.
+
+// chromeTraceFile is the JSON Object Format of the Trace Event
+// specification — the envelope Perfetto and chrome://tracing accept.
+type chromeTraceFile struct {
+	TraceEvents     []chromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+// chromeTraceEvent is one entry of the trace; ts and dur are in
+// microseconds per the format.
+type chromeTraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the events as Chrome trace-event JSON. Events
+// stamped by a Journal use their real emission timestamps (a duration
+// event is drawn as [t_ns-dur_ns, t_ns]); events from journals predating
+// timestamps are laid out back to back per timeline so the export stays
+// loadable.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTraceFile{DisplayTimeUnit: "ms", TraceEvents: []chromeTraceEvent{}}
+	pids := map[string]int64{}
+	cursors := map[[2]int64]int64{} // (pid, tid) -> synthetic clock for unstamped events
+	for _, e := range events {
+		pid, ok := pids[e.Trace]
+		if !ok {
+			pid = int64(len(pids) + 1)
+			pids[e.Trace] = pid
+			name := e.Trace
+			if name == "" {
+				name = "(untraced)"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeTraceEvent{
+				Name: "process_name", Phase: "M", PID: pid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		tid := int64(1)
+		if w, ok := e.N["worker"]; ok {
+			tid = w + 1
+		}
+
+		start := e.TNS - e.DurNS
+		if e.TNS == 0 {
+			key := [2]int64{pid, tid}
+			start = cursors[key]
+			cursors[key] = start + e.DurNS
+		} else if start < 0 {
+			start = 0
+		}
+
+		ev := chromeTraceEvent{
+			Name:  string(e.Kind),
+			Cat:   string(e.Kind),
+			PID:   pid,
+			TID:   tid,
+			TS:    float64(start) / 1e3,
+			Args:  traceArgs(e),
+			Phase: "i",
+			Scope: "t",
+		}
+		if e.DurNS > 0 {
+			ev.Phase = "X"
+			ev.Scope = ""
+			ev.Dur = float64(e.DurNS) / 1e3
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return nil
+}
+
+// traceArgs collects the event payload that is useful inside the trace
+// viewer's detail pane: sequence, iteration, span identity, every integer
+// field, and short single-line string fields (rendered multi-line trace
+// listings would bloat the export and are available in the journal).
+func traceArgs(e Event) map[string]any {
+	args := map[string]any{"seq": e.Seq}
+	if e.Iter >= 0 {
+		args["iter"] = e.Iter
+	}
+	if e.Span != 0 {
+		args["span"] = e.Span
+	}
+	if e.Parent != 0 {
+		args["parent"] = e.Parent
+	}
+	for k, v := range e.N {
+		args[k] = v
+	}
+	for k, v := range e.S {
+		if len(v) <= 120 && !strings.Contains(v, "\n") {
+			args[k] = v
+		}
+	}
+	return args
+}

@@ -12,14 +12,27 @@ import (
 // cmd/obscheck and the Makefile's obs-smoke gate: every line must decode
 // into an Event with no unknown fields, carry a known kind, an iteration
 // of -1 or greater, a non-negative duration, and sequence numbers must be
-// strictly increasing across the file.
+// strictly increasing across the file. On top of the per-event checks the
+// validator enforces the causal-trace invariants of DESIGN.md §10: span
+// IDs are unique, a parent span must have been opened by an earlier
+// event, the trace ID is constant within a span tree, and emission
+// timestamps never go backwards. Violations report the offending event's
+// sequence number so cmd/obscheck pinpoints the first bad record.
+
+// jsonlValidator carries the cross-event state of one validation pass.
+type jsonlValidator struct {
+	prevSeq uint64
+	prevTNS int64
+	// spanTrace maps every opened span to the trace of its opening event.
+	spanTrace map[uint64]string
+}
 
 // DecodeJSONL parses a JSONL journal into its events, enforcing the
 // schema. It fails on the first invalid line, reporting its 1-based line
 // number.
 func DecodeJSONL(r io.Reader) ([]Event, error) {
 	var events []Event
-	var prevSeq uint64
+	v := &jsonlValidator{spanTrace: make(map[uint64]string)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -38,10 +51,9 @@ func DecodeJSONL(r io.Reader) ([]Event, error) {
 		if dec.More() {
 			return nil, fmt.Errorf("journal line %d: trailing data after event", line)
 		}
-		if err := validateEvent(e, prevSeq); err != nil {
+		if err := v.validate(e); err != nil {
 			return nil, fmt.Errorf("journal line %d: %w", line, err)
 		}
-		prevSeq = e.Seq
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
@@ -57,18 +69,49 @@ func ValidateJSONL(r io.Reader) (int, error) {
 	return len(events), err
 }
 
-func validateEvent(e Event, prevSeq uint64) error {
-	if e.Seq <= prevSeq {
-		return fmt.Errorf("sequence %d not greater than predecessor %d", e.Seq, prevSeq)
+func (v *jsonlValidator) validate(e Event) error {
+	if e.Seq <= v.prevSeq {
+		return fmt.Errorf("seq %d: not greater than predecessor %d", e.Seq, v.prevSeq)
 	}
 	if !KnownKinds[e.Kind] {
-		return fmt.Errorf("unknown event kind %q", e.Kind)
+		return fmt.Errorf("seq %d: unknown event kind %q", e.Seq, e.Kind)
 	}
 	if e.Iter < -1 {
-		return fmt.Errorf("invalid iteration %d", e.Iter)
+		return fmt.Errorf("seq %d: invalid iteration %d", e.Seq, e.Iter)
 	}
 	if e.DurNS < 0 {
-		return fmt.Errorf("negative duration %d", e.DurNS)
+		return fmt.Errorf("seq %d: negative duration %d", e.Seq, e.DurNS)
+	}
+	if e.TNS < 0 {
+		return fmt.Errorf("seq %d: negative timestamp %d", e.Seq, e.TNS)
+	}
+	if e.TNS != 0 && e.TNS < v.prevTNS {
+		return fmt.Errorf("seq %d: timestamp %d precedes predecessor's %d", e.Seq, e.TNS, v.prevTNS)
+	}
+	if e.Span != 0 {
+		if e.Span == e.Parent {
+			return fmt.Errorf("seq %d: span %d is its own parent", e.Seq, e.Span)
+		}
+		if _, dup := v.spanTrace[e.Span]; dup {
+			return fmt.Errorf("seq %d: span %d already opened by an earlier event", e.Seq, e.Span)
+		}
+	}
+	if e.Parent != 0 {
+		owner, ok := v.spanTrace[e.Parent]
+		if !ok {
+			return fmt.Errorf("seq %d: parent span %d not opened by an earlier event", e.Seq, e.Parent)
+		}
+		if owner != e.Trace {
+			return fmt.Errorf("seq %d: trace %q differs from parent span %d's trace %q",
+				e.Seq, e.Trace, e.Parent, owner)
+		}
+	}
+	if e.Span != 0 {
+		v.spanTrace[e.Span] = e.Trace
+	}
+	v.prevSeq = e.Seq
+	if e.TNS != 0 {
+		v.prevTNS = e.TNS
 	}
 	return nil
 }
