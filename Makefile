@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check lint fmt vet build test race bench timings batch-bench bench-check batch-smoke obs-smoke printcheck staticcheck mbt-soak fuzz-smoke
+.PHONY: all check lint fmt vet build test race bench timings batch-bench bench-ctl bench-check batch-smoke obs-smoke printcheck staticcheck mbt-soak fuzz-smoke
 
 all: check
 
@@ -42,11 +42,18 @@ timings:
 batch-bench:
 	$(GO) run ./cmd/experiments -batch BENCH_batch.json
 
-# Bench-regression gate: re-measure the timing and batch reports into a
-# temp directory and compare their wall-time aggregates against the
+# Regenerate the CTL engine report (legacy reference vs bitset checker).
+# The collector itself asserts the ≥5x speedup floor on the layered
+# scenarios, so a bad regeneration cannot silently weaken the baseline.
+bench-ctl:
+	$(GO) run ./cmd/experiments -ctl BENCH_ctl.json
+
+# Bench-regression gate: re-measure the timing, batch, and CTL reports
+# into a temp directory and compare their wall-time aggregates against the
 # committed BENCH_*.json baselines with cmd/benchcmp. BENCH_THRESHOLD is
 # the allowed relative slowdown (committed numbers come from
-# `make timings batch-bench`). Shared runners stall for seconds at a time
+# `make timings batch-bench bench-ctl`). The CTL leg gates check_ns only:
+# the legacy and parallel columns are context, not promises. Shared runners stall for seconds at a time
 # — spikes that survive even the collectors' median-of-9 — so a failed
 # comparison re-measures up to BENCH_RETRIES times before it counts:
 # a genuine regression fails every attempt, a host stall does not.
@@ -58,8 +65,10 @@ bench-check:
 		[ $$attempt -gt 1 ] && echo "bench-check: attempt $$attempt of $(BENCH_RETRIES)"; \
 		$(GO) run ./cmd/experiments -timings "$$tmp/incremental.json" >/dev/null && \
 		$(GO) run ./cmd/experiments -batch "$$tmp/batch.json" >/dev/null && \
+		$(GO) run ./cmd/experiments -ctl "$$tmp/ctl.json" >/dev/null && \
 		$(GO) run ./cmd/benchcmp -threshold $(BENCH_THRESHOLD) BENCH_incremental.json "$$tmp/incremental.json" && \
 		$(GO) run ./cmd/benchcmp -threshold $(BENCH_THRESHOLD) BENCH_batch.json "$$tmp/batch.json" && \
+		$(GO) run ./cmd/benchcmp -threshold $(BENCH_THRESHOLD) -keys check_ns BENCH_ctl.json "$$tmp/ctl.json" && \
 		{ status=0; break; }; \
 	done; \
 	rm -rf "$$tmp"; exit $$status
@@ -98,6 +107,8 @@ obs-smoke:
 	curl -fsS "http://$(OBS_HTTP_ADDR)/healthz" | grep -q ok; \
 	curl -fsS "http://$(OBS_HTTP_ADDR)/metrics" >"$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -q '^muml_batch_instances_total 16$$' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_ctl_words_scanned_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_ctl_frontier_states_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	curl -fsS "http://$(OBS_HTTP_ADDR)/progress" >"$(OBS_SMOKE_DIR)/progress.json"; \
 	grep -q '"done":16' "$(OBS_SMOKE_DIR)/progress.json"; \
 	kill -INT $$pid; wait $$pid; \

@@ -7,12 +7,15 @@
 //
 // Both documents are walked structurally: objects by key, arrays element
 // by element (by their "name" field when present, so reordered or added
-// scenarios still line up). Only numeric leaves whose key matches -keys
-// are compared — these are lower-is-better nanosecond aggregates; noisy
-// per-iteration breakdowns are ignored. A metric present only in the
-// baseline is a failure (a scenario silently disappeared); a metric only
-// in the current report is informational. Exit status: 0 when within the
-// threshold, 1 on regression or missing metrics, 2 on usage errors.
+// scenarios still line up; top-level arrays like BENCH_ctl.json work the
+// same way). Only numeric leaves whose key matches -keys are compared —
+// these are lower-is-better nanosecond aggregates; noisy per-iteration
+// breakdowns are ignored. A metric present only in the baseline is a
+// failure (a scenario silently disappeared); a metric only in the current
+// report is informational, and so is a 0ns baseline (the phase never ran
+// when the baseline was recorded, so no finite ratio exists). Exit
+// status: 0 when within the threshold, 1 on regression or missing
+// metrics, 2 on usage errors.
 package main
 
 import (
@@ -94,17 +97,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failures++
 			continue
 		}
-		ratio := 0.0
-		if b > 0 {
-			ratio = c/b - 1
-		}
 		switch {
-		case b > 0 && ratio > *threshold:
+		case b == 0 && c == 0:
+			fmt.Fprintf(stdout, "ok      %-52s 0ns -> 0ns\n", p)
+		case b == 0:
+			// A 0ns baseline means the phase never ran when the baseline
+			// was recorded; no finite ratio exists, so report it without
+			// pretending it is within threshold — and without failing.
+			fmt.Fprintf(stdout, "warn    %-52s baseline 0ns -> %.0fns (no ratio for zero baseline)\n", p, c)
+		case c/b-1 > *threshold:
 			fmt.Fprintf(stderr, "REGRESS %-52s %.0fns -> %.0fns (%+.1f%%, limit %+.0f%%)\n",
-				p, b, c, 100*ratio, 100**threshold)
+				p, b, c, 100*(c/b-1), 100**threshold)
 			failures++
 		default:
-			fmt.Fprintf(stdout, "ok      %-52s %.0fns -> %.0fns (%+.1f%%)\n", p, b, c, 100*ratio)
+			fmt.Fprintf(stdout, "ok      %-52s %.0fns -> %.0fns (%+.1f%%)\n", p, b, c, 100*(c/b-1))
 		}
 	}
 	for p := range cur {

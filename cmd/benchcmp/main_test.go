@@ -90,6 +90,48 @@ func TestArrayMatchingByName(t *testing.T) {
 	}
 }
 
+func TestZeroBaselineIsInformational(t *testing.T) {
+	// A 0ns baseline metric has no finite ratio: the phase never ran when
+	// the baseline was recorded. Any current value must be reported as a
+	// warning, not as a regression (and never as a NaN/∞ verdict).
+	base := write(t, "base.json", `{"scenarios": [{"name": "a", "incremental": {"wall_ns": 0}}]}`)
+	cur := write(t, "cur.json", `{"scenarios": [{"name": "a", "incremental": {"wall_ns": 5000}}]}`)
+	code, out, errOut := runCLI(t, base, cur)
+	if code != 0 {
+		t.Fatalf("zero baseline failed the gate: exit %d, %s", code, errOut)
+	}
+	if !strings.Contains(out, "warn") || !strings.Contains(out, "no ratio for zero baseline") {
+		t.Errorf("zero baseline not reported as warn: %q", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("non-finite ratio leaked into output: %q", out)
+	}
+	// 0ns -> 0ns is a clean ok.
+	code, out, errOut = runCLI(t, base, base)
+	if code != 0 || !strings.Contains(out, "0ns -> 0ns") {
+		t.Errorf("0ns self-compare: exit %d, out %q, err %q", code, out, errOut)
+	}
+}
+
+func TestTopLevelArrayShape(t *testing.T) {
+	// BENCH_ctl.json is a top-level JSON array of named scenarios.
+	base := write(t, "base.json", `[
+  {"name": "large", "check_ns": 1000, "legacy_check_ns": 9000},
+  {"name": "wide", "check_ns": 500}
+]`)
+	cur := write(t, "cur.json", `[
+  {"name": "wide", "check_ns": 510},
+  {"name": "large", "check_ns": 1100, "legacy_check_ns": 9000}
+]`)
+	code, out, errOut := runCLI(t, "-keys", "check_ns", base, cur)
+	if code != 0 {
+		t.Fatalf("top-level array compare failed: exit %d, %s", code, errOut)
+	}
+	if !strings.Contains(out, "large/check_ns") || !strings.Contains(out, "wide/check_ns") {
+		t.Errorf("array scenarios not addressed by name: %q", out)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	base := write(t, "base.json", baseline)
 	for _, args := range [][]string{
@@ -110,13 +152,21 @@ func TestUsageErrors(t *testing.T) {
 func TestCommittedBaselinesAreComparable(t *testing.T) {
 	// The committed reports must compare clean against themselves, so the
 	// CI gate's only moving part is the fresh measurement.
-	for _, name := range []string{"BENCH_incremental.json", "BENCH_batch.json"} {
-		path := filepath.Join("..", "..", name)
+	baselines := []struct {
+		name string
+		args []string
+	}{
+		{name: "BENCH_incremental.json"},
+		{name: "BENCH_batch.json"},
+		{name: "BENCH_ctl.json", args: []string{"-keys", "check_ns"}},
+	}
+	for _, b := range baselines {
+		path := filepath.Join("..", "..", b.name)
 		if _, err := os.Stat(path); err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", b.name, err)
 		}
-		if code, _, errOut := runCLI(t, path, path); code != 0 {
-			t.Errorf("%s vs itself: exit %d, %s", name, code, errOut)
+		if code, _, errOut := runCLI(t, append(b.args, path, path)...); code != 0 {
+			t.Errorf("%s vs itself: exit %d, %s", b.name, code, errOut)
 		}
 	}
 }

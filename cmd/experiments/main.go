@@ -9,6 +9,7 @@
 //	experiments -all [-report EXPERIMENTS.md]
 //	experiments -timings BENCH_incremental.json
 //	experiments -batch BENCH_batch.json
+//	experiments -ctl BENCH_ctl.json
 //	experiments -all -http 127.0.0.1:8475 -metrics
 //
 // -http serves the live observability plane while experiments run:
@@ -44,6 +45,8 @@ func run() error {
 		report     = flag.String("report", "", "write the markdown report to this file (with -all)")
 		timings    = flag.String("timings", "", "run the incremental-vs-rebuild timing scenarios and write per-iteration stats as JSON to this file")
 		batchOut   = flag.String("batch", "", "run the batch-throughput scenario (sequential vs parallel) and write the report as JSON to this file")
+		ctlOut     = flag.String("ctl", "", "run the CTL engine scenarios (legacy reference vs bitset checker) and write the report as JSON to this file")
+		ctlMin     = flag.Float64("ctl-min-speedup", 5, "minimum legacy-over-bitset speedup the asserted -ctl scenarios must reach")
 		batchN     = flag.Int("batch-n", 64, "number of generated instances for -batch")
 		batchSeed  = flag.Int64("batch-seed", 1, "generator seed of the first -batch instance")
 		batchW     = flag.Int("batch-workers", 0, "parallel worker count for -batch (0 = GOMAXPROCS)")
@@ -91,6 +94,26 @@ func run() error {
 	}
 
 	switch {
+	case *ctlOut != "":
+		scenarios, err := experiments.CollectCTLBench(*ctlMin)
+		if err != nil {
+			return err
+		}
+		data, err := experiments.MarshalCTLBench(scenarios)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*ctlOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write ctl report: %w", err)
+		}
+		for _, sc := range scenarios {
+			fmt.Printf("%-18s %6d states %7d trans  legacy %8.2fms  bitset %8.2fms  speedup %5.1fx\n",
+				sc.Name, sc.States, sc.Transitions,
+				float64(sc.LegacyCheckNS)/1e6, float64(sc.CheckNS)/1e6, sc.Speedup)
+		}
+		fmt.Printf("ctl report written to %s\n", *ctlOut)
+		return nil
+
 	case *batchOut != "":
 		rep, err := experiments.CollectBatchBench(*batchSeed, *batchN, *batchW, run.Journal, run.Registry)
 		if err != nil {

@@ -68,6 +68,9 @@ type Automaton struct {
 	// nameSeq tracks, per base name, the next "#n" suffix to try when
 	// uniqueName must disambiguate a collision; avoids quadratic re-probing.
 	nameSeq map[string]int
+	// derived caches the CSR and flat-transition snapshots (csr.go);
+	// structural mutations invalidate it.
+	derived derivedViews
 }
 
 // New creates an empty automaton with the given name and alphabets. The
@@ -117,6 +120,7 @@ func (a *Automaton) AddState(name string, labels ...Proposition) (StateID, error
 	a.states = append(a.states, stateInfo{name: name, labels: dedupeProps(sorted), parts: []string{name}})
 	a.index[name] = id
 	a.adj = append(a.adj, nil)
+	a.invalidateDerived()
 	return id, nil
 }
 
@@ -245,6 +249,7 @@ func (a *Automaton) AddTransition(from StateID, label Interaction, to StateID) e
 		}
 	}
 	a.adj[from] = append(a.adj[from], Transition{From: from, Label: label, To: to})
+	a.invalidateDerived()
 	return nil
 }
 
@@ -278,12 +283,13 @@ func (a *Automaton) TransitionsFrom(id StateID) []Transition {
 	return a.adj[id]
 }
 
-// Transitions returns all transitions in a deterministic order.
+// Transitions returns all transitions in a deterministic order. The
+// returned slice is a fresh copy; iteration-only hot loops should use
+// TransitionsSnapshot instead.
 func (a *Automaton) Transitions() []Transition {
-	all := make([]Transition, 0, a.NumTransitions())
-	for _, ts := range a.adj {
-		all = append(all, ts...)
-	}
+	snap := a.TransitionsSnapshot()
+	all := make([]Transition, len(snap))
+	copy(all, snap)
 	return all
 }
 
@@ -400,7 +406,7 @@ func (a *Automaton) Trim(name string) *Automaton {
 		b.states[nid].parts = append([]string(nil), st.parts...)
 		mapping[id] = nid
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		if mapping[t.From] == NoState || mapping[t.To] == NoState {
 			continue
 		}
@@ -438,7 +444,7 @@ func (a *Automaton) Rename(name string, mapping map[Signal]Signal) (*Automaton, 
 			return nil, errors.New("automata: rename produced inconsistent state ids")
 		}
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		label := Interaction{In: ren(t.Label.In), Out: ren(t.Label.Out)}
 		if err := b.AddTransition(t.From, label, t.To); err != nil {
 			return nil, err
@@ -481,7 +487,7 @@ func (a *Automaton) Dot() string {
 		}
 		fmt.Fprintf(&b, "  %d [label=%q shape=%s];\n", id, st.name, shape)
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", t.From, t.To, t.Label.String())
 	}
 	b.WriteString("}\n")

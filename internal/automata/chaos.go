@@ -260,7 +260,7 @@ func ChaoticClosureLiteral(m *Incomplete, universe InteractionUniverse) *Automat
 	}
 	sAll := c.MustAddState(ChaosAllState, ChaosProposition)
 	sDelta := c.MustAddState(ChaosDeltaState, ChaosProposition)
-	for _, t := range src.Transitions() {
+	for _, t := range src.TransitionsSnapshot() {
 		c.MustAddTransition(closed[t.From], t.Label, closed[t.To])
 		c.MustAddTransition(closed[t.From], t.Label, open[t.To])
 		c.MustAddTransition(open[t.From], t.Label, closed[t.To])

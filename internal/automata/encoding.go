@@ -52,7 +52,7 @@ func toJSON(a *Automaton) automatonJSON {
 		s := StateID(i)
 		out.States = append(out.States, stateJSON{Name: a.StateName(s), Labels: a.Labels(s)})
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		out.Transitions = append(out.Transitions, transitionJSON{
 			From: a.StateName(t.From),
 			In:   t.Label.In.Signals(),

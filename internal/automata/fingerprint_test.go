@@ -24,29 +24,32 @@ func TestFingerprintDeterministic(t *testing.T) {
 
 func TestFingerprintSensitivity(t *testing.T) {
 	base := fpTestAutomaton(t).Fingerprint()
-	for name, mutate := range map[string]func(a *Automaton){
-		"rename": func(a *Automaton) {
+	for name, mutate := range map[string]func(a *Automaton) *Automaton{
+		"rename": func(a *Automaton) *Automaton {
 			renamed, err := a.Rename("other", nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			*a = *renamed
+			return renamed
 		},
-		"extra state": func(a *Automaton) {
+		"extra state": func(a *Automaton) *Automaton {
 			a.MustAddState("s2")
+			return a
 		},
-		"extra transition": func(a *Automaton) {
+		"extra transition": func(a *Automaton) *Automaton {
 			a.MustAddTransition(StateID(1), Interaction{}, StateID(1))
+			return a
 		},
-		"different initial": func(a *Automaton) {
+		"different initial": func(a *Automaton) *Automaton {
 			a.MarkInitial(StateID(1))
+			return a
 		},
-		"extra label": func(a *Automaton) {
+		"extra label": func(a *Automaton) *Automaton {
 			a.AddLabel(StateID(0), "p")
+			return a
 		},
 	} {
-		a := fpTestAutomaton(t)
-		mutate(a)
+		a := mutate(fpTestAutomaton(t))
 		if a.Fingerprint() == base {
 			t.Errorf("%s: fingerprint unchanged", name)
 		}

@@ -165,7 +165,7 @@ func (m *Incomplete) Dot() string {
 	if m.NumBlocked() > 0 {
 		b.WriteString("  refused [label=\"T̄\" shape=box style=dashed];\n")
 	}
-	for _, t := range m.auto.Transitions() {
+	for _, t := range m.auto.TransitionsSnapshot() {
 		fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", t.From, t.To, t.Label.String())
 	}
 	for id := range m.auto.states {

@@ -407,6 +407,11 @@ func (ic *IncrementalSystem) Apply(delta LearnDelta) (bool, error) {
 		queue = ic.computePairAdjacency(queue[head], queue, seen)
 	}
 
+	// The closure and product adjacencies were rewritten in place above,
+	// bypassing AddTransition; drop their cached CSR/flat snapshots.
+	ic.closure.invalidateDerived()
+	ic.product.invalidateDerived()
+
 	ic.reachable = countReachable(ic.product)
 	ic.patches++
 	ic.lastPatched = true

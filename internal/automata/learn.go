@@ -183,7 +183,7 @@ func (m *Incomplete) ObservationConforming(impl *Automaton) error {
 			return fmt.Errorf("automata: learned initial state %q not initial in implementation", a.StateName(q))
 		}
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		ok := false
 		for _, u := range impl.TransitionsFrom(toImpl[t.From]) {
 			if u.Label.Equal(t.Label) && u.To == toImpl[t.To] {

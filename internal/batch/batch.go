@@ -266,6 +266,9 @@ func runOne(batchCtx context.Context, item Item, idx, worker int, opts Options) 
 		MaxIterations: problem.MaxIterations,
 		Context:       ctx,
 		Memo:          opts.Memo,
+		// The registry is shared across workers; counters are atomic, so
+		// the ctl.* and core.* instruments aggregate over the whole batch.
+		Metrics: opts.Metrics,
 	})
 	if err != nil {
 		res.Err = fmt.Errorf("batch: %q: %w", item.Name, err)

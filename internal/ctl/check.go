@@ -3,25 +3,44 @@ package ctl
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"muml/internal/automata"
 	"muml/internal/obs"
 )
 
 // Checker evaluates CCTL formulas over one automaton (typically a parallel
-// composition). It caches satisfaction sets per subformula, so evaluating
-// several formulas over the same automaton reuses work. A checker can be
-// Rebound when the automaton changes, keeping its allocations (predecessor
-// lists, fixpoint buffers, worklists) across verification rounds.
+// composition). Satisfaction sets are word-parallel bitsets ([]uint64 with
+// bulk AND/OR/ANDNOT), the transition relation is walked through the
+// automaton's CSR snapshot (contiguous forward and reverse adjacency), and
+// the unbounded fixpoints are frontier-driven: each state is processed a
+// constant number of times instead of once per stabilization sweep. The
+// checker caches satisfaction sets per subformula, so evaluating several
+// formulas over the same automaton reuses work, and it can be Rebound when
+// the automaton changes, keeping its allocations across verification
+// rounds. Frontier and sweep evaluation optionally fan out across
+// goroutines (SetWorkers); verdicts and witnesses are identical at any
+// worker count. The frozen pre-bitset engine survives as Reference for
+// differential testing and benchmarking.
 type Checker struct {
-	auto      *automata.Automaton
-	sat       map[Formula][]bool
-	pred      [][]automata.Transition // reverse adjacency, built lazily
-	predBuilt bool
+	auto *automata.Automaton
+	csr  *automata.CSR // fetched lazily from auto; dropped on Rebind
+	n    int           // csr.NumStates(), the width of every bitset
 
-	boolPool [][]bool           // scratch layers for the bounded operators
-	intPool  [][]int            // remaining-successor counters
-	queue    []automata.StateID // reused BFS worklist
+	sat      map[Formula]bitset // satisfaction sets, per subformula
+	satBools map[Formula][]bool // []bool materializations for Sat callers
+
+	deadlocks    bitset // states with no outgoing transitions
+	deadlocksSet bool
+
+	// workers is the goroutine fan-out for frontier and sweep evaluation:
+	// 0 means GOMAXPROCS, 1 forces sequential evaluation.
+	workers int
+
+	bitsPool []bitset // scratch bitsets (bounded layers, worker-locals)
+	intPool  [][]int32
+	queue    []int32 // reused frontier worklists
+	next     []int32
 
 	// ctx, when non-nil, bounds the current evaluation: fixpoint loops
 	// poll it (rate-limited by polls) and unwind early once it is done.
@@ -33,32 +52,56 @@ type Checker struct {
 
 	// Optional instrumentation (see Instrument); nil counters are no-ops,
 	// so the uninstrumented checker pays one branch per update site.
-	mFixpointIters *obs.Counter // work units inside fixpoint loops
-	mStatesTouched *obs.Counter // states visited per operator evaluation
-	mPoolHits      *obs.Counter // scratch buffers served from the pools
-	mPoolMisses    *obs.Counter // scratch buffers freshly allocated
-	mSatCacheHits  *obs.Counter // Sat calls answered from the formula cache
-	mChecks        *obs.Counter // operator evaluations (Sat cache misses)
+	mFixpointIters  *obs.Counter // work units inside fixpoint loops
+	mStatesTouched  *obs.Counter // states visited per operator evaluation
+	mPoolHits       *obs.Counter // scratch buffers served from the pools
+	mPoolMisses     *obs.Counter // scratch buffers freshly allocated
+	mSatCacheHits   *obs.Counter // Sat calls answered from the formula cache
+	mChecks         *obs.Counter // operator evaluations (Sat cache misses)
+	mWordsScanned   *obs.Counter // bitset words produced by sweep operators
+	mFrontierStates *obs.Counter // states expanded by frontier fixpoints
+	mParallelChunks *obs.Counter // chunks dispatched to worker goroutines
 }
 
 // NewChecker creates a checker for the automaton.
 func NewChecker(a *automata.Automaton) *Checker {
-	return &Checker{auto: a, sat: make(map[Formula][]bool)}
+	return &Checker{
+		auto:     a,
+		sat:      make(map[Formula]bitset),
+		satBools: make(map[Formula][]bool),
+	}
 }
 
 // Rebind points the checker at an automaton that has changed (grown in
 // place or replaced). Cached satisfaction sets are dropped — they are
-// indexed by state and stale after any mutation — but the predecessor
-// lists, scratch buffers, and worklists keep their capacity, so repeated
-// verification rounds over a growing system avoid most reallocation.
+// indexed by state and stale after any mutation — but the scratch buffers
+// and worklists keep their capacity, so repeated verification rounds over
+// a growing system avoid most reallocation.
 func (c *Checker) Rebind(a *automata.Automaton) {
 	c.auto = a
 	clear(c.sat)
-	c.predBuilt = false
+	clear(c.satBools)
+	c.csr = nil
+	c.deadlocksSet = false
 }
 
 // Automaton returns the automaton under analysis.
 func (c *Checker) Automaton() *automata.Automaton { return c.auto }
+
+// SetWorkers sets the goroutine fan-out for frontier and sweep evaluation:
+// 0 (the default) uses GOMAXPROCS, 1 forces sequential evaluation.
+// Verdicts, witnesses, and counterexamples are identical at any setting.
+func (c *Checker) SetWorkers(n int) { c.workers = n }
+
+// ensure binds the CSR snapshot (and the state count every bitset is sized
+// for). Fetched once per Rebind: the snapshot is only valid until the next
+// structural mutation, which is exactly the cache contract of sat.
+func (c *Checker) ensure() {
+	if c.csr == nil {
+		c.csr = c.auto.CSR()
+		c.n = c.csr.NumStates()
+	}
+}
 
 // ctxPollInterval rate-limits context polling inside fixpoint loops: one
 // Err() call per this many work units keeps cancellation latency bounded
@@ -79,9 +122,11 @@ func (c *Checker) bind(ctx context.Context) {
 
 func (c *Checker) unbind() { c.ctx = nil }
 
-// canceled reports whether the bound context is done. Fixpoint loops call
-// it once per work unit; the actual ctx.Err() poll runs every
+// canceled reports whether the bound context is done. Sequential fixpoint
+// loops call it once per work unit; the actual ctx.Err() poll runs every
 // ctxPollInterval calls. With no bound context it is a single branch.
+// Not goroutine-safe: parallel phases poll only from the main goroutine,
+// between frontier levels or layer sweeps.
 func (c *Checker) canceled() bool {
 	if c.ctx == nil {
 		return false
@@ -136,11 +181,14 @@ func (c *Checker) CheckManyCtx(ctx context.Context, f Formula, max int) ([]Resul
 }
 
 // Instrument registers the checker's effort counters in the registry:
-// ctl.fixpoint_iters (worklist pops and layer sweeps inside fixpoint
-// computations), ctl.states_touched (states visited per operator
+// ctl.fixpoint_iters (states expanded or layer cells computed inside
+// fixpoint computations), ctl.states_touched (states visited per operator
 // evaluation), ctl.pool_hits / ctl.pool_misses (scratch-buffer pool
-// behaviour), ctl.sat_cache_hits, and ctl.operator_evals. A nil registry
-// detaches the instrumentation.
+// behaviour), ctl.sat_cache_hits, ctl.operator_evals, plus the bitset
+// engine's ctl.words_scanned (bitset words produced by sweep operators),
+// ctl.frontier_states (states expanded by frontier fixpoints), and
+// ctl.parallel_chunks (chunks dispatched to worker goroutines). A nil
+// registry detaches the instrumentation.
 func (c *Checker) Instrument(r *obs.Registry) {
 	c.mFixpointIters = r.Counter("ctl.fixpoint_iters")
 	c.mStatesTouched = r.Counter("ctl.states_touched")
@@ -148,30 +196,34 @@ func (c *Checker) Instrument(r *obs.Registry) {
 	c.mPoolMisses = r.Counter("ctl.pool_misses")
 	c.mSatCacheHits = r.Counter("ctl.sat_cache_hits")
 	c.mChecks = r.Counter("ctl.operator_evals")
+	c.mWordsScanned = r.Counter("ctl.words_scanned")
+	c.mFrontierStates = r.Counter("ctl.frontier_states")
+	c.mParallelChunks = r.Counter("ctl.parallel_chunks")
 }
 
-// getBool borrows an n-sized false-initialized scratch slice.
-func (c *Checker) getBool(n int) []bool {
-	if k := len(c.boolPool); k > 0 {
-		buf := c.boolPool[k-1]
-		c.boolPool = c.boolPool[:k-1]
-		if cap(buf) >= n {
+// getBits borrows a zeroed bitset sized for the current automaton.
+func (c *Checker) getBits() bitset {
+	need := wordsFor(c.n)
+	if k := len(c.bitsPool); k > 0 {
+		buf := c.bitsPool[k-1]
+		c.bitsPool = c.bitsPool[:k-1]
+		if cap(buf) >= need {
 			c.mPoolHits.Add(1)
-			buf = buf[:n]
-			clear(buf)
+			buf = buf[:need]
+			buf.zero()
 			return buf
 		}
 	}
 	c.mPoolMisses.Add(1)
-	return make([]bool, n)
+	return make(bitset, need)
 }
 
-func (c *Checker) putBool(buf []bool) {
-	c.boolPool = append(c.boolPool, buf)
+func (c *Checker) putBits(b bitset) {
+	c.bitsPool = append(c.bitsPool, b)
 }
 
-// getInt borrows an n-sized zero-initialized counter slice.
-func (c *Checker) getInt(n int) []int {
+// getInts borrows an n-sized zero-initialized counter slice.
+func (c *Checker) getInts(n int) []int32 {
 	if k := len(c.intPool); k > 0 {
 		buf := c.intPool[k-1]
 		c.intPool = c.intPool[:k-1]
@@ -183,19 +235,40 @@ func (c *Checker) getInt(n int) []int {
 		}
 	}
 	c.mPoolMisses.Add(1)
-	return make([]int, n)
+	return make([]int32, n)
 }
 
-func (c *Checker) putInt(buf []int) {
+func (c *Checker) putInts(buf []int32) {
 	c.intPool = append(c.intPool, buf)
+}
+
+// deadlockSet returns the bitset of deadlock states, built once per
+// Rebind from the CSR out-degrees. The set is owned by the checker.
+func (c *Checker) deadlockSet() bitset {
+	if !c.deadlocksSet {
+		need := wordsFor(c.n)
+		if cap(c.deadlocks) >= need {
+			c.deadlocks = c.deadlocks[:need]
+			c.deadlocks.zero()
+		} else {
+			c.deadlocks = make(bitset, need)
+		}
+		for s := 0; s < c.n; s++ {
+			if c.csr.OutDegree(s) == 0 {
+				c.deadlocks.set(s)
+			}
+		}
+		c.deadlocksSet = true
+	}
+	return c.deadlocks
 }
 
 // Holds reports whether the formula holds in every initial state
 // (M ⊨ φ).
 func (c *Checker) Holds(f Formula) bool {
-	sat := c.Sat(f)
+	sat := c.satBits(f)
 	for _, q := range c.auto.Initial() {
-		if !sat[q] {
+		if !sat.test(int(q)) {
 			return false
 		}
 	}
@@ -204,9 +277,9 @@ func (c *Checker) Holds(f Formula) bool {
 
 // FailingInitial returns an initial state violating the formula, if any.
 func (c *Checker) FailingInitial(f Formula) (automata.StateID, bool) {
-	sat := c.Sat(f)
+	sat := c.satBits(f)
 	for _, q := range c.auto.Initial() {
-		if !sat[q] {
+		if !sat.test(int(q)) {
 			return q, true
 		}
 	}
@@ -214,93 +287,101 @@ func (c *Checker) FailingInitial(f Formula) (automata.StateID, bool) {
 }
 
 // Sat returns the satisfaction set of the formula as a boolean slice
-// indexed by state ID. The returned slice is shared with the cache and
-// must not be mutated.
+// indexed by state ID, materialized from the bitset evaluation. The
+// returned slice is shared with the cache and must not be mutated.
 func (c *Checker) Sat(f Formula) []bool {
+	if cached, ok := c.satBools[f]; ok {
+		c.mSatCacheHits.Add(1)
+		return cached
+	}
+	bs := c.satBits(f)
+	out := make([]bool, c.n)
+	for i := range out {
+		out[i] = bs.test(i)
+	}
+	if c.ctxErr == nil {
+		c.satBools[f] = out
+	}
+	return out
+}
+
+// satBits evaluates the formula's satisfaction set as a bitset, caching
+// per subformula. The returned set is shared with the cache and must not
+// be mutated.
+func (c *Checker) satBits(f Formula) bitset {
 	if cached, ok := c.sat[f]; ok {
 		c.mSatCacheHits.Add(1)
 		return cached
 	}
-	var sat []bool
-	n := c.auto.NumStates()
+	c.ensure()
+	n := c.n
 	if c.canceled() {
 		// Unwind without caching: the zero set is wrong in general, but
 		// every entry point checks ctxErr before trusting any result.
-		return make([]bool, n)
+		return newBitset(n)
 	}
 	c.mChecks.Add(1)
 	c.mStatesTouched.Add(int64(n))
+	var sat bitset
 	switch node := f.(type) {
 	case trueNode:
-		sat = trues(n)
+		sat = newBitset(n)
+		sat.fill(n)
 	case falseNode:
-		sat = make([]bool, n)
+		sat = newBitset(n)
 	case deadlockNode:
-		sat = make([]bool, n)
-		for i := 0; i < n; i++ {
-			sat[i] = c.auto.IsDeadlock(automata.StateID(i))
-		}
+		sat = newBitset(n)
+		sat.copyFrom(c.deadlockSet())
 	case *atomNode:
-		sat = make([]bool, n)
-		for i := 0; i < n; i++ {
-			sat[i] = c.auto.HasLabel(automata.StateID(i), node.p)
-		}
+		sat = c.evalAtom(node.p)
 	case *notNode:
-		inner := c.Sat(node.f)
-		sat = make([]bool, n)
-		for i := range sat {
-			sat[i] = !inner[i]
-		}
+		inner := c.satBits(node.f)
+		sat = newBitset(n)
+		sat.complementOf(inner, n)
 	case *andNode:
-		l, r := c.Sat(node.l), c.Sat(node.r)
-		sat = make([]bool, n)
-		for i := range sat {
-			sat[i] = l[i] && r[i]
-		}
+		sat = newBitset(n)
+		sat.copyFrom(c.satBits(node.l))
+		sat.and(c.satBits(node.r))
 	case *orNode:
-		l, r := c.Sat(node.l), c.Sat(node.r)
-		sat = make([]bool, n)
-		for i := range sat {
-			sat[i] = l[i] || r[i]
-		}
+		sat = newBitset(n)
+		sat.copyFrom(c.satBits(node.l))
+		sat.or(c.satBits(node.r))
 	case *impNode:
-		l, r := c.Sat(node.l), c.Sat(node.r)
-		sat = make([]bool, n)
-		for i := range sat {
-			sat[i] = !l[i] || r[i]
-		}
+		sat = newBitset(n)
+		sat.complementOf(c.satBits(node.l), n)
+		sat.or(c.satBits(node.r))
 	case *axNode:
-		sat = c.preAll(c.Sat(node.f))
+		sat = c.preAll(c.satBits(node.f))
 	case *exNode:
-		sat = c.preSome(c.Sat(node.f))
+		sat = c.preSome(c.satBits(node.f))
 	case *afNode:
 		if node.bound != nil {
-			sat = c.boundedAF(c.Sat(node.f), *node.bound)
+			sat = c.boundedAF(c.satBits(node.f), *node.bound)
 		} else {
-			sat = c.unboundedAF(c.Sat(node.f))
+			sat = c.unboundedAF(c.satBits(node.f))
 		}
 	case *efNode:
 		if node.bound != nil {
-			sat = c.boundedEF(c.Sat(node.f), *node.bound)
+			sat = c.boundedEF(c.satBits(node.f), *node.bound)
 		} else {
-			sat = c.unboundedEF(c.Sat(node.f))
+			sat = c.unboundedEF(c.satBits(node.f))
 		}
 	case *agNode:
 		if node.bound != nil {
-			sat = c.boundedAG(c.Sat(node.f), *node.bound)
+			sat = c.boundedAG(c.satBits(node.f), *node.bound)
 		} else {
-			sat = c.unboundedAG(c.Sat(node.f))
+			sat = c.unboundedAG(c.satBits(node.f))
 		}
 	case *egNode:
 		if node.bound != nil {
-			sat = c.boundedEG(c.Sat(node.f), *node.bound)
+			sat = c.boundedEG(c.satBits(node.f), *node.bound)
 		} else {
-			sat = c.unboundedEG(c.Sat(node.f))
+			sat = c.unboundedEG(c.satBits(node.f))
 		}
 	case *auNode:
-		sat = c.unboundedAU(c.Sat(node.l), c.Sat(node.r))
+		sat = c.unboundedAU(c.satBits(node.l), c.satBits(node.r))
 	case *euNode:
-		sat = c.unboundedEU(c.Sat(node.l), c.Sat(node.r))
+		sat = c.unboundedEU(c.satBits(node.l), c.satBits(node.r))
 	default:
 		panic(fmt.Sprintf("ctl: unknown formula node %T", f))
 	}
@@ -310,355 +391,428 @@ func (c *Checker) Sat(f Formula) []bool {
 	return sat
 }
 
+// evalAtom builds the satisfaction word for an atomic proposition, one
+// 64-state word at a time (chunk-parallel on large automata).
+func (c *Checker) evalAtom(p automata.Proposition) bitset {
+	n := c.n
+	out := newBitset(n)
+	c.sweepWords(len(out), func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			base := w << 6
+			lim := min(64, n-base)
+			var word uint64
+			for k := 0; k < lim; k++ {
+				if c.auto.HasLabel(automata.StateID(base+k), p) {
+					word |= 1 << uint(k)
+				}
+			}
+			out[w] = word
+		}
+	})
+	c.mWordsScanned.Add(int64(len(out)))
+	return out
+}
+
 // preAll returns {s | s has no successor, or all successors satisfy X}:
 // the AX predecessor operator with vacuous truth at deadlocks.
-func (c *Checker) preAll(x []bool) []bool {
-	n := c.auto.NumStates()
-	out := make([]bool, n)
-	for i := 0; i < n; i++ {
-		out[i] = true
-		for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
-			if !x[t.To] {
-				out[i] = false
-				break
+func (c *Checker) preAll(x bitset) bitset {
+	n := c.n
+	out := newBitset(n)
+	csr := c.csr
+	c.sweepWords(len(out), func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			base := w << 6
+			lim := min(64, n-base)
+			var word uint64
+		states:
+			for k := 0; k < lim; k++ {
+				for _, t := range csr.Succ(base + k) {
+					if !x.test(int(t)) {
+						continue states
+					}
+				}
+				word |= 1 << uint(k)
 			}
+			out[w] = word
 		}
-	}
+	})
+	c.mWordsScanned.Add(int64(len(out)))
 	return out
 }
 
 // preSome returns {s | some successor satisfies X}: the EX predecessor
 // operator (false at deadlocks).
-func (c *Checker) preSome(x []bool) []bool {
-	n := c.auto.NumStates()
-	out := make([]bool, n)
-	for i := 0; i < n; i++ {
-		for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
-			if x[t.To] {
-				out[i] = true
-				break
+func (c *Checker) preSome(x bitset) bitset {
+	n := c.n
+	out := newBitset(n)
+	csr := c.csr
+	c.sweepWords(len(out), func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			base := w << 6
+			lim := min(64, n-base)
+			var word uint64
+			for k := 0; k < lim; k++ {
+				for _, t := range csr.Succ(base + k) {
+					if x.test(int(t)) {
+						word |= 1 << uint(k)
+						break
+					}
+				}
 			}
+			out[w] = word
 		}
-	}
+	})
+	c.mWordsScanned.Add(int64(len(out)))
 	return out
 }
 
-// unboundedEF computes μX. f ∨ EX X by backward reachability.
-func (c *Checker) unboundedEF(f []bool) []bool {
-	out := clone(f)
-	c.buildPred()
-	queue := c.queue[:0]
-	for i, ok := range out {
-		if ok {
-			queue = append(queue, automata.StateID(i))
-		}
-	}
-	for head := 0; head < len(queue) && !c.canceled(); head++ {
-		s := queue[head]
-		for _, t := range c.pred[s] {
-			if !out[t.From] {
-				out[t.From] = true
-				queue = append(queue, t.From)
-			}
-		}
-	}
-	c.mFixpointIters.Add(int64(len(queue)))
-	c.queue = queue
+// unboundedEF computes μX. f ∨ EX X by backward reachability: a
+// level-synchronous frontier expansion over the reverse CSR. Each state
+// enters the frontier at most once, so the fixpoint is O(n + m).
+func (c *Checker) unboundedEF(f bitset) bitset {
+	out := newBitset(c.n)
+	out.copyFrom(f)
+	c.frontierFixpoint(out, nil)
 	return out
+}
+
+// unboundedEU computes μX. g ∨ (f ∧ EX X): backward reachability from g
+// restricted to f-states.
+func (c *Checker) unboundedEU(f, g bitset) bitset {
+	out := newBitset(c.n)
+	out.copyFrom(g)
+	c.frontierFixpoint(out, f)
+	return out
+}
+
+// frontierFixpoint grows out to the backward-reachable closure through
+// filter-states (nil filter = unrestricted), expanding level by level.
+func (c *Checker) frontierFixpoint(out, filter bitset) {
+	frontier := out.appendSet(c.queue[:0])
+	total := int64(0)
+	for len(frontier) > 0 && !c.canceled() {
+		total += int64(len(frontier))
+		c.mFrontierStates.Add(int64(len(frontier)))
+		frontier = c.expandFrontier(out, filter, frontier)
+	}
+	c.mFixpointIters.Add(total)
+	c.queue = frontier
 }
 
 // unboundedAF computes μX. f ∨ (¬deadlock ∧ AX X): every maximal path
-// reaches f. Worklist: a state enters the set when f holds, or when it has
-// successors and all of them are in the set.
-func (c *Checker) unboundedAF(f []bool) []bool {
-	n := c.auto.NumStates()
-	out := clone(f)
-	remaining := c.getInt(n) // successors not yet in the set
-	c.buildPred()
-	queue := c.queue[:0]
-	for i := 0; i < n; i++ {
-		remaining[i] = len(c.auto.TransitionsFrom(automata.StateID(i)))
-		if out[i] {
-			queue = append(queue, automata.StateID(i))
-		}
+// reaches f. A state enters the set when its remaining-successor counter
+// hits zero — i.e. when every outgoing transition leads into the set.
+func (c *Checker) unboundedAF(f bitset) bitset {
+	return c.counterFixpoint(f, nil)
+}
+
+// unboundedAU computes μX. g ∨ (f ∧ ¬deadlock ∧ AX X).
+func (c *Checker) unboundedAU(f, g bitset) bitset {
+	return c.counterFixpoint(g, f)
+}
+
+// counterFixpoint is the shared AF/AU least fixpoint: seed states are in;
+// a non-seed state enters when all its successors have entered (counter
+// reaches zero) and it passes the filter (nil = unrestricted). Deadlock
+// states never enter via the counter: their counter starts at zero and is
+// never decremented, and entry is triggered only by a decrement.
+func (c *Checker) counterFixpoint(seed, filter bitset) bitset {
+	n := c.n
+	out := newBitset(n)
+	out.copyFrom(seed)
+	cnt := c.getInts(n)
+	csr := c.csr
+	for s := 0; s < n; s++ {
+		cnt[s] = int32(csr.OutDegree(s))
 	}
-	for head := 0; head < len(queue) && !c.canceled(); head++ {
-		s := queue[head]
-		for _, t := range c.pred[s] {
-			remaining[t.From]--
-			if !out[t.From] && remaining[t.From] == 0 &&
-				len(c.auto.TransitionsFrom(t.From)) > 0 {
-				out[t.From] = true
-				queue = append(queue, t.From)
-			}
-		}
+	frontier := out.appendSet(c.queue[:0])
+	total := int64(0)
+	for len(frontier) > 0 && !c.canceled() {
+		total += int64(len(frontier))
+		c.mFrontierStates.Add(int64(len(frontier)))
+		frontier = c.expandCounters(out, filter, cnt, frontier)
 	}
-	c.mFixpointIters.Add(int64(len(queue)))
-	c.queue = queue
-	c.putInt(remaining)
+	c.mFixpointIters.Add(total)
+	c.queue = frontier
+	c.putInts(cnt)
 	return out
 }
 
 // unboundedAG computes νX. f ∧ AX X. Under maximal-path semantics a
-// deadlock state satisfying f satisfies AG f.
-func (c *Checker) unboundedAG(f []bool) []bool {
-	out := clone(f)
-	sweeps := int64(0)
-	for changed := true; changed && !c.canceled(); {
-		changed = false
-		sweeps++
-		for i := range out {
-			if !out[i] {
-				continue
-			}
-			for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
-				if !out[t.To] {
-					out[i] = false
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	c.mFixpointIters.Add(sweeps * int64(len(out)))
+// deadlock state satisfying f satisfies AG f, and AG f ≡ ¬EF ¬f: a state
+// violates AG f iff some ¬f state is reachable from it. Evaluating through
+// the EF frontier makes AG O(n + m) instead of one sweep per
+// stabilization round.
+func (c *Checker) unboundedAG(f bitset) bitset {
+	n := c.n
+	nf := c.getBits()
+	nf.complementOf(f, n)
+	out := c.unboundedEF(nf)
+	c.putBits(nf)
+	out.complementOf(out, n)
 	return out
 }
 
 // unboundedEG computes νX. f ∧ (deadlock ∨ EX X): some maximal path stays
-// in f (a path ending in a deadlock is maximal).
-func (c *Checker) unboundedEG(f []bool) []bool {
-	out := clone(f)
-	sweeps := int64(0)
-	for changed := true; changed && !c.canceled(); {
-		changed = false
-		sweeps++
-		for i := range out {
-			if !out[i] {
-				continue
-			}
-			s := automata.StateID(i)
-			if c.auto.IsDeadlock(s) {
-				continue
-			}
-			keep := false
-			for _, t := range c.auto.TransitionsFrom(s) {
-				if out[t.To] {
-					keep = true
-					break
+// in f (a path ending in a deadlock is maximal). Greatest fixpoint by
+// deletion: start from the f-states, count each candidate's successors
+// inside the candidate set, and cascade removals of non-deadlock states
+// whose count reaches zero. Each state is removed at most once, so the
+// fixpoint is O(n + m).
+func (c *Checker) unboundedEG(f bitset) bitset {
+	n := c.n
+	out := newBitset(n)
+	out.copyFrom(f)
+	csr := c.csr
+	dead := c.deadlockSet()
+	cnt := c.getInts(n)
+	c.sweepWords(len(out), func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			base := int32(w << 6)
+			for word := out[w]; word != 0; word &= word - 1 {
+				s := int(base) + bits.TrailingZeros64(word)
+				k := int32(0)
+				for _, t := range csr.Succ(s) {
+					if out.test(int(t)) {
+						k++
+					}
 				}
-			}
-			if !keep {
-				out[i] = false
-				changed = true
+				cnt[s] = k
 			}
 		}
-	}
-	c.mFixpointIters.Add(sweeps * int64(len(out)))
-	return out
-}
-
-// unboundedEU computes μX. g ∨ (f ∧ EX X).
-func (c *Checker) unboundedEU(f, g []bool) []bool {
-	out := clone(g)
-	c.buildPred()
-	queue := c.queue[:0]
-	for i, ok := range out {
-		if ok {
-			queue = append(queue, automata.StateID(i))
-		}
-	}
-	for head := 0; head < len(queue) && !c.canceled(); head++ {
-		s := queue[head]
-		for _, t := range c.pred[s] {
-			if !out[t.From] && f[t.From] {
-				out[t.From] = true
-				queue = append(queue, t.From)
+	})
+	c.mWordsScanned.Add(int64(len(out)))
+	removal := c.queue[:0]
+	for wi, word := range out {
+		base := int32(wi << 6)
+		for ; word != 0; word &= word - 1 {
+			s := base + int32(bits.TrailingZeros64(word))
+			if cnt[s] == 0 && !dead.test(int(s)) {
+				out.clearBit(int(s))
+				removal = append(removal, s)
 			}
 		}
 	}
-	c.mFixpointIters.Add(int64(len(queue)))
-	c.queue = queue
-	return out
-}
-
-// unboundedAU computes μX. g ∨ (f ∧ ¬deadlock ∧ AX X).
-func (c *Checker) unboundedAU(f, g []bool) []bool {
-	n := c.auto.NumStates()
-	out := clone(g)
-	remaining := c.getInt(n)
-	c.buildPred()
-	queue := c.queue[:0]
-	for i := 0; i < n; i++ {
-		remaining[i] = len(c.auto.TransitionsFrom(automata.StateID(i)))
-		if out[i] {
-			queue = append(queue, automata.StateID(i))
-		}
-	}
-	for head := 0; head < len(queue) && !c.canceled(); head++ {
-		s := queue[head]
-		for _, t := range c.pred[s] {
-			remaining[t.From]--
-			if !out[t.From] && remaining[t.From] == 0 && f[t.From] &&
-				len(c.auto.TransitionsFrom(t.From)) > 0 {
-				out[t.From] = true
-				queue = append(queue, t.From)
+	for head := 0; head < len(removal) && !c.canceled(); head++ {
+		s := removal[head]
+		for _, p := range csr.Pred(int(s)) {
+			if !out.test(int(p)) {
+				continue
+			}
+			if cnt[p]--; cnt[p] == 0 && !dead.test(int(p)) {
+				out.clearBit(int(p))
+				removal = append(removal, p)
 			}
 		}
 	}
-	c.mFixpointIters.Add(int64(len(queue)))
-	c.queue = queue
-	c.putInt(remaining)
+	c.mFixpointIters.Add(int64(len(removal)))
+	c.queue = removal
+	c.putInts(cnt)
 	return out
 }
 
 // boundedAF computes AF[lo,hi] f by backward induction over remaining
 // depth j = hi..0: ok(s,j) ⇔ (j ≥ lo ∧ f(s)) ∨ (j < hi ∧ ¬deadlock(s) ∧
-// ∀succ ok(succ, j+1)). The result is ok(·, 0).
-func (c *Checker) boundedAF(f []bool, b Bound) []bool {
-	n := c.auto.NumStates()
-	next := c.getBool(n) // ok(·, j+1); starts as j = hi layer input
-	cur := c.getBool(n)
+// ∀succ ok(succ, j+1)). The result is ok(·, 0). Each layer is one
+// word-chunked sweep: f and the deadlock set contribute whole words, and
+// only the undecided bits scan their successor rows.
+func (c *Checker) boundedAF(f bitset, b Bound) bitset {
+	n := c.n
+	next := c.getBits() // ok(·, j+1); starts as the unread j = hi layer input
+	cur := c.getBits()
+	dead := c.deadlockSet()
+	csr := c.csr
+	mask := tailMask(n)
+	last := len(cur) - 1
 	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
-		for i := 0; i < n; i++ {
-			s := automata.StateID(i)
-			if j >= b.Lo && f[i] {
-				cur[i] = true
-				continue
-			}
-			cur[i] = false
-			if j < b.Hi && !c.auto.IsDeadlock(s) {
-				all := true
-				for _, t := range c.auto.TransitionsFrom(s) {
-					if !next[t.To] {
-						all = false
-						break
+		jGeLo, jLtHi := j >= b.Lo, j < b.Hi
+		c.sweepWords(len(cur), func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				var word uint64
+				if jGeLo {
+					word = f[w]
+				}
+				if jLtHi {
+					cand := ^word &^ dead[w]
+					if w == last {
+						cand &= mask
+					}
+					base := w << 6
+				states:
+					for ; cand != 0; cand &= cand - 1 {
+						k := bits.TrailingZeros64(cand)
+						for _, t := range csr.Succ(base + k) {
+							if !next.test(int(t)) {
+								continue states
+							}
+						}
+						word |= 1 << uint(k)
 					}
 				}
-				cur[i] = all
+				cur[w] = word
 			}
-		}
+		})
 		cur, next = next, cur // cur becomes scratch; next holds layer j
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	out := clone(next)
-	c.putBool(next)
-	c.putBool(cur)
+	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	out := newBitset(n)
+	out.copyFrom(next)
+	c.putBits(next)
+	c.putBits(cur)
 	return out
 }
 
 // boundedEF computes EF[lo,hi] f analogously: ex(s,j) ⇔ (j ≥ lo ∧ f(s)) ∨
 // (j < hi ∧ ∃succ ex(succ, j+1)).
-func (c *Checker) boundedEF(f []bool, b Bound) []bool {
-	n := c.auto.NumStates()
-	next := c.getBool(n)
-	cur := c.getBool(n)
+func (c *Checker) boundedEF(f bitset, b Bound) bitset {
+	n := c.n
+	next := c.getBits()
+	cur := c.getBits()
+	csr := c.csr
+	mask := tailMask(n)
+	last := len(cur) - 1
 	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
-		for i := 0; i < n; i++ {
-			s := automata.StateID(i)
-			cur[i] = j >= b.Lo && f[i]
-			if !cur[i] && j < b.Hi {
-				for _, t := range c.auto.TransitionsFrom(s) {
-					if next[t.To] {
-						cur[i] = true
-						break
+		jGeLo, jLtHi := j >= b.Lo, j < b.Hi
+		c.sweepWords(len(cur), func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				var word uint64
+				if jGeLo {
+					word = f[w]
+				}
+				if jLtHi {
+					cand := ^word
+					if w == last {
+						cand &= mask
+					}
+					base := w << 6
+					for ; cand != 0; cand &= cand - 1 {
+						k := bits.TrailingZeros64(cand)
+						for _, t := range csr.Succ(base + k) {
+							if next.test(int(t)) {
+								word |= 1 << uint(k)
+								break
+							}
+						}
 					}
 				}
+				cur[w] = word
 			}
-		}
+		})
 		cur, next = next, cur
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	out := clone(next)
-	c.putBool(next)
-	c.putBool(cur)
+	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	out := newBitset(n)
+	out.copyFrom(next)
+	c.putBits(next)
+	c.putBits(cur)
 	return out
 }
 
 // boundedAG computes AG[lo,hi] f: ag(s,j) ⇔ (j < lo ∨ f(s)) ∧ (j ≥ hi ∨
 // ∀succ ag(succ, j+1)). Paths ending before the window trivially satisfy
 // the remainder.
-func (c *Checker) boundedAG(f []bool, b Bound) []bool {
-	n := c.auto.NumStates()
-	next := fillTrue(c.getBool(n))
-	cur := c.getBool(n)
+func (c *Checker) boundedAG(f bitset, b Bound) bitset {
+	n := c.n
+	next := c.getBits()
+	next.fill(n)
+	cur := c.getBits()
+	csr := c.csr
+	mask := tailMask(n)
+	last := len(cur) - 1
 	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
-		for i := 0; i < n; i++ {
-			s := automata.StateID(i)
-			ok := j < b.Lo || f[i]
-			if ok && j < b.Hi {
-				for _, t := range c.auto.TransitionsFrom(s) {
-					if !next[t.To] {
-						ok = false
-						break
+		jLtLo, jLtHi := j < b.Lo, j < b.Hi
+		c.sweepWords(len(cur), func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				var word uint64
+				if jLtLo {
+					word = ^uint64(0)
+					if w == last {
+						word = mask
+					}
+				} else {
+					word = f[w]
+				}
+				if jLtHi {
+					base := w << 6
+				states:
+					for cand := word; cand != 0; cand &= cand - 1 {
+						k := bits.TrailingZeros64(cand)
+						for _, t := range csr.Succ(base + k) {
+							if !next.test(int(t)) {
+								word &^= 1 << uint(k)
+								continue states
+							}
+						}
 					}
 				}
+				cur[w] = word
 			}
-			cur[i] = ok
-		}
+		})
 		cur, next = next, cur
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	out := clone(next)
-	c.putBool(next)
-	c.putBool(cur)
+	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	out := newBitset(n)
+	out.copyFrom(next)
+	c.putBits(next)
+	c.putBits(cur)
 	return out
 }
 
 // boundedEG computes EG[lo,hi] f: eg(s,j) ⇔ (j < lo ∨ f(s)) ∧ (j ≥ hi ∨
 // deadlock(s) ∨ ∃succ eg(succ, j+1)).
-func (c *Checker) boundedEG(f []bool, b Bound) []bool {
-	n := c.auto.NumStates()
-	next := fillTrue(c.getBool(n))
-	cur := c.getBool(n)
+func (c *Checker) boundedEG(f bitset, b Bound) bitset {
+	n := c.n
+	next := c.getBits()
+	next.fill(n)
+	cur := c.getBits()
+	dead := c.deadlockSet()
+	csr := c.csr
+	mask := tailMask(n)
+	last := len(cur) - 1
 	for j := b.Hi; j >= 0 && !c.canceled(); j-- {
-		for i := 0; i < n; i++ {
-			s := automata.StateID(i)
-			ok := j < b.Lo || f[i]
-			if ok && j < b.Hi && !c.auto.IsDeadlock(s) {
-				some := false
-				for _, t := range c.auto.TransitionsFrom(s) {
-					if next[t.To] {
-						some = true
-						break
+		jLtLo, jLtHi := j < b.Lo, j < b.Hi
+		c.sweepWords(len(cur), func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				var word uint64
+				if jLtLo {
+					word = ^uint64(0)
+					if w == last {
+						word = mask
+					}
+				} else {
+					word = f[w]
+				}
+				if jLtHi {
+					base := w << 6
+					for cand := word &^ dead[w]; cand != 0; cand &= cand - 1 {
+						k := bits.TrailingZeros64(cand)
+						some := false
+						for _, t := range csr.Succ(base + k) {
+							if next.test(int(t)) {
+								some = true
+								break
+							}
+						}
+						if !some {
+							word &^= 1 << uint(k)
+						}
 					}
 				}
-				ok = some
+				cur[w] = word
 			}
-			cur[i] = ok
-		}
+		})
 		cur, next = next, cur
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	out := clone(next)
-	c.putBool(next)
-	c.putBool(cur)
+	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	out := newBitset(n)
+	out.copyFrom(next)
+	c.putBits(next)
+	c.putBits(cur)
 	return out
-}
-
-// buildPred (re)builds the reverse adjacency. After a Rebind the per-state
-// rows keep their backing arrays, so rebuilding over a grown automaton
-// mostly appends into existing capacity.
-func (c *Checker) buildPred() {
-	if c.predBuilt {
-		return
-	}
-	n := c.auto.NumStates()
-	if cap(c.pred) < n {
-		grown := make([][]automata.Transition, n)
-		copy(grown, c.pred)
-		c.pred = grown
-	} else {
-		c.pred = c.pred[:n]
-	}
-	for i := range c.pred {
-		c.pred[i] = c.pred[i][:0]
-	}
-	for i := 0; i < n; i++ {
-		for _, t := range c.auto.TransitionsFrom(automata.StateID(i)) {
-			c.pred[t.To] = append(c.pred[t.To], t)
-		}
-	}
-	c.predBuilt = true
 }
 
 func trues(n int) []bool {
@@ -672,7 +826,7 @@ func fillTrue(x []bool) []bool {
 	return x
 }
 
-func clone(x []bool) []bool {
+func cloneBools(x []bool) []bool {
 	out := make([]bool, len(x))
 	copy(out, x)
 	return out

@@ -6,6 +6,17 @@ import (
 	"muml/internal/automata"
 )
 
+// satEngine is the narrow evaluator view that counterexample and witness
+// extraction need. Both the bitset Checker and the frozen legacy Reference
+// implement it, so the extraction paths below are shared code: any verdict
+// or witness difference between the two engines is attributable to the
+// satisfaction sets alone.
+type satEngine interface {
+	Sat(Formula) []bool
+	Automaton() *automata.Automaton
+	canceled() bool
+}
+
 // Result is the outcome of a verification request.
 type Result struct {
 	// Holds reports whether the formula held in every initial state.
@@ -51,17 +62,44 @@ func Check(a *automata.Automaton, f Formula) Result {
 
 // Check is like the package-level Check but reuses the checker's caches.
 func (c *Checker) Check(f Formula) Result {
-	if c.Holds(f) {
+	return checkOn(c, f)
+}
+
+// holdsOn reports whether the formula holds in every initial state,
+// through the engine's Sat sets.
+func holdsOn(e satEngine, f Formula) bool {
+	sat := e.Sat(f)
+	for _, q := range e.Automaton().Initial() {
+		if !sat[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// failingInitial returns an initial state violating the formula, if any.
+func failingInitial(e satEngine, f Formula) (automata.StateID, bool) {
+	sat := e.Sat(f)
+	for _, q := range e.Automaton().Initial() {
+		if !sat[q] {
+			return q, true
+		}
+	}
+	return automata.NoState, false
+}
+
+func checkOn(e satEngine, f Formula) Result {
+	if holdsOn(e, f) {
 		return Result{Holds: true}
 	}
 	res := Result{Holds: false}
-	run, explanation, witnessed := c.counterexample(f)
+	run, explanation, witnessed := counterexample(e, f)
 	if run != nil {
 		res.Counterexample = run
 		res.Explanation = explanation
 		res.RunWitnessed = witnessed
 		last := run.States[len(run.States)-1]
-		res.EndsInDeadlock = c.auto.IsDeadlock(last)
+		res.EndsInDeadlock = e.Automaton().IsDeadlock(last)
 	}
 	return res
 }
@@ -69,36 +107,37 @@ func (c *Checker) Check(f Formula) Result {
 // counterexample dispatches on the top-level formula shape. The third
 // result reports whether the run alone witnesses the violation (see
 // Result.RunWitnessed).
-func (c *Checker) counterexample(f Formula) (*automata.Run, string, bool) {
+func counterexample(e satEngine, f Formula) (*automata.Run, string, bool) {
 	switch node := f.(type) {
 	case *andNode:
-		if !c.Holds(node.l) {
-			return c.counterexample(node.l)
+		if !holdsOn(e, node.l) {
+			return counterexample(e, node.l)
 		}
-		return c.counterexample(node.r)
+		return counterexample(e, node.r)
 	case *agNode:
 		if node.bound == nil {
-			return c.agCounterexample(node.f)
+			return agCounterexample(e, node.f)
 		}
 	case *afNode, *axNode, *auNode:
 		// Fall through to path-based witness from a failing initial state.
 	case *notNode:
 		// ¬EF f at the top level behaves like AG ¬f.
 		if ef, ok := node.f.(*efNode); ok && ef.bound == nil {
-			return c.agCounterexample(Not(ef.f))
+			return agCounterexample(e, Not(ef.f))
 		}
 	}
 	// Generic: start at a failing initial state and extend with the local
 	// violation suffix if the shape is supported.
-	q, ok := c.FailingInitial(f)
+	q, ok := failingInitial(e, f)
 	if !ok {
 		return nil, "", false
 	}
+	a := e.Automaton()
 	run := &automata.Run{States: []automata.StateID{q}}
-	if c.extendViolation(run, f) {
-		return run, fmt.Sprintf("state %q violates %s", c.auto.StateName(run.States[len(run.States)-1]), f), false
+	if extendViolation(e, run, f) {
+		return run, fmt.Sprintf("state %q violates %s", a.StateName(run.States[len(run.States)-1]), f), false
 	}
-	return run, fmt.Sprintf("initial state %q violates %s", c.auto.StateName(q), f), isPropositional(f)
+	return run, fmt.Sprintf("initial state %q violates %s", a.StateName(q), f), isPropositional(f)
 }
 
 // isPropositional reports whether the formula contains no temporal
@@ -124,14 +163,15 @@ func isPropositional(f Formula) bool {
 
 // agCounterexample finds a shortest path from a failing initial state to a
 // reachable state violating f, then appends f's violation suffix.
-func (c *Checker) agCounterexample(f Formula) (*automata.Run, string, bool) {
-	sat := c.Sat(f)
-	n := c.auto.NumStates()
+func agCounterexample(e satEngine, f Formula) (*automata.Run, string, bool) {
+	sat := e.Sat(f)
+	a := e.Automaton()
+	n := a.NumStates()
 	parent := make([]automata.Transition, n)
 	visited := make([]bool, n)
 	var queue []automata.StateID
 
-	for _, q := range c.auto.Initial() {
+	for _, q := range a.Initial() {
 		if visited[q] {
 			continue
 		}
@@ -146,7 +186,7 @@ func (c *Checker) agCounterexample(f Formula) (*automata.Run, string, bool) {
 			target = s
 			break
 		}
-		for _, t := range c.auto.TransitionsFrom(s) {
+		for _, t := range a.TransitionsFrom(s) {
 			if !visited[t.To] {
 				visited[t.To] = true
 				parent[t.To] = t
@@ -157,24 +197,10 @@ func (c *Checker) agCounterexample(f Formula) (*automata.Run, string, bool) {
 	if target == automata.NoState {
 		return nil, "", false
 	}
-	// Reconstruct the path.
-	var rev []automata.Transition
-	for s := target; parent[s].From != automata.NoState; s = parent[s].From {
-		rev = append(rev, parent[s])
-	}
-	run := &automata.Run{}
-	start := target
-	if len(rev) > 0 {
-		start = rev[len(rev)-1].From
-	}
-	run.States = append(run.States, start)
-	for i := len(rev) - 1; i >= 0; i-- {
-		run.Steps = append(run.Steps, rev[i].Label)
-		run.States = append(run.States, rev[i].To)
-	}
-	explanation := fmt.Sprintf("state %q violates %s", c.auto.StateName(target), f)
-	if c.extendViolation(run, f) {
-		explanation = fmt.Sprintf("state %q violates %s (witness extended)", c.auto.StateName(target), f)
+	run := reconstructPath(target, parent)
+	explanation := fmt.Sprintf("state %q violates %s", a.StateName(target), f)
+	if extendViolation(e, run, f) {
+		explanation = fmt.Sprintf("state %q violates %s (witness extended)", a.StateName(target), f)
 	}
 	return run, explanation, isPropositional(f)
 }
@@ -182,43 +208,43 @@ func (c *Checker) agCounterexample(f Formula) (*automata.Run, string, bool) {
 // extendViolation appends, to a run ending in a state violating f, a path
 // suffix witnessing the violation of f. Returns false when no extension is
 // needed (propositional f) or the shape is unsupported.
-func (c *Checker) extendViolation(run *automata.Run, f Formula) bool {
+func extendViolation(e satEngine, run *automata.Run, f Formula) bool {
 	s := run.States[len(run.States)-1]
 	switch node := f.(type) {
 	case *orNode:
 		// Both disjuncts fail; extend along whichever produces a suffix.
-		if c.extendViolation(run, node.l) {
+		if extendViolation(e, run, node.l) {
 			return true
 		}
-		return c.extendViolation(run, node.r)
+		return extendViolation(e, run, node.r)
 	case *andNode:
-		if !c.Sat(node.l)[s] {
-			return c.extendViolation(run, node.l)
+		if !e.Sat(node.l)[s] {
+			return extendViolation(e, run, node.l)
 		}
-		return c.extendViolation(run, node.r)
+		return extendViolation(e, run, node.r)
 	case *impNode:
 		// l → r fails: l holds, r fails.
-		return c.extendViolation(run, node.r)
+		return extendViolation(e, run, node.r)
 	case *axNode:
-		inner := c.Sat(node.f)
-		for _, t := range c.auto.TransitionsFrom(s) {
+		inner := e.Sat(node.f)
+		for _, t := range e.Automaton().TransitionsFrom(s) {
 			if !inner[t.To] {
 				run.Steps = append(run.Steps, t.Label)
 				run.States = append(run.States, t.To)
-				c.extendViolation(run, node.f)
+				extendViolation(e, run, node.f)
 				return true
 			}
 		}
 		return false
 	case *afNode:
 		if node.bound != nil {
-			return c.extendBoundedAFViolation(run, node)
+			return extendBoundedAFViolation(e, run, node)
 		}
-		return c.extendAFViolation(run, node.f)
+		return extendAFViolation(e, run, node.f)
 	case *auNode:
 		// A violation of A[l U r] is a maximal path where r never holds
 		// (possibly leaving l); approximate with the AF suffix for r.
-		return c.extendAFViolation(run, node.r)
+		return extendAFViolation(e, run, node.r)
 	default:
 		return false
 	}
@@ -226,18 +252,19 @@ func (c *Checker) extendViolation(run *automata.Run, f Formula) bool {
 
 // extendAFViolation extends the run along states violating AF f: follow
 // successors that still violate AF f until a cycle or deadlock is reached.
-func (c *Checker) extendAFViolation(run *automata.Run, f Formula) bool {
-	af := c.Sat(AF(f))
+func extendAFViolation(e satEngine, run *automata.Run, f Formula) bool {
+	af := e.Sat(AF(f))
+	a := e.Automaton()
 	s := run.States[len(run.States)-1]
 	onPath := map[automata.StateID]bool{s: true}
 	extended := false
 	for {
-		if c.auto.IsDeadlock(s) {
+		if a.IsDeadlock(s) {
 			return extended
 		}
 		advanced := false
 		var fallback *automata.Transition
-		for _, t := range c.auto.TransitionsFrom(s) {
+		for _, t := range a.TransitionsFrom(s) {
 			if af[t.To] {
 				continue
 			}
@@ -267,23 +294,24 @@ func (c *Checker) extendAFViolation(run *automata.Run, f Formula) bool {
 
 // extendBoundedAFViolation extends the run with a path of at most bound.Hi
 // steps along which f is never satisfied inside the window.
-func (c *Checker) extendBoundedAFViolation(run *automata.Run, node *afNode) bool {
+func extendBoundedAFViolation(e satEngine, run *automata.Run, node *afNode) bool {
 	b := *node.bound
-	fSat := c.Sat(node.f)
+	fSat := e.Sat(node.f)
+	a := e.Automaton()
 	// Recompute the layered ok(·, j) table to follow a failing path.
 	layers := make([][]bool, b.Hi+2)
-	layers[b.Hi+1] = make([]bool, c.auto.NumStates())
+	layers[b.Hi+1] = make([]bool, a.NumStates())
 	for j := b.Hi; j >= 0; j-- {
-		layer := make([]bool, c.auto.NumStates())
+		layer := make([]bool, a.NumStates())
 		for i := range layer {
 			s := automata.StateID(i)
 			if j >= b.Lo && fSat[i] {
 				layer[i] = true
 				continue
 			}
-			if j < b.Hi && !c.auto.IsDeadlock(s) {
+			if j < b.Hi && !a.IsDeadlock(s) {
 				all := true
-				for _, t := range c.auto.TransitionsFrom(s) {
+				for _, t := range a.TransitionsFrom(s) {
 					if !layers[j+1][t.To] {
 						all = false
 						break
@@ -300,11 +328,11 @@ func (c *Checker) extendBoundedAFViolation(run *automata.Run, node *afNode) bool
 	}
 	extended := false
 	for j := 0; j < b.Hi; j++ {
-		if c.auto.IsDeadlock(s) {
+		if a.IsDeadlock(s) {
 			return extended
 		}
 		moved := false
-		for _, t := range c.auto.TransitionsFrom(s) {
+		for _, t := range a.TransitionsFrom(s) {
 			if !layers[j+1][t.To] {
 				run.Steps = append(run.Steps, t.Label)
 				run.States = append(run.States, t.To)

@@ -13,51 +13,56 @@ import "muml/internal/automata"
 // other failing shapes at most the single Check counterexample is
 // returned. Results share the semantics of Check (RunWitnessed etc.).
 func (c *Checker) CheckMany(f Formula, max int) []Result {
+	return checkManyOn(c, f, max)
+}
+
+func checkManyOn(e satEngine, f Formula, max int) []Result {
 	if max < 1 {
 		max = 1
 	}
-	if c.Holds(f) {
+	if holdsOn(e, f) {
 		return []Result{{Holds: true}}
 	}
-	inner, ok := topLevelAG(f, c)
+	inner, ok := topLevelAG(f, func(g Formula) bool { return holdsOn(e, g) })
 	if !ok {
-		return []Result{c.Check(f)}
+		return []Result{checkOn(e, f)}
 	}
 
-	sat := c.Sat(inner)
+	sat := e.Sat(inner)
+	a := e.Automaton()
 	targetsFound := 0
 	var results []Result
 
 	// BFS once, collecting shortest paths to up to max distinct violating
 	// states.
-	n := c.auto.NumStates()
+	n := a.NumStates()
 	parent := make([]automata.Transition, n)
 	visited := make([]bool, n)
 	var queue []automata.StateID
-	for _, q := range c.auto.Initial() {
+	for _, q := range a.Initial() {
 		if !visited[q] {
 			visited[q] = true
 			parent[q] = automata.Transition{From: automata.NoState}
 			queue = append(queue, q)
 		}
 	}
-	for head := 0; head < len(queue) && targetsFound < max && !c.canceled(); head++ {
+	for head := 0; head < len(queue) && targetsFound < max && !e.canceled(); head++ {
 		s := queue[head]
 		if !sat[s] {
 			run := reconstructPath(s, parent)
 			witnessed := isPropositional(inner)
-			c.extendViolation(run, inner)
+			extendViolation(e, run, inner)
 			last := run.States[len(run.States)-1]
 			results = append(results, Result{
 				Holds:          false,
 				Counterexample: run,
 				RunWitnessed:   witnessed,
-				EndsInDeadlock: c.auto.IsDeadlock(last),
+				EndsInDeadlock: a.IsDeadlock(last),
 			})
 			targetsFound++
 			continue // don't explore past a violation
 		}
-		for _, t := range c.auto.TransitionsFrom(s) {
+		for _, t := range a.TransitionsFrom(s) {
 			if !visited[t.To] {
 				visited[t.To] = true
 				parent[t.To] = t
@@ -66,14 +71,14 @@ func (c *Checker) CheckMany(f Formula, max int) []Result {
 		}
 	}
 	if len(results) == 0 {
-		return []Result{c.Check(f)}
+		return []Result{checkOn(e, f)}
 	}
 	return results
 }
 
 // topLevelAG unwraps the shapes CheckMany handles into the inner AG body:
 // AG f, ¬EF f, and failing conjuncts of conjunctions.
-func topLevelAG(f Formula, c *Checker) (Formula, bool) {
+func topLevelAG(f Formula, holds func(Formula) bool) (Formula, bool) {
 	switch node := f.(type) {
 	case *agNode:
 		if node.bound == nil {
@@ -84,10 +89,10 @@ func topLevelAG(f Formula, c *Checker) (Formula, bool) {
 			return Not(ef.f), true
 		}
 	case *andNode:
-		if !c.Holds(node.l) {
-			return topLevelAG(node.l, c)
+		if !holds(node.l) {
+			return topLevelAG(node.l, holds)
 		}
-		return topLevelAG(node.r, c)
+		return topLevelAG(node.r, holds)
 	}
 	return nil, false
 }

@@ -1,0 +1,213 @@
+package ctl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the goroutine fan-out behind Checker.SetWorkers. Three
+// shapes of work parallelize, each with a determinism argument:
+//
+//   - Word sweeps (atom evaluation, preAll/preSome, bounded layers, EG
+//     counting) split the word range into contiguous per-worker chunks.
+//     Every 64-state word is written by exactly one worker, so there are
+//     no shared writes and the produced bitset is bit-identical to the
+//     sequential sweep.
+//
+//   - Frontier expansion (EF/EU levels) gives each worker a private
+//     discovery bitset; the main goroutine merges them in fixed worker
+//     order after the level completes. The merged result is the set union,
+//     which is order-independent, so the out set after every level is
+//     identical at any worker count.
+//
+//   - Counter expansion (AF/AU levels) decrements the shared
+//     remaining-successor counters with atomic adds. The transition from
+//     1 to 0 is observed by exactly one worker, so each entering state is
+//     claimed exactly once; claims are accumulated per worker and merged
+//     in fixed worker order. The entered set per level is again exactly
+//     the sequential one.
+//
+// Witness and counterexample extraction runs sequentially over the
+// finished satisfaction sets, so runs are identical at any worker count.
+//
+// Checker.canceled is not goroutine-safe; parallel phases poll it only
+// from the main goroutine, between levels and layers.
+
+const (
+	// parSweepMinStates gates chunked sweeps: below this state count the
+	// goroutine dispatch costs more than the sweep.
+	parSweepMinStates = 4096
+	// parFrontierMin gates parallel frontier/counter expansion per level.
+	parFrontierMin = 1024
+)
+
+// effWorkers resolves the configured worker count (0 = GOMAXPROCS).
+func (c *Checker) effWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sweepWords runs fn over the word range [0, nWords), split into one
+// contiguous chunk per worker when the automaton is large enough. fn must
+// write only words inside its chunk.
+func (c *Checker) sweepWords(nWords int, fn func(lo, hi int)) {
+	w := c.effWorkers()
+	if w <= 1 || c.n < parSweepMinStates || nWords < w {
+		fn(0, nWords)
+		return
+	}
+	chunk := (nWords + w - 1) / w
+	var wg sync.WaitGroup
+	chunks := int64(0)
+	for lo := 0; lo < nWords; lo += chunk {
+		hi := min(lo+chunk, nWords)
+		wg.Add(1)
+		chunks++
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	c.mParallelChunks.Add(chunks)
+}
+
+// expandFrontier advances one EF/EU level: every predecessor of a frontier
+// state that is not yet in out (and passes the filter) enters out and the
+// next frontier. Returns the next frontier; the spent frontier's backing
+// array is recycled as the following level's buffer.
+func (c *Checker) expandFrontier(out, filter bitset, frontier []int32) []int32 {
+	next := c.next[:0]
+	if c.effWorkers() > 1 && len(frontier) >= parFrontierMin {
+		next = c.expandFrontierPar(out, filter, frontier, next)
+	} else {
+		csr := c.csr
+		for _, s := range frontier {
+			if c.canceled() {
+				break
+			}
+			for _, p := range csr.Pred(int(s)) {
+				if !out.test(int(p)) && (filter == nil || filter.test(int(p))) {
+					out.set(int(p))
+					next = append(next, p)
+				}
+			}
+		}
+	}
+	c.next = frontier[:0]
+	return next
+}
+
+func (c *Checker) expandFrontierPar(out, filter bitset, frontier, next []int32) []int32 {
+	w := c.effWorkers()
+	chunk := (len(frontier) + w - 1) / w
+	locals := make([]bitset, 0, w)
+	var wg sync.WaitGroup
+	csr := c.csr
+	for lo := 0; lo < len(frontier); lo += chunk {
+		hi := min(lo+chunk, len(frontier))
+		local := c.getBits()
+		locals = append(locals, local)
+		wg.Add(1)
+		go func(seg []int32, local bitset) {
+			defer wg.Done()
+			for _, s := range seg {
+				for _, p := range csr.Pred(int(s)) {
+					// out and filter are frozen during the level; the
+					// out test only prunes, dedup happens at merge.
+					if !out.test(int(p)) && (filter == nil || filter.test(int(p))) {
+						local.set(int(p))
+					}
+				}
+			}
+		}(frontier[lo:hi], local)
+	}
+	wg.Wait()
+	c.mParallelChunks.Add(int64(len(locals)))
+	// Merge in fixed worker order: add = newly discovered bits only, so a
+	// state found by several workers enters next exactly once.
+	for _, local := range locals {
+		for wi, word := range local {
+			add := word &^ out[wi]
+			if add == 0 {
+				continue
+			}
+			out[wi] |= add
+			next = appendSetWord(next, add, int32(wi<<6))
+		}
+		c.putBits(local)
+	}
+	return next
+}
+
+// expandCounters advances one AF/AU level: each edge into a frontier state
+// decrements its source's remaining-successor counter; a source whose
+// counter reaches zero (and passes the filter) enters out and the next
+// frontier. Deadlock states cannot enter: their counter is never
+// decremented.
+func (c *Checker) expandCounters(out, filter bitset, cnt []int32, frontier []int32) []int32 {
+	next := c.next[:0]
+	if c.effWorkers() > 1 && len(frontier) >= parFrontierMin {
+		next = c.expandCountersPar(out, filter, cnt, frontier, next)
+	} else {
+		csr := c.csr
+		for _, s := range frontier {
+			if c.canceled() {
+				break
+			}
+			for _, p := range csr.Pred(int(s)) {
+				if cnt[p]--; cnt[p] == 0 && !out.test(int(p)) &&
+					(filter == nil || filter.test(int(p))) {
+					out.set(int(p))
+					next = append(next, p)
+				}
+			}
+		}
+	}
+	c.next = frontier[:0]
+	return next
+}
+
+func (c *Checker) expandCountersPar(out, filter bitset, cnt []int32, frontier, next []int32) []int32 {
+	w := c.effWorkers()
+	chunk := (len(frontier) + w - 1) / w
+	// Sized up front: workers write disjoint elements of a fixed-length
+	// slice, so no append may reallocate it under them.
+	lists := make([][]int32, (len(frontier)+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	csr := c.csr
+	li := 0
+	for lo := 0; lo < len(frontier); lo += chunk {
+		hi := min(lo+chunk, len(frontier))
+		wg.Add(1)
+		go func(seg []int32, li int) {
+			defer wg.Done()
+			var claimed []int32
+			for _, s := range seg {
+				for _, p := range csr.Pred(int(s)) {
+					// The 1→0 transition is seen by exactly one worker,
+					// so each state is claimed exactly once; out and
+					// filter are frozen during the level.
+					if atomic.AddInt32(&cnt[p], -1) == 0 && !out.test(int(p)) &&
+						(filter == nil || filter.test(int(p))) {
+						claimed = append(claimed, p)
+					}
+				}
+			}
+			lists[li] = claimed
+		}(frontier[lo:hi], li)
+		li++
+	}
+	wg.Wait()
+	c.mParallelChunks.Add(int64(len(lists)))
+	for _, claimed := range lists {
+		for _, p := range claimed {
+			out.set(int(p))
+			next = append(next, p)
+		}
+	}
+	return next
+}

@@ -17,13 +17,18 @@ import (
 // hold in any initial state. Universal formulas have counterexamples (see
 // Check), not witnesses.
 func (c *Checker) Witness(f Formula) (*automata.Run, error) {
+	return witnessOn(c, f)
+}
+
+func witnessOn(e satEngine, f Formula) (*automata.Run, error) {
+	a := e.Automaton()
 	switch node := f.(type) {
 	case *efNode:
-		return c.reachWitness(c.Sat(node.f), nil, boundOrNil(node.bound))
+		return reachWitness(a, e.Sat(node.f), nil, boundOrNil(node.bound))
 	case *exNode:
-		inner := c.Sat(node.f)
-		for _, q := range c.auto.Initial() {
-			for _, t := range c.auto.TransitionsFrom(q) {
+		inner := e.Sat(node.f)
+		for _, q := range a.Initial() {
+			for _, t := range a.TransitionsFrom(q) {
 				if inner[t.To] {
 					return &automata.Run{
 						States: []automata.StateID{q, t.To},
@@ -34,7 +39,7 @@ func (c *Checker) Witness(f Formula) (*automata.Run, error) {
 		}
 		return nil, fmt.Errorf("ctl: %s has no witness from the initial states", f)
 	case *euNode:
-		return c.reachWitness(c.Sat(node.r), c.Sat(node.l), nil)
+		return reachWitness(a, e.Sat(node.r), e.Sat(node.l), nil)
 	default:
 		return nil, fmt.Errorf("ctl: witness generation not supported for %s", f)
 	}
@@ -50,8 +55,8 @@ func boundOrNil(b *Bound) *Bound {
 
 // reachWitness BFSes from the initial states to a target-set state,
 // optionally restricted to via-states and to a depth window.
-func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automata.Run, error) {
-	n := c.auto.NumStates()
+func reachWitness(a *automata.Automaton, target []bool, via []bool, bound *Bound) (*automata.Run, error) {
+	n := a.NumStates()
 	// visited by (state, depth) only matters with bounds; without bounds
 	// visit each state once.
 	visited := make(map[entry]struct{})
@@ -70,7 +75,7 @@ func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automa
 		maxDepth = bound.Hi
 	}
 
-	for _, q := range c.auto.Initial() {
+	for _, q := range a.Initial() {
 		e := entry{q, 0}
 		visited[e] = struct{}{}
 		queue = append(queue, e)
@@ -78,7 +83,7 @@ func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automa
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
 		if target[cur.s] && inWindow(cur.depth) {
-			return c.buildRun(cur, parent, parentEntry), nil
+			return buildRun(cur, parent, parentEntry), nil
 		}
 		if cur.depth >= maxDepth {
 			continue
@@ -86,7 +91,7 @@ func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automa
 		if via != nil && !via[cur.s] {
 			continue
 		}
-		for _, t := range c.auto.TransitionsFrom(cur.s) {
+		for _, t := range a.TransitionsFrom(cur.s) {
 			next := entry{t.To, cur.depth + 1}
 			if bound == nil {
 				next.depth = 0 // collapse depths when unbounded
@@ -103,7 +108,7 @@ func (c *Checker) reachWitness(target []bool, via []bool, bound *Bound) (*automa
 	return nil, fmt.Errorf("ctl: no witness path found")
 }
 
-func (c *Checker) buildRun(end entry, parent map[entry]automata.Transition, parentEntry map[entry]entry) *automata.Run {
+func buildRun(end entry, parent map[entry]automata.Transition, parentEntry map[entry]entry) *automata.Run {
 	var rev []automata.Transition
 	cur := end
 	for {

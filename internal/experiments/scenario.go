@@ -148,7 +148,7 @@ func mirror(proto *automata.Automaton, name string) *automata.Automaton {
 	for _, q := range proto.Initial() {
 		m.MarkInitial(q)
 	}
-	for _, t := range proto.Transitions() {
+	for _, t := range proto.TransitionsSnapshot() {
 		label := automata.Interaction{In: t.Label.Out, Out: t.Label.In}
 		_ = m.AddTransition(t.From, label, t.To)
 	}
@@ -174,7 +174,7 @@ func MutateScenario(rng *rand.Rand, s *Scenario) *Scenario {
 	// Pick a transition reachable in the composition: approximate with a
 	// transition of the sub-protocol (mirrored by the context).
 	var candidates []automata.Transition
-	for _, t := range s.Context.Transitions() {
+	for _, t := range s.Context.TransitionsSnapshot() {
 		// Context transition (In=B, Out=A) mirrors legacy (A, B).
 		legacyLabel := automata.Interaction{In: t.Label.Out, Out: t.Label.In}
 		from := mutated.State(s.Context.StateName(t.From))
@@ -196,7 +196,7 @@ func MutateScenario(rng *rand.Rand, s *Scenario) *Scenario {
 		rebuilt.MustAddState(mutated.StateName(automata.StateID(i)))
 	}
 	rebuilt.MarkInitial(mutated.Initial()[0])
-	for _, t := range mutated.Transitions() {
+	for _, t := range mutated.TransitionsSnapshot() {
 		if t.From == victim.From && t.Label.Equal(victim.Label) && t.To == victim.To {
 			if rng.Intn(2) == 0 {
 				continue // drop the transition (component refuses now)

@@ -29,7 +29,7 @@ func DropState(a *automata.Automaton, victim automata.StateID) *automata.Automat
 		}
 		mapping[i] = b.MustAddState(a.StateName(id), a.Labels(id)...)
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		if mapping[t.From] == automata.NoState || mapping[t.To] == automata.NoState {
 			continue
 		}
@@ -56,7 +56,7 @@ func DropTransition(a *automata.Automaton, index int) *automata.Automaton {
 		id := automata.StateID(i)
 		b.MustAddState(a.StateName(id), a.Labels(id)...)
 	}
-	for i, t := range a.Transitions() {
+	for i, t := range a.TransitionsSnapshot() {
 		if i == index {
 			continue
 		}
@@ -79,7 +79,7 @@ func DropSignal(a *automata.Automaton, sig automata.Signal) *automata.Automaton 
 		id := automata.StateID(i)
 		b.MustAddState(a.StateName(id), a.Labels(id)...)
 	}
-	for _, t := range a.Transitions() {
+	for _, t := range a.TransitionsSnapshot() {
 		if t.Label.In.Contains(sig) || t.Label.Out.Contains(sig) {
 			continue
 		}
