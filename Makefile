@@ -109,8 +109,21 @@ obs-smoke:
 	grep -q '^muml_batch_instances_total 16$$' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -Eq '^muml_ctl_words_scanned_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -Eq '^muml_ctl_frontier_states_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -q '^muml_build_info{' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_batch_instance_ns_count 16$$' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_core_check_ns_bucket\{le="\+Inf"\} [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_ctl_check_ns_count [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	curl -fsS "http://$(OBS_HTTP_ADDR)/progress" >"$(OBS_SMOKE_DIR)/progress.json"; \
 	grep -q '"done":16' "$(OBS_SMOKE_DIR)/progress.json"; \
+	curl -sS -N --max-time 2 "http://$(OBS_HTTP_ADDR)/events" >"$(OBS_SMOKE_DIR)/events.sse" || true; \
+	grep -q '^data:' "$(OBS_SMOKE_DIR)/events.sse"; \
+	curl -fsS "http://$(OBS_HTTP_ADDR)/journal/tail?n=8" >"$(OBS_SMOKE_DIR)/journal-tail.json"; \
+	grep -q '"kind"' "$(OBS_SMOKE_DIR)/journal-tail.json"; \
+	$(GO) build -o "$(OBS_SMOKE_DIR)/mumltop" ./cmd/mumltop; \
+	"$(OBS_SMOKE_DIR)/mumltop" -addr "$(OBS_HTTP_ADDR)" -once >"$(OBS_SMOKE_DIR)/mumltop.txt"; \
+	grep -q 'phase latencies' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
+	grep -q 'muml_batch_instances_total' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
+	grep -q 'recent events' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
 	kill -INT $$pid; wait $$pid; \
 	$(GO) run ./cmd/obscheck "$(OBS_SMOKE_DIR)/batch.jsonl"; \
 	$(GO) run ./cmd/journalstat -trace "$(OBS_SMOKE_DIR)/trace.json" "$(OBS_SMOKE_DIR)/batch.jsonl"; \

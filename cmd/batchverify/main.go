@@ -14,8 +14,10 @@
 //
 // -http serves the live observability plane while the batch runs:
 // Prometheus metrics on /metrics, a JSON progress snapshot (verdict
-// tallies, queue depth, cache hit rate, ETA) on /progress, /healthz, and
-// /debug/pprof. With -linger the server stays up after the batch
+// tallies, queue depth, cache hit rate, ETA) on /progress, the journal's
+// flight-recorder tail as a live SSE stream on /events and as a JSON
+// snapshot on /journal/tail, plus /healthz and /debug/pprof. With
+// -linger the server stays up after the batch
 // completes until the process is interrupted, so the final snapshot can
 // be scraped. SIGINT/SIGTERM cancel the run gracefully: running
 // instances abort, the pool drains, and the journal and metrics sinks
@@ -63,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noMemo    = fs.Bool("no-memo", false, "disable the shared closure/product memo cache")
 		journal   = fs.String("journal", "", "write the batch event journal (JSONL) to this file")
 		metrics   = fs.Bool("metrics", false, "print batch counters and timers on exit")
-		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /healthz, and /debug/pprof on this address while the batch runs")
+		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /events, /journal/tail, /healthz, and /debug/pprof on this address while the batch runs")
 		linger    = fs.Bool("linger", false, "with -http: keep serving after the batch completes until interrupted")
 		verbose   = fs.Bool("v", false, "print every instance result, not just the summary")
 	)
@@ -116,7 +118,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *metrics || *httpAddr != ""})
+	ringSize := 0
+	if *httpAddr != "" {
+		ringSize = obs.DefaultRingSize
+	}
+	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *metrics || *httpAddr != "", RingSize: ringSize})
 	if err != nil {
 		fmt.Fprintf(stderr, "batchverify: %v\n", err)
 		return 1
@@ -135,13 +141,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		srv, err = httpd.Start(*httpAddr, httpd.Options{
 			Registry: obsRun.Registry,
 			Progress: func() any { return progress.Snapshot() },
+			Events:   obsRun.Ring,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "batchverify: %v\n", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(stderr, "batchverify: serving /metrics /progress /healthz /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(stderr, "batchverify: serving /metrics /progress /events /journal/tail /healthz /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	var memo *automata.MemoCache

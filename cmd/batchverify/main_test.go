@@ -101,7 +101,7 @@ func TestRunWithHTTPPlane(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut)
 	}
-	if !strings.Contains(errOut, "serving /metrics /progress /healthz /debug/pprof on http://127.0.0.1:") {
+	if !strings.Contains(errOut, "serving /metrics /progress /events /journal/tail /healthz /debug/pprof on http://127.0.0.1:") {
 		t.Errorf("bound address not announced: %q", errOut)
 	}
 	if !strings.Contains(out, "4 instances on 2 workers") {

@@ -14,7 +14,8 @@
 //
 // -http serves the live observability plane while experiments run:
 // Prometheus metrics on /metrics, a JSON journal-position snapshot on
-// /progress, /healthz, and /debug/pprof.
+// /progress, the journal tail on /events (SSE) and /journal/tail (JSON),
+// plus /healthz and /debug/pprof.
 package main
 
 import (
@@ -52,15 +53,20 @@ func run() error {
 		batchW     = flag.Int("batch-workers", 0, "parallel worker count for -batch (0 = GOMAXPROCS)")
 		journal    = flag.String("journal", "", "write the structured run journal (JSONL) to this file")
 		metrics    = flag.Bool("metrics", false, "collect span timers and counters; print the table after the run")
-		httpAddr   = flag.String("http", "", "serve /metrics, /progress, /healthz, and /debug/pprof on this address while experiments run")
+		httpAddr   = flag.String("http", "", "serve /metrics, /progress, /events, /journal/tail, /healthz, and /debug/pprof on this address while experiments run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	ringSize := 0
+	if *httpAddr != "" {
+		ringSize = obs.DefaultRingSize
+	}
 	run, err := obs.OpenRun(obs.RunOptions{
 		JournalPath: *journal,
 		Metrics:     *metrics || *httpAddr != "",
+		RingSize:    ringSize,
 		CPUProfile:  *cpuProfile,
 		MemProfile:  *memProfile,
 	})
@@ -76,12 +82,13 @@ func run() error {
 					JournalSeq uint64 `json:"journal_seq"`
 				}{JournalSeq: run.Journal.Seq()}
 			},
+			Events: run.Ring,
 		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "experiments: serving /metrics /progress /healthz /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "experiments: serving /metrics /progress /events /journal/tail /healthz /debug/pprof on http://%s\n", srv.Addr())
 	}
 	if run.Journal.Enabled() || run.Registry != nil {
 		automata.EnableObservability(run.Journal, run.Registry)

@@ -110,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	// The build identity goes to stderr: it annotates the report without
+	// making stdout depend on the toolchain that built the binary.
+	fmt.Fprintln(stderr, obs.BuildInfoLine())
 	stats.RenderText(stdout)
 	return 0
 }

@@ -32,6 +32,12 @@ func TestGoldenText(t *testing.T) {
 	if !bytes.Equal(out.Bytes(), want) {
 		t.Errorf("report diverged from %s\ngot:\n%swant:\n%s", golden, out.Bytes(), want)
 	}
+	// The build identity annotates the text report on stderr (kept off
+	// stdout so the golden is toolchain-independent), matching the
+	// muml_build_info gauge on /metrics.
+	if !strings.Contains(errBuf.String(), "muml_build_info: version=") {
+		t.Errorf("stderr misses the build-info line: %q", errBuf.String())
+	}
 }
 
 func TestJSONFormat(t *testing.T) {

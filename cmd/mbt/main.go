@@ -14,7 +14,8 @@
 //
 // -http serves the live observability plane for long soaks: Prometheus
 // counters (mbt.instances, mbt.failures, mbt.shrunk) on /metrics, a JSON
-// soak snapshot on /progress, /healthz, and /debug/pprof. SIGINT/SIGTERM
+// soak snapshot on /progress, the journal tail on /events (SSE) and
+// /journal/tail (JSON), plus /healthz and /debug/pprof. SIGINT/SIGTERM
 // cancel the soak gracefully — the current instance aborts, sinks flush,
 // and the run reports what it covered (exit 3, like a deadline).
 //
@@ -89,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		journal   = fs.String("journal", "", "write the synthesis event journal (JSONL) to this file")
 		corpus    = fs.String("corpus", "", "directory to write shrunk repros of failures into (empty = report only)")
 		deadline  = fs.Duration("deadline", 0, "overall wall-clock budget for the soak (0 = unbounded); exceeding it exits 3")
-		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /healthz, and /debug/pprof on this address while the soak runs")
+		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /events, /journal/tail, /healthz, and /debug/pprof on this address while the soak runs")
 		verbose   = fs.Bool("v", false, "log every instance, not just failures")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -114,7 +115,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.MaxContextStates = *maxStates
 	}
 
-	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *httpAddr != ""})
+	ringSize := 0
+	if *httpAddr != "" {
+		ringSize = obs.DefaultRingSize
+	}
+	obsRun, err := obs.OpenRun(obs.RunOptions{JournalPath: *journal, Metrics: *httpAddr != "", RingSize: ringSize})
 	if err != nil {
 		fmt.Fprintf(stderr, "mbt: %v\n", err)
 		return 1
@@ -141,13 +146,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		srv, err := httpd.Start(*httpAddr, httpd.Options{
 			Registry: obsRun.Registry,
 			Progress: progress.Snapshot,
+			Events:   obsRun.Ring,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "mbt: %v\n", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(stderr, "mbt: serving /metrics /progress /healthz /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(stderr, "mbt: serving /metrics /progress /events /journal/tail /healthz /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	opts := mbt.Options{Journal: obsRun.Journal, SkipLaws: *skipLaws, Context: ctx}

@@ -1,0 +1,588 @@
+// Command mumltop is a terminal dashboard for a running verification
+// command's live observability plane (the -http flag on batchverify,
+// mbt, and experiments). It polls /progress and /metrics, streams the
+// journal from /events, and redraws a single-screen summary: verdict
+// tallies and ETA, memo-cache hit rate, per-phase latency histograms as
+// sparklines, and the most recent journal events.
+//
+//	mumltop -addr 127.0.0.1:8473
+//	mumltop -addr 127.0.0.1:8473 -interval 500ms -n 12
+//	mumltop -addr 127.0.0.1:8473 -once
+//
+// -once renders one plain-text frame (no ANSI control sequences, the
+// journal tail fetched from /journal/tail instead of streamed) and
+// exits — the mode used by scripts, tests, and the obs-smoke gate.
+//
+// Exit status: 0 on success, 1 when the plane is unreachable in -once
+// mode, 2 on usage errors. In live mode fetch errors are shown in the
+// frame and retried on the next tick.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"muml/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mumltop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8473", "host:port of the observability plane to watch")
+		interval = fs.Duration("interval", time.Second, "refresh interval in live mode")
+		once     = fs.Bool("once", false, "render one plain frame and exit")
+		tailN    = fs.Int("n", 8, "journal events shown in the recent-events panel")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "mumltop: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *interval <= 0 {
+		fmt.Fprintf(stderr, "mumltop: -interval must be positive\n")
+		return 2
+	}
+	if *tailN < 0 {
+		*tailN = 0
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		frame, err := renderFrame(client, base, *tailN, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "mumltop: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, frame)
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The live journal arrives over /events; the streamer keeps the last
+	// -n events in a client-side ring that each frame snapshots. When the
+	// stream is down (plane restarting, subscriber dropped for falling
+	// behind) it reconnects with backoff and the frame says so.
+	tail := newEventTail(*tailN)
+	go streamEvents(ctx, base, tail, *interval)
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		frame, err := renderFrame(client, base, *tailN, tail)
+		var b strings.Builder
+		b.WriteString("\x1b[H\x1b[2J") // home + clear
+		if err != nil {
+			fmt.Fprintf(&b, "mumltop — %s — unreachable: %v\n(retrying every %v, ^C to quit)\n", base, err, *interval)
+		} else {
+			b.WriteString(frame)
+			fmt.Fprintf(&b, "\nrefresh %v — ^C to quit\n", *interval)
+		}
+		fmt.Fprint(stdout, b.String())
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout)
+			return 0
+		case <-ticker.C:
+		}
+	}
+}
+
+// renderFrame fetches one consistent view of the plane and renders it.
+// With a nil tail (the -once mode) the recent events come from
+// /journal/tail instead of the live stream.
+func renderFrame(client *http.Client, base string, tailN int, tail *eventTail) (string, error) {
+	progress, err := fetchProgress(client, base)
+	if err != nil {
+		return "", err
+	}
+	metrics, err := fetchMetrics(client, base)
+	if err != nil {
+		return "", err
+	}
+	var events []obs.Event
+	streamed := false
+	if tail != nil {
+		events = tail.snapshot()
+		streamed = true
+	} else if tailN > 0 {
+		// Best-effort: a plane without a journal ring serves 404 here.
+		events, _ = fetchJournalTail(client, base, tailN)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "mumltop — %s\n\n", base)
+	renderProgress(&b, progress)
+	renderHistograms(&b, metrics)
+	renderCounters(&b, metrics)
+	renderEvents(&b, events, tailN, streamed, tail)
+	return b.String(), nil
+}
+
+// --- data sources ---
+
+func fetchProgress(client *http.Client, base string) (map[string]any, error) {
+	resp, err := client.Get(base + "/progress")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/progress: status %s", resp.Status)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("/progress: %w", err)
+	}
+	return m, nil
+}
+
+func fetchJournalTail(client *http.Client, base string, n int) ([]obs.Event, error) {
+	resp, err := client.Get(base + "/journal/tail?n=" + strconv.Itoa(n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/journal/tail: status %s", resp.Status)
+	}
+	var events []obs.Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return nil, fmt.Errorf("/journal/tail: %w", err)
+	}
+	return events, nil
+}
+
+// histFamily is one muml_*_ns histogram reconstructed from the text
+// exposition: per-bucket (non-cumulative) counts aligned with
+// obs.HistogramBounds plus the overflow bucket, and the _sum/_count pair.
+type histFamily struct {
+	buckets []int64
+	sumNS   int64
+	count   int64
+}
+
+// metricsView is the parsed /metrics exposition: plain counters/gauges by
+// sample name, histograms by family base name (without the _ns suffix).
+type metricsView struct {
+	scalars    map[string]string
+	histograms map[string]*histFamily
+}
+
+// fetchMetrics parses the subset of the Prometheus text format the plane
+// emits: `name value` samples, and `name_bucket{le="…"} value` histogram
+// series. Unknown or malformed lines are skipped — the dashboard renders
+// what it understands.
+func fetchMetrics(client *http.Client, base string) (*metricsView, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %s", resp.Status)
+	}
+	v := &metricsView{scalars: make(map[string]string), histograms: make(map[string]*histFamily)}
+	boundIndex := make(map[string]int, len(obs.HistogramBounds))
+	for i, b := range obs.HistogramBounds {
+		boundIndex[strconv.FormatInt(b, 10)] = i
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if fam, le, isBucket := cutBucket(name); isBucket {
+			h := v.histograms[fam]
+			if h == nil {
+				h = &histFamily{buckets: make([]int64, obs.NumHistogramBuckets)}
+				v.histograms[fam] = h
+			}
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				continue
+			}
+			idx, ok := boundIndex[le]
+			if le == "+Inf" {
+				idx, ok = len(obs.HistogramBounds), true
+			}
+			if ok {
+				h.buckets[idx] = cum // cumulative for now; diffed below
+			}
+			continue
+		}
+		if fam, isSum := strings.CutSuffix(name, "_ns_sum"); isSum {
+			if h := v.histograms[fam+"_ns"]; h != nil {
+				h.sumNS, _ = strconv.ParseInt(value, 10, 64)
+			} else if n, err := strconv.ParseInt(value, 10, 64); err == nil {
+				v.histograms[fam+"_ns"] = &histFamily{buckets: make([]int64, obs.NumHistogramBuckets), sumNS: n}
+			}
+			continue
+		}
+		if fam, isCount := strings.CutSuffix(name, "_ns_count"); isCount {
+			if h := v.histograms[fam+"_ns"]; h != nil {
+				h.count, _ = strconv.ParseInt(value, 10, 64)
+			}
+			continue
+		}
+		v.scalars[name] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// The exposition carries cumulative buckets; the sparklines and
+	// quantile math want per-bucket counts.
+	for _, h := range v.histograms {
+		for i := len(h.buckets) - 1; i > 0; i-- {
+			h.buckets[i] -= h.buckets[i-1]
+		}
+	}
+	return v, nil
+}
+
+// cutBucket splits `muml_core_check_ns_bucket{le="2048"}` into the family
+// name (muml_core_check_ns) and the le value.
+func cutBucket(sample string) (family, le string, ok bool) {
+	fam, rest, found := strings.Cut(sample, "_bucket{le=\"")
+	if !found || !strings.HasSuffix(rest, "\"}") {
+		return "", "", false
+	}
+	return fam, strings.TrimSuffix(rest, "\"}"), true
+}
+
+// --- rendering ---
+
+// progressOrder lists the batch /progress fields in display order; other
+// sources' fields fall back to alphabetical.
+var progressOrder = []string{
+	"instances", "workers", "queued", "running", "done",
+	"proven", "violations", "errored", "timed_out", "panicked",
+	"cache_hits", "cache_misses", "cache_hit_rate",
+	"elapsed_ns", "median_instance_ns", "eta_ns",
+}
+
+func renderProgress(b *strings.Builder, m map[string]any) {
+	if len(m) == 0 {
+		fmt.Fprintf(b, "progress: (no source)\n")
+		return
+	}
+	if _, isBatch := m["instances"]; isBatch {
+		fmt.Fprintf(b, "batch     %s/%s done   %s running   %s queued   %s workers\n",
+			num(m, "done"), num(m, "instances"), num(m, "running"), num(m, "queued"), num(m, "workers"))
+		fmt.Fprintf(b, "verdicts  %s proven   %s violations   %s errors   %s timeouts\n",
+			num(m, "proven"), num(m, "violations"), num(m, "errored"), num(m, "timed_out"))
+		if hits, misses := intField(m, "cache_hits"), intField(m, "cache_misses"); hits+misses > 0 {
+			fmt.Fprintf(b, "memo      %d hits / %d misses (%.1f%% hit rate)\n",
+				hits, misses, 100*float64(hits)/float64(hits+misses))
+		}
+		fmt.Fprintf(b, "clock     elapsed %s   median %s   eta %s\n",
+			durField(m, "elapsed_ns"), durField(m, "median_instance_ns"), durField(m, "eta_ns"))
+		if running, ok := m["running_instances"].([]any); ok && len(running) > 0 {
+			names := make([]string, 0, len(running))
+			for _, r := range running {
+				names = append(names, fmt.Sprint(r))
+			}
+			fmt.Fprintf(b, "active    %s\n", strings.Join(names, "  "))
+		}
+		b.WriteString("\n")
+		return
+	}
+	// Generic JSON object (mbt soaks, experiments): known order first,
+	// then the rest alphabetically.
+	rendered := make(map[string]bool)
+	var parts []string
+	add := func(k string) {
+		if v, ok := m[k]; ok && !rendered[k] {
+			rendered[k] = true
+			if strings.HasSuffix(k, "_ns") {
+				parts = append(parts, fmt.Sprintf("%s %s", strings.TrimSuffix(k, "_ns"), durField(m, k)))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s %v", k, v))
+			}
+		}
+	}
+	for _, k := range progressOrder {
+		add(k)
+	}
+	for _, k := range sortedKeys(m) {
+		add(k)
+	}
+	fmt.Fprintf(b, "progress  %s\n\n", strings.Join(parts, "   "))
+}
+
+func renderHistograms(b *strings.Builder, v *metricsView) {
+	if len(v.histograms) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "phase latencies\n")
+	width := 0
+	for _, fam := range sortedKeys(v.histograms) {
+		if len(fam) > width {
+			width = len(fam)
+		}
+	}
+	for _, fam := range sortedKeys(v.histograms) {
+		h := v.histograms[fam]
+		fmt.Fprintf(b, "  %-*s %8d obs  p50≤%-9s p90≤%-9s p99≤%-9s %s\n",
+			width, strings.TrimSuffix(fam, "_ns"), h.count,
+			dur(obs.HistogramQuantile(h.buckets, 50)),
+			dur(obs.HistogramQuantile(h.buckets, 90)),
+			dur(obs.HistogramQuantile(h.buckets, 99)),
+			sparkline(h.buckets))
+	}
+	b.WriteString("\n")
+}
+
+func renderCounters(b *strings.Builder, v *metricsView) {
+	if len(v.scalars) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "counters\n")
+	for _, name := range sortedKeys(v.scalars) {
+		fmt.Fprintf(b, "  %-40s %s\n", name, v.scalars[name])
+	}
+	b.WriteString("\n")
+}
+
+func renderEvents(b *strings.Builder, events []obs.Event, tailN int, streamed bool, tail *eventTail) {
+	if tailN == 0 {
+		return
+	}
+	source := "journal tail"
+	if streamed {
+		source = "live /events"
+	}
+	fmt.Fprintf(b, "recent events (%s)\n", source)
+	if streamed && tail != nil && !tail.connected() {
+		fmt.Fprintf(b, "  (stream disconnected, reconnecting…)\n")
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(b, "  (none yet)\n")
+		return
+	}
+	for _, e := range events {
+		fmt.Fprintf(b, "  %6d  %-20s %s\n", e.Seq, e.Kind, eventDetail(e))
+	}
+}
+
+// eventDetail compresses an event's payload into one line: string fields
+// first (traces elided), then integer fields, then the duration.
+func eventDetail(e obs.Event) string {
+	var parts []string
+	for _, k := range sortedKeys(e.S) {
+		val := e.S[k]
+		if k == "trace" || strings.Contains(val, "\n") {
+			continue // multi-line paper listings don't fit a dashboard row
+		}
+		if len(val) > 32 {
+			val = val[:29] + "…"
+		}
+		parts = append(parts, k+"="+val)
+	}
+	for _, k := range sortedKeys(e.N) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, e.N[k]))
+	}
+	if e.DurNS > 0 {
+		parts = append(parts, "dur="+dur(e.DurNS))
+	}
+	return strings.Join(parts, " ")
+}
+
+// sparkline renders per-bucket counts between the first and last occupied
+// bucket, scaled to eight levels.
+func sparkline(buckets []int64) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := -1, -1
+	var max int64
+	for i, c := range buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if lo < 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		if buckets[i] == 0 {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := int((buckets[i]*int64(len(levels)) - 1) / max)
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// --- live event stream ---
+
+// eventTail is the client-side ring fed by the /events stream.
+type eventTail struct {
+	mu   sync.Mutex
+	buf  []obs.Event
+	up   bool
+	size int
+}
+
+func newEventTail(n int) *eventTail {
+	if n < 1 {
+		n = 1
+	}
+	return &eventTail{size: n}
+}
+
+func (t *eventTail) push(e obs.Event) {
+	t.mu.Lock()
+	t.buf = append(t.buf, e)
+	if len(t.buf) > t.size {
+		t.buf = t.buf[len(t.buf)-t.size:]
+	}
+	t.mu.Unlock()
+}
+
+func (t *eventTail) snapshot() []obs.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]obs.Event(nil), t.buf...)
+}
+
+func (t *eventTail) setConnected(up bool) {
+	t.mu.Lock()
+	t.up = up
+	t.mu.Unlock()
+}
+
+func (t *eventTail) connected() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.up
+}
+
+// streamEvents consumes the SSE stream into the tail, reconnecting after
+// dropped or failed connections until the context ends. The server
+// replays recent history on each (re)connect, so a reconnect repaints
+// the panel rather than leaving a gap.
+func streamEvents(ctx context.Context, base string, tail *eventTail, retry time.Duration) {
+	for ctx.Err() == nil {
+		streamOnce(ctx, base, tail)
+		tail.setConnected(false)
+		select {
+		case <-ctx.Done():
+		case <-time.After(retry):
+		}
+	}
+}
+
+func streamOnce(ctx context.Context, base string, tail *eventTail) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/events", nil)
+	if err != nil {
+		return
+	}
+	// Plain transport, not the polling client: the stream is long-lived
+	// by design and must not be cut by the snapshot timeout. The request
+	// context still tears it down on exit.
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return
+	}
+	defer resp.Body.Close()
+	tail.setConnected(true)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(strings.TrimSpace(sc.Text()), "data:")
+		if !ok {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(strings.TrimSpace(data)), &e); err == nil {
+			tail.push(e)
+		}
+	}
+}
+
+// --- small helpers ---
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func num(m map[string]any, key string) string {
+	if v, ok := m[key]; ok {
+		return fmt.Sprintf("%.0f", toFloat(v))
+	}
+	return "?"
+}
+
+func intField(m map[string]any, key string) int64 {
+	return int64(toFloat(m[key]))
+}
+
+func durField(m map[string]any, key string) string {
+	return dur(int64(toFloat(m[key])))
+}
+
+func toFloat(v any) float64 {
+	f, _ := v.(float64) // encoding/json decodes numbers as float64
+	return f
+}
+
+func dur(ns int64) string {
+	if ns <= 0 {
+		return "—"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.Round(time.Nanosecond).String()
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"muml/internal/obs"
+	"muml/internal/obs/httpd"
+)
+
+// startPlane spins up a live observability plane the way a verification
+// command would: a registry with a histogram and counters, and a journal
+// ring with a few events.
+func startPlane(t *testing.T) (addr string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("batch.instances").Add(3)
+	h := reg.Histogram("core.check")
+	h.Observe(2 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	h.Observe(900 * time.Millisecond)
+
+	ring := obs.NewRingSink(16)
+	j := obs.NewJournal(ring)
+	j.Emit(obs.Event{Kind: obs.KindBatchStart, Iter: -1, N: map[string]int64{"instances": 3}})
+	j.Emit(obs.Event{Kind: obs.KindInstanceDone, Iter: -1, DurNS: 2_000_000,
+		S: map[string]string{"name": "gen-seed-1", "verdict": "proven"}})
+
+	srv, err := httpd.Start("127.0.0.1:0", httpd.Options{
+		Registry: reg,
+		Progress: func() any {
+			return map[string]any{
+				"instances": 3, "workers": 2, "queued": 0, "running": 1, "done": 2,
+				"proven": 1, "violations": 1, "errored": 0, "timed_out": 0,
+				"cache_hits": 7, "cache_misses": 3,
+				"elapsed_ns": int64(1_500_000_000), "eta_ns": int64(750_000_000),
+			}
+		},
+		Events: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestOnceRendersFullFrame(t *testing.T) {
+	addr := startPlane(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", addr, "-once"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	frame := out.String()
+	if strings.Contains(frame, "\x1b[") {
+		t.Error("-once frame contains ANSI control sequences")
+	}
+	for _, want := range []string{
+		"mumltop — http://" + addr,
+		"batch     2/3 done",
+		"verdicts  1 proven   1 violations",
+		"memo      7 hits / 3 misses (70.0% hit rate)",
+		"eta 750ms",
+		"phase latencies",
+		"core_check",
+		"p50≤",
+		"muml_batch_instances_total",
+		"muml_build_info",
+		"recent events (journal tail)",
+		"instance_done",
+		"name=gen-seed-1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame misses %q:\n%s", want, frame)
+		}
+	}
+	// The histogram panel shows a sparkline for the three observations.
+	for _, line := range strings.Split(frame, "\n") {
+		if strings.Contains(line, "core_check") && !strings.ContainsAny(line, "▁▂▃▄▅▆▇█") {
+			t.Errorf("histogram row has no sparkline: %q", line)
+		}
+	}
+}
+
+func TestOnceFailsOnUnreachablePlane(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:1", "-once"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errBuf.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"stray-arg"},
+		{"-interval", "0s"},
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestCutBucket(t *testing.T) {
+	fam, le, ok := cutBucket(`muml_core_check_ns_bucket{le="2048"}`)
+	if !ok || fam != "muml_core_check_ns" || le != "2048" {
+		t.Errorf("cutBucket = %q %q %v", fam, le, ok)
+	}
+	if _, _, ok := cutBucket("muml_core_check_ns_sum"); ok {
+		t.Error("cutBucket accepted a non-bucket sample")
+	}
+	if fam, le, ok := cutBucket(`muml_x_ns_bucket{le="+Inf"}`); !ok || fam != "muml_x_ns" || le != "+Inf" {
+		t.Errorf("cutBucket +Inf = %q %q %v", fam, le, ok)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline(make([]int64, 8)); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+	s := sparkline([]int64{0, 1, 0, 8, 0})
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Errorf("sparkline = %q, want low first bucket and full last", s)
+	}
+	if strings.ContainsAny(s, "\x00") || len([]rune(s)) != 3 {
+		t.Errorf("sparkline = %q, want 3 cells (buckets 1..3)", s)
+	}
+}
+
+func TestEventTailBoundsAndSnapshot(t *testing.T) {
+	tail := newEventTail(2)
+	for i := uint64(1); i <= 4; i++ {
+		tail.push(obs.Event{Seq: i, Kind: obs.KindNote, Iter: -1})
+	}
+	snap := tail.snapshot()
+	if len(snap) != 2 || snap[0].Seq != 3 || snap[1].Seq != 4 {
+		t.Errorf("snapshot = %+v, want seqs 3,4", snap)
+	}
+}

@@ -78,7 +78,8 @@ type Options struct {
 	// available by re-running a single instance.
 	Journal *obs.Journal
 	// Metrics, when non-nil, receives batch.instances, batch.timeouts,
-	// batch.panics, batch.steals counters and the batch.instance timer.
+	// batch.panics, batch.steals counters plus the batch.instance timer
+	// and latency histogram.
 	Metrics *obs.Registry
 	// Progress, when non-nil, receives live per-instance start/finish
 	// updates; the HTTP /progress endpoint snapshots it while the batch
@@ -134,6 +135,7 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 	mPanics := opts.Metrics.Counter("batch.panics")
 	mSteals := opts.Metrics.Counter("batch.steals")
 	tInstance := opts.Metrics.Timer("batch.instance")
+	hInstance := opts.Metrics.Histogram("batch.instance")
 
 	// batchSpan groups the batch_start and instance_done events into one
 	// span tree under the "batch" trace.
@@ -174,6 +176,7 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 				res := runOne(batchCtx, items[idx], idx, w, opts)
 				mInstances.Add(1)
 				tInstance.Observe(res.Duration)
+				hInstance.Observe(res.Duration)
 				if res.TimedOut {
 					mTimeouts.Add(1)
 				}

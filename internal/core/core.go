@@ -370,9 +370,12 @@ type Synthesizer struct {
 	weakProperty ctl.Formula
 	noDeadlock   ctl.Formula
 
-	// Per-phase span timers registered in Options.Metrics (nil and
-	// therefore inert when no registry is configured).
+	// Per-phase span timers and latency histograms registered in
+	// Options.Metrics (nil and therefore inert when no registry is
+	// configured). Timers carry totals; histograms carry the live
+	// distribution the /metrics endpoint exposes as _bucket families.
 	tCompose, tCheck, tReplay, tProbe *obs.Timer
+	hCompose, hCheck, hReplay, hProbe *obs.Histogram
 }
 
 // New validates the inputs and prepares the initial model M_l^0 of
@@ -402,6 +405,10 @@ func New(context *automata.Automaton, comp legacy.Component, iface legacy.Interf
 	s.tCheck = o.Metrics.Timer("core.check")
 	s.tReplay = o.Metrics.Timer("core.replay")
 	s.tProbe = o.Metrics.Timer("core.probe")
+	s.hCompose = o.Metrics.Histogram("core.compose")
+	s.hCheck = o.Metrics.Histogram("core.check")
+	s.hReplay = o.Metrics.Histogram("core.replay")
+	s.hProbe = o.Metrics.Histogram("core.probe")
 	if o.Property != nil {
 		s.weakProperty = ctl.WeakenForChaos(o.Property)
 	}
@@ -487,6 +494,7 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 	it.ComposeDuration = time.Since(composeStart)
 	s.stats.ComposeTime += it.ComposeDuration
 	s.tCompose.Observe(it.ComposeDuration)
+	s.hCompose.Observe(it.ComposeDuration)
 	if it.SystemStates > s.stats.PeakSystemStates {
 		s.stats.PeakSystemStates = it.SystemStates
 	}
@@ -550,6 +558,7 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 	it.CheckDuration = time.Since(checkStart)
 	s.stats.CheckTime += it.CheckDuration
 	s.tCheck.Observe(it.CheckDuration)
+	s.hCheck.Observe(it.CheckDuration)
 	if j := s.opts.Journal; j.Enabled() {
 		j.Emit(obs.Event{Kind: obs.KindCheckResult, Iter: index, DurNS: int64(it.CheckDuration),
 			Trace: s.opts.TraceID, Parent: iterSpan,
@@ -783,6 +792,7 @@ func (s *Synthesizer) testCounterexample(sys *automata.Automaton, cex *automata.
 	it.ReplayDuration += replayDur
 	s.stats.ReplayTime += replayDur
 	s.tReplay.Observe(replayDur)
+	s.hReplay.Observe(replayDur)
 	if j := s.opts.Journal; j.Enabled() {
 		j.Emit(obs.Event{Kind: obs.KindReplayStep, Iter: it.Index, DurNS: int64(replayDur),
 			Trace: s.opts.TraceID, Parent: cexSpan,
@@ -835,6 +845,7 @@ func (s *Synthesizer) probeDeadlock(sys *automata.Automaton, cex *automata.Run, 
 		it.ProbeDuration += d
 		s.stats.ProbeTime += d
 		s.tProbe.Observe(d)
+		s.hProbe.Observe(d)
 	}()
 	ctxState, err := s.contextStateAt(sys, cex.States[len(cex.States)-1])
 	if err != nil {

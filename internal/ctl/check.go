@@ -52,15 +52,16 @@ type Checker struct {
 
 	// Optional instrumentation (see Instrument); nil counters are no-ops,
 	// so the uninstrumented checker pays one branch per update site.
-	mFixpointIters  *obs.Counter // work units inside fixpoint loops
-	mStatesTouched  *obs.Counter // states visited per operator evaluation
-	mPoolHits       *obs.Counter // scratch buffers served from the pools
-	mPoolMisses     *obs.Counter // scratch buffers freshly allocated
-	mSatCacheHits   *obs.Counter // Sat calls answered from the formula cache
-	mChecks         *obs.Counter // operator evaluations (Sat cache misses)
-	mWordsScanned   *obs.Counter // bitset words produced by sweep operators
-	mFrontierStates *obs.Counter // states expanded by frontier fixpoints
-	mParallelChunks *obs.Counter // chunks dispatched to worker goroutines
+	mFixpointIters  *obs.Counter   // work units inside fixpoint loops
+	mStatesTouched  *obs.Counter   // states visited per operator evaluation
+	mPoolHits       *obs.Counter   // scratch buffers served from the pools
+	mPoolMisses     *obs.Counter   // scratch buffers freshly allocated
+	mSatCacheHits   *obs.Counter   // Sat calls answered from the formula cache
+	mChecks         *obs.Counter   // operator evaluations (Sat cache misses)
+	mWordsScanned   *obs.Counter   // bitset words produced by sweep operators
+	mFrontierStates *obs.Counter   // states expanded by frontier fixpoints
+	mParallelChunks *obs.Counter   // chunks dispatched to worker goroutines
+	hCheck          *obs.Histogram // wall time per context-bound evaluation
 }
 
 // NewChecker creates a checker for the automaton.
@@ -151,6 +152,7 @@ func (c *Checker) canceled() bool {
 func (c *Checker) HoldsCtx(ctx context.Context, f Formula) (bool, error) {
 	c.bind(ctx)
 	defer c.unbind()
+	defer c.hCheck.Span()()
 	holds := c.Holds(f)
 	if c.ctxErr != nil {
 		return false, c.ctxErr
@@ -162,6 +164,7 @@ func (c *Checker) HoldsCtx(ctx context.Context, f Formula) (bool, error) {
 func (c *Checker) CheckCtx(ctx context.Context, f Formula) (Result, error) {
 	c.bind(ctx)
 	defer c.unbind()
+	defer c.hCheck.Span()()
 	res := c.Check(f)
 	if c.ctxErr != nil {
 		return Result{}, c.ctxErr
@@ -173,6 +176,7 @@ func (c *Checker) CheckCtx(ctx context.Context, f Formula) (Result, error) {
 func (c *Checker) CheckManyCtx(ctx context.Context, f Formula, max int) ([]Result, error) {
 	c.bind(ctx)
 	defer c.unbind()
+	defer c.hCheck.Span()()
 	res := c.CheckMany(f, max)
 	if c.ctxErr != nil {
 		return nil, c.ctxErr
@@ -187,7 +191,9 @@ func (c *Checker) CheckManyCtx(ctx context.Context, f Formula, max int) ([]Resul
 // behaviour), ctl.sat_cache_hits, ctl.operator_evals, plus the bitset
 // engine's ctl.words_scanned (bitset words produced by sweep operators),
 // ctl.frontier_states (states expanded by frontier fixpoints), and
-// ctl.parallel_chunks (chunks dispatched to worker goroutines). A nil
+// ctl.parallel_chunks (chunks dispatched to worker goroutines), and the
+// ctl.check latency histogram (wall time of each context-bound
+// evaluation, exposed as the muml_ctl_check_ns bucket family). A nil
 // registry detaches the instrumentation.
 func (c *Checker) Instrument(r *obs.Registry) {
 	c.mFixpointIters = r.Counter("ctl.fixpoint_iters")
@@ -199,6 +205,7 @@ func (c *Checker) Instrument(r *obs.Registry) {
 	c.mWordsScanned = r.Counter("ctl.words_scanned")
 	c.mFrontierStates = r.Counter("ctl.frontier_states")
 	c.mParallelChunks = r.Counter("ctl.parallel_chunks")
+	c.hCheck = r.Histogram("ctl.check")
 }
 
 // getBits borrows a zeroed bitset sized for the current automaton.

@@ -26,6 +26,11 @@ type PhaseStats struct {
 	P50NS   int64 `json:"p50_ns"`
 	P90NS   int64 `json:"p90_ns"`
 	P99NS   int64 `json:"p99_ns"`
+	// Buckets is the same fixed log-spaced distribution the live
+	// obs.Histogram instruments export on /metrics (boundaries in
+	// HistogramBounds, last entry overflow), so an offline journal
+	// percentile and a scraped live quantile land in the same bucket.
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // SlowInstance names one batch instance and its duration.
@@ -122,9 +127,10 @@ func Analyze(events []Event, topK int) *JournalStats {
 func distill(durs []int64) PhaseStats {
 	sorted := append([]int64(nil), durs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	st := PhaseStats{Count: int64(len(sorted))}
+	st := PhaseStats{Count: int64(len(sorted)), Buckets: make([]int64, NumHistogramBuckets)}
 	for _, d := range sorted {
 		st.TotalNS += d
+		st.Buckets[BucketIndex(d)]++
 	}
 	st.MinNS = sorted[0]
 	st.MaxNS = sorted[len(sorted)-1]

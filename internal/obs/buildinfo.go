@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the main module's version (or
+// "devel" when not built from a tagged module) and the Go toolchain. The
+// /metrics endpoint exposes it as the muml_build_info gauge and
+// journalstat prints the matching line, so a scraped exposition and an
+// analyzed journal are both attributable to a build.
+func BuildInfo() (version, goVersion string) {
+	version = "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	return version, runtime.Version()
+}
+
+// WriteBuildInfoProm renders the muml_build_info gauge (constant value 1,
+// identity carried in labels) in Prometheus text exposition format.
+func WriteBuildInfoProm(w io.Writer) error {
+	version, goVersion := BuildInfo()
+	_, err := fmt.Fprintf(w,
+		"# TYPE muml_build_info gauge\nmuml_build_info{version=%q,goversion=%q} 1\n",
+		version, goVersion)
+	return err
+}
+
+// BuildInfoLine is the human-readable counterpart of the muml_build_info
+// gauge, printed by journalstat -format text.
+func BuildInfoLine() string {
+	version, goVersion := BuildInfo()
+	return fmt.Sprintf("muml_build_info: version=%s goversion=%s", version, goVersion)
+}

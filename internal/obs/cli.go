@@ -18,6 +18,11 @@ type RunOptions struct {
 	// Metrics allocates a Registry for span timers and counters
 	// ("-metrics").
 	Metrics bool
+	// RingSize, when positive, keeps the last RingSize journal events in
+	// an in-memory flight recorder (Run.Ring) fed alongside the other
+	// sinks — the data source behind the HTTP /events and /journal/tail
+	// endpoints.
+	RingSize int
 	// CPUProfile and MemProfile name pprof output files; the CPU
 	// profile runs from OpenRun until Close, the heap profile is
 	// written at Close.
@@ -31,6 +36,8 @@ type RunOptions struct {
 type Run struct {
 	Journal  *Journal
 	Registry *Registry
+	// Ring is the in-memory flight recorder (nil unless RingSize was set).
+	Ring *RingSink
 
 	jsonl      *JSONLSink
 	stopCPU    func() error
@@ -52,6 +59,10 @@ func OpenRun(o RunOptions) (*Run, error) {
 	}
 	if o.Extra != nil {
 		sinks = append(sinks, o.Extra)
+	}
+	if o.RingSize > 0 {
+		r.Ring = NewRingSink(o.RingSize)
+		sinks = append(sinks, r.Ring)
 	}
 	switch len(sinks) {
 	case 0:
@@ -81,6 +92,7 @@ func (r *Run) Close() error {
 	if r == nil {
 		return nil
 	}
+	r.emitHistogramSnapshots()
 	var first error
 	if r.stopCPU != nil {
 		if err := r.stopCPU(); err != nil && first == nil {
@@ -101,6 +113,33 @@ func (r *Run) Close() error {
 		r.jsonl = nil
 	}
 	return first
+}
+
+// emitHistogramSnapshots journals the final state of every non-empty
+// latency histogram as histogram_snapshot events, so an offline journal
+// carries the same distributions the live /metrics endpoint was serving.
+// Runs without both a journal and a registry skip this silently.
+func (r *Run) emitHistogramSnapshots() {
+	if r.Journal == nil || r.Registry == nil {
+		return
+	}
+	for _, m := range r.Registry.Snapshot() {
+		if m.Kind != "histogram" || m.Value == 0 {
+			continue
+		}
+		n := map[string]int64{"sum_ns": m.TotalNS}
+		var count int64
+		for i, c := range m.Buckets {
+			if c == 0 {
+				continue
+			}
+			n[fmt.Sprintf("b%02d", i)] = c
+			count += c
+		}
+		n["count"] = count
+		r.Journal.Emit(Event{Kind: KindHistogramSnapshot, Iter: -1,
+			S: map[string]string{"name": m.Name}, N: n})
+	}
 }
 
 // DumpMetrics renders the registry snapshot to w (no-op without

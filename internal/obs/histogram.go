@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the live latency-distribution half of the metrics
+// registry: a fixed-bucket histogram with log-spaced (power-of-two)
+// nanosecond boundaries and one atomic counter per bucket. Timers answer
+// "how much total time, how many spans"; histograms answer "what is p99
+// right now" — the question a long-running verification service gets
+// asked by its operators. The bucket boundaries are shared with the
+// offline journal analytics (analyze.go), so a live /metrics quantile and
+// a journalstat percentile over the same run land in the same bucket.
+
+// histMinExp/histMaxExp bound the bucket ladder: the first bucket covers
+// everything up to 2^histMinExp ns (~1µs, below the resolution anything
+// in the synthesis loop cares about), the last finite boundary is
+// 2^histMaxExp ns (~69s, past every per-instance deadline in use);
+// slower observations land in the overflow bucket.
+const (
+	histMinExp = 10 // 2^10 ns = 1.024µs
+	histMaxExp = 36 // 2^36 ns ≈ 68.7s
+)
+
+// HistogramBounds are the inclusive upper bounds of the finite buckets,
+// in nanoseconds: 2^10, 2^11, …, 2^36. Bucket i covers
+// (HistogramBounds[i-1], HistogramBounds[i]]; bucket 0 also absorbs
+// everything at or below its bound. One extra overflow bucket (+Inf)
+// follows the last finite one.
+var HistogramBounds = func() []int64 {
+	b := make([]int64, histMaxExp-histMinExp+1)
+	for i := range b {
+		b[i] = 1 << (histMinExp + i)
+	}
+	return b
+}()
+
+// NumHistogramBuckets is the total bucket count including the overflow
+// (+Inf) bucket.
+var NumHistogramBuckets = len(HistogramBounds) + 1
+
+// BucketIndex maps a duration in nanoseconds onto its bucket. Boundaries
+// are powers of two, so the lookup is one bit-length instruction, not a
+// binary search — cheap enough for every hot-path observation.
+func BucketIndex(ns int64) int {
+	if ns <= 1<<histMinExp {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1)) - histMinExp // ceil(log2(ns)) - histMinExp
+	if i >= len(HistogramBounds) {
+		return len(HistogramBounds) // overflow bucket
+	}
+	return i
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. Like the other
+// registry instruments the zero value is ready to use and a nil
+// *Histogram discards all updates, so uninstrumented paths pay only a nil
+// check.
+type Histogram struct {
+	counts [histMaxExp - histMinExp + 2]atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveNS(d.Nanoseconds())
+}
+
+// ObserveNS records one duration given in nanoseconds. Safe on a nil
+// histogram and from concurrent goroutines.
+func (h *Histogram) ObserveNS(ns int64) {
+	if h == nil {
+		return
+	}
+	h.counts[BucketIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Span starts a measurement; call the returned func to record the
+// elapsed time. On a nil histogram the returned func is a no-op and no
+// clock is read.
+func (h *Histogram) Span() func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// Buckets returns a copy of the per-bucket counts (not cumulative), the
+// last entry being the overflow bucket. Nil on a nil histogram.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the number of observations (0 for a nil histogram). It is
+// derived from the bucket counters so that Count always equals the sum of
+// Buckets, even against concurrent observers.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// SumNS returns the accumulated nanoseconds.
+func (h *Histogram) SumNS() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNS.Load()
+}
+
+// HistogramQuantile computes the nearest-rank q-th percentile (0 < q ≤
+// 100) from per-bucket counts, returning the upper bound of the bucket the
+// rank falls into — the same answer a Prometheus histogram_quantile gives
+// up to interpolation. An observation that matched bucket i yields
+// HistogramBounds[i], so a live quantile and the offline nearest-rank
+// percentile of the same sample agree to within one bucket width. The
+// overflow bucket reports the last finite bound. Returns 0 on an empty
+// histogram.
+func HistogramQuantile(buckets []int64, q int) int64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := (total*int64(q) + 99) / 100 // ceil(total*q/100)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if cum >= rank {
+			if i >= len(HistogramBounds) {
+				return HistogramBounds[len(HistogramBounds)-1]
+			}
+			return HistogramBounds[i]
+		}
+	}
+	return HistogramBounds[len(HistogramBounds)-1]
+}

@@ -1,0 +1,173 @@
+package httpd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"muml/internal/obs"
+)
+
+// readDataLine scans the SSE stream for the next `data:` line and returns
+// its payload, skipping ids, comments, and blank separators.
+func readDataLine(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended: %v", err)
+		}
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "data:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+}
+
+func TestEventsStreamReplayThenLive(t *testing.T) {
+	ring := obs.NewRingSink(16)
+	j := obs.NewJournal(ring)
+	j.Emit(obs.Event{Kind: obs.KindNote, Iter: -1, S: map[string]string{"text": "replayed"}})
+
+	srv, err := Start("127.0.0.1:0", Options{Events: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+srv.Addr()+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	r := bufio.NewReader(resp.Body)
+	var replayed obs.Event
+	if err := json.Unmarshal([]byte(readDataLine(t, r)), &replayed); err != nil {
+		t.Fatalf("replayed event not JSON: %v", err)
+	}
+	if replayed.S["text"] != "replayed" {
+		t.Errorf("replay tail = %+v, want the pre-subscribe event", replayed)
+	}
+
+	// The handler has flushed the replay, so its subscription is live.
+	j.Emit(obs.Event{Kind: obs.KindNote, Iter: -1, S: map[string]string{"text": "live"}})
+	var live obs.Event
+	if err := json.Unmarshal([]byte(readDataLine(t, r)), &live); err != nil {
+		t.Fatalf("live event not JSON: %v", err)
+	}
+	if live.S["text"] != "live" || live.Seq <= replayed.Seq {
+		t.Errorf("live event = %+v, want text=live after seq %d", live, replayed.Seq)
+	}
+}
+
+// TestEventsDropsSlowClientWithoutBlockingEmit is the backpressure
+// contract of the live plane (run with -race): a client that cannot keep
+// up is disconnected by the emitter, and the journal's Emit path is never
+// blocked by it.
+func TestEventsDropsSlowClientWithoutBlockingEmit(t *testing.T) {
+	oldBuf := sseBuffer
+	sseBuffer = 1
+	defer func() { sseBuffer = oldBuf }()
+
+	ring := obs.NewRingSink(32)
+	j := obs.NewJournal(ring)
+	srv, err := Start("127.0.0.1:0", Options{Events: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The handler flushes (empty) replay before we get response headers,
+	// so its subscription exists by now. Flood the journal faster than
+	// the handler's one-slot buffer can drain; Emit must stay
+	// non-blocking and eventually drop the subscriber.
+	done := make(chan int)
+	go func() {
+		emitted := 0
+		for i := 0; i < 10000 && ring.Dropped() == 0; i++ {
+			j.Emit(obs.Event{Kind: obs.KindNote, Iter: -1})
+			emitted++
+		}
+		done <- emitted
+	}()
+	var emitted int
+	select {
+	case emitted = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("journal emission blocked by a slow /events client")
+	}
+	if ring.Dropped() == 0 {
+		t.Fatalf("slow client never dropped after %d events", emitted)
+	}
+
+	// The server tells the client why before closing the stream.
+	deadline := time.Now().Add(5 * time.Second)
+	r := bufio.NewReader(resp.Body)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("stream did not end after drop")
+		}
+		line, err := r.ReadString('\n')
+		if strings.Contains(line, "dropped (slow consumer)") {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream ended without drop notice: %v", err)
+		}
+	}
+}
+
+func TestJournalTail(t *testing.T) {
+	ring := obs.NewRingSink(8)
+	j := obs.NewJournal(ring)
+	for i := 0; i < 5; i++ {
+		j.Emit(obs.Event{Kind: obs.KindNote, Iter: -1})
+	}
+	srv, err := Start("127.0.0.1:0", Options{Events: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ctype := get(t, base+"/journal/tail?n=2")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("content type %q", ctype)
+	}
+	var events []obs.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("not a JSON array: %v: %s", err, body)
+	}
+	if len(events) != 2 || events[0].Seq != 4 || events[1].Seq != 5 {
+		t.Errorf("tail = %+v, want seqs 4,5", events)
+	}
+
+	body, _ = get(t, base+"/journal/tail")
+	if err := json.Unmarshal([]byte(body), &events); err != nil || len(events) != 5 {
+		t.Errorf("default tail: err=%v len=%d, want 5", err, len(events))
+	}
+
+	resp, err := http.Get(base + "/journal/tail?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", resp.StatusCode)
+	}
+}

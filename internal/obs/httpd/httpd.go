@@ -3,15 +3,22 @@
 // and experiments):
 //
 //	/metrics       Prometheus text exposition of the obs.Registry
+//	               (including muml_build_info and histogram families)
 //	/progress      JSON snapshot of the run's progress source
+//	/events        Server-Sent Events tail of the live journal
+//	/journal/tail  JSON snapshot of the flight-recorder ring (?n=)
 //	/healthz       liveness probe ("ok")
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // The server binds eagerly (Start fails fast on a bad address) and
 // serves from a background goroutine until Close. It holds no run state
-// of its own — both data endpoints pull from the snapshot sources handed
+// of its own — the data endpoints pull from the snapshot sources handed
 // in via Options, so a request always observes a consistent
 // point-in-time view no matter how the run is progressing.
+//
+// /events fans the journal out per client through a buffered channel; a
+// client that cannot keep up is disconnected by the emitter rather than
+// ever blocking the journal's emit path (see obs.RingSink).
 package httpd
 
 import (
@@ -21,21 +28,40 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"muml/internal/obs"
 )
 
-// Options name the data sources behind the endpoints. Both are optional:
+// Options name the data sources behind the endpoints. All are optional:
 // a nil Registry serves an empty (valid) exposition, a nil Progress
-// serves an empty JSON object.
+// serves an empty JSON object, a nil Events turns /events and
+// /journal/tail into 404s.
 type Options struct {
 	// Registry backs /metrics.
 	Registry *obs.Registry
 	// Progress backs /progress; it must be safe to call from concurrent
 	// request handlers and should return a JSON-serializable snapshot.
 	Progress func() any
+	// Events backs /events (live SSE stream) and /journal/tail (ring
+	// snapshot).
+	Events *obs.RingSink
 }
+
+// sseReplay bounds how much ring history a fresh /events subscriber is
+// sent before the live stream begins, and sseBuffer is the per-client
+// fan-out buffer: a client more than sseBuffer events behind is dropped.
+// Variables (not consts) so the backpressure tests can shrink them.
+var (
+	sseReplay = 64
+	sseBuffer = 256
+)
+
+// sseHeartbeat is the idle keep-alive interval of the /events stream;
+// the comment frames it emits also surface dead connections to the
+// server side.
+const sseHeartbeat = 15 * time.Second
 
 // Server is a live observability endpoint bound to one address.
 type Server struct {
@@ -53,6 +79,7 @@ func Start(addr string, o Options) (*Server, error) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteBuildInfoProm(w)
 		obs.WritePrometheus(w, o.Registry.Snapshot())
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
@@ -65,6 +92,12 @@ func Start(addr string, o Options) (*Server, error) {
 		if err := enc.Encode(snap); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, r, o.Events)
+	})
+	mux.HandleFunc("/journal/tail", func(w http.ResponseWriter, r *http.Request) {
+		serveJournalTail(w, r, o.Events)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -81,6 +114,118 @@ func Start(addr string, o Options) (*Server, error) {
 	return s, nil
 }
 
+// serveEvents streams the journal as Server-Sent Events: a replay of the
+// ring's recent tail, then the live feed. Each event is one `id:`/`data:`
+// record carrying the JSONL encoding. The handler returns when the client
+// goes away, the server shuts down, or the subscriber is dropped for
+// falling behind — the drop happens on the emitter side without ever
+// blocking it.
+func serveEvents(w http.ResponseWriter, r *http.Request, ring *obs.RingSink) {
+	if ring == nil {
+		http.NotFound(w, r)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	tail, ch, cancel := ring.Subscribe(sseReplay, sseBuffer)
+	defer cancel()
+	for _, e := range tail {
+		if writeSSE(w, e) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	// dropped tells the client why the stream ends when the emitter
+	// disconnected it: it fell more than sseBuffer events behind and may
+	// reconnect to resync from the replay tail.
+	dropped := func() {
+		fmt.Fprintf(w, ": dropped (slow consumer)\n\n")
+		flusher.Flush()
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				dropped()
+				return
+			}
+			if writeSSE(w, e) != nil {
+				return
+			}
+			// Drain whatever queued up before flushing once, so a burst is
+			// not one syscall per event.
+			for drained := true; drained; {
+				select {
+				case e, ok := <-ch:
+					if !ok {
+						dropped()
+						return
+					}
+					if writeSSE(w, e) != nil {
+						return
+					}
+				default:
+					drained = false
+				}
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, e obs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data)
+	return err
+}
+
+// serveJournalTail serves the last n ring events (?n=, default 64) as a
+// JSON array, oldest first.
+func serveJournalTail(w http.ResponseWriter, r *http.Request, ring *obs.RingSink) {
+	if ring == nil {
+		http.NotFound(w, r)
+		return
+	}
+	n := 64
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	events := ring.Tail(n)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(events); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // Addr returns the bound address (useful with a ":0" listen address).
 func (s *Server) Addr() string {
 	if s == nil {
@@ -90,7 +235,9 @@ func (s *Server) Addr() string {
 }
 
 // Close drains in-flight requests briefly, then tears the server down.
-// Safe on a nil server.
+// Safe on a nil server. Streaming /events handlers do not count as
+// drainable — after the grace period the underlying connections are
+// closed, which unblocks them.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil

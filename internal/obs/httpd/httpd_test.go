@@ -92,15 +92,26 @@ func TestServerDefaultsAndClose(t *testing.T) {
 	}
 	base := "http://" + srv.Addr()
 
-	// A nil registry is an empty (valid) exposition; a nil progress
-	// source is an empty JSON object.
+	// A nil registry serves only the build-info gauge (a valid
+	// exposition); a nil progress source is an empty JSON object; a nil
+	// ring turns the journal endpoints into 404s.
 	body, _ := get(t, base+"/metrics")
-	if body != "" {
+	if !strings.Contains(body, "muml_build_info{") || strings.Contains(body, "muml_batch") {
 		t.Errorf("/metrics with nil registry = %q", body)
 	}
 	body, _ = get(t, base+"/progress")
 	if strings.TrimSpace(body) != "{}" {
 		t.Errorf("/progress with nil source = %q", body)
+	}
+	for _, path := range []string{"/events", "/journal/tail"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s with nil ring: status %d, want 404", path, resp.StatusCode)
+		}
 	}
 
 	if err := srv.Close(); err != nil {

@@ -72,26 +72,33 @@ const (
 	// fingerprint key resolved to a previously solved sub-problem
 	// (s: op; n: key_a, key_b, hits).
 	KindCacheHit EventKind = "cache_hit"
+	// KindHistogramSnapshot is the final state of one latency histogram,
+	// emitted when a run's observability surfaces close (s: name; n:
+	// count, sum_ns, and per-bucket counts b00..b27 over HistogramBounds —
+	// zero buckets are omitted, and count equals the sum of the bucket
+	// fields).
+	KindHistogramSnapshot EventKind = "histogram_snapshot"
 	// KindNote is a freeform progress note (s: text).
 	KindNote EventKind = "note"
 )
 
 // KnownKinds is the closed set of event kinds accepted by the JSONL schema.
 var KnownKinds = map[EventKind]bool{
-	KindIterationStart: true,
-	KindClosurePatched: true,
-	KindProductRebuilt: true,
-	KindCheckResult:    true,
-	KindCexClassified:  true,
-	KindReplayStep:     true,
-	KindProbeResult:    true,
-	KindLearnDelta:     true,
-	KindVerdict:        true,
-	KindComposeLevel:   true,
-	KindBatchStart:     true,
-	KindInstanceDone:   true,
-	KindCacheHit:       true,
-	KindNote:           true,
+	KindIterationStart:    true,
+	KindClosurePatched:    true,
+	KindProductRebuilt:    true,
+	KindCheckResult:       true,
+	KindCexClassified:     true,
+	KindReplayStep:        true,
+	KindProbeResult:       true,
+	KindLearnDelta:        true,
+	KindVerdict:           true,
+	KindComposeLevel:      true,
+	KindBatchStart:        true,
+	KindInstanceDone:      true,
+	KindCacheHit:          true,
+	KindHistogramSnapshot: true,
+	KindNote:              true,
 }
 
 // Event is one journal record. The payload is split into integer fields

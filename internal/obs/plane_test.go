@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -70,22 +71,48 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.MaxGauge("ctl.peak_states").Observe(1024)
 	r.Timer("core.check").Observe(1500 * time.Millisecond)
 	r.Timer("core.check").Observe(500 * time.Millisecond)
+	r.Histogram("core.check").Observe(1500 * time.Millisecond)
+	r.Histogram("core.check").Observe(500 * time.Millisecond)
+	// Sanitize collision: both flatten to muml_a_b_total; "a.b" sorts
+	// before "a_b" ('.' < '_'), so the first claims the family and the
+	// second is skipped entirely.
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
 
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
-	want := `# TYPE muml_batch_instances_total counter
+	var want strings.Builder
+	want.WriteString(`# TYPE muml_a_b_total counter
+muml_a_b_total 1
+# TYPE muml_batch_instances_total counter
 muml_batch_instances_total 64
+# TYPE muml_core_check_ns histogram
+`)
+	// 500ms and 1500ms land in the buckets bounded by 2^29 and 2^31 ns.
+	var cum int64
+	for _, bound := range HistogramBounds {
+		if bound >= 500*1000*1000 && cum == 0 {
+			cum = 1
+		}
+		if bound >= 1500*1000*1000 && cum == 1 {
+			cum = 2
+		}
+		fmt.Fprintf(&want, "muml_core_check_ns_bucket{le=\"%d\"} %d\n", bound, cum)
+	}
+	want.WriteString(`muml_core_check_ns_bucket{le="+Inf"} 2
+muml_core_check_ns_sum 2000000000
+muml_core_check_ns_count 2
 # TYPE muml_core_check_spans_total counter
 muml_core_check_spans_total 2
 # TYPE muml_core_check_seconds_total counter
 muml_core_check_seconds_total 2
 # TYPE muml_ctl_peak_states_max gauge
 muml_ctl_peak_states_max 1024
-`
-	if got := buf.String(); got != want {
-		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+`)
+	if got := buf.String(); got != want.String() {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want.String())
 	}
 
 	// Empty and nil snapshots are valid (empty) expositions.

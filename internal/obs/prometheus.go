@@ -12,25 +12,58 @@ import (
 // (internal/obs/httpd). Instrument names map to the muml_* namespace with
 // dots flattened to underscores: the counter "batch.instances" becomes
 // muml_batch_instances_total, the max-gauge "ctl.peak_states" becomes
-// muml_ctl_peak_states_max, and a timer "core.check" becomes the pair
-// muml_core_check_spans_total / muml_core_check_seconds_total.
+// muml_ctl_peak_states_max, a timer "core.check" becomes the pair
+// muml_core_check_spans_total / muml_core_check_seconds_total, and a
+// histogram "core.check" becomes the muml_core_check_ns family
+// (_bucket{le="…"} / _sum / _count, boundaries from HistogramBounds).
+//
+// Sanitization can collide ("ctl.check" and "ctl_check" both map to
+// muml_ctl_check_*); a family is rendered once, first wins, so the
+// exposition never carries the duplicate # TYPE or sample lines that
+// Prometheus rejects. The snapshot is sorted by instrument name, which
+// makes first-wins deterministic.
 
 // WritePrometheus renders the snapshot as Prometheus text exposition.
 // A nil or empty snapshot renders nothing, which is a valid exposition.
 func WritePrometheus(w io.Writer, snap []Metric) error {
 	var b strings.Builder
+	seen := make(map[string]bool, len(snap))
+	// claim reserves every family name a metric would emit; if any is
+	// already taken by an earlier (same- or different-kind) instrument the
+	// whole metric is skipped, keeping the exposition free of duplicates.
+	claim := func(names ...string) bool {
+		for _, n := range names {
+			if seen[n] {
+				return false
+			}
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+		return true
+	}
 	for _, m := range snap {
 		base := "muml_" + promSanitize(m.Name)
 		switch m.Kind {
 		case "counter":
-			writePromFamily(&b, base+"_total", "counter", strconv.FormatInt(m.Value, 10))
+			if claim(base + "_total") {
+				writePromFamily(&b, base+"_total", "counter", strconv.FormatInt(m.Value, 10))
+			}
 		case "max":
-			writePromFamily(&b, base+"_max", "gauge", strconv.FormatInt(m.Value, 10))
+			if claim(base + "_max") {
+				writePromFamily(&b, base+"_max", "gauge", strconv.FormatInt(m.Value, 10))
+			}
 		case "timer":
-			writePromFamily(&b, base+"_spans_total", "counter", strconv.FormatInt(m.Value, 10))
-			seconds := float64(m.TotalNS) / 1e9
-			writePromFamily(&b, base+"_seconds_total", "counter",
-				strconv.FormatFloat(seconds, 'g', -1, 64))
+			if claim(base+"_spans_total", base+"_seconds_total") {
+				writePromFamily(&b, base+"_spans_total", "counter", strconv.FormatInt(m.Value, 10))
+				seconds := float64(m.TotalNS) / 1e9
+				writePromFamily(&b, base+"_seconds_total", "counter",
+					strconv.FormatFloat(seconds, 'g', -1, 64))
+			}
+		case "histogram":
+			if claim(base + "_ns") {
+				writePromHistogram(&b, base+"_ns", m)
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -39,6 +72,29 @@ func WritePrometheus(w io.Writer, snap []Metric) error {
 
 func writePromFamily(b *strings.Builder, name, typ, value string) {
 	fmt.Fprintf(b, "# TYPE %s %s\n%s %s\n", name, typ, name, value)
+}
+
+// writePromHistogram renders one histogram family: cumulative _bucket
+// series over HistogramBounds plus +Inf, then _sum and _count. The _count
+// and +Inf samples are the sum of the snapshot's buckets, so the family
+// is internally consistent even if the instrument moved on since.
+func writePromHistogram(b *strings.Builder, name string, m Metric) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, bound := range HistogramBounds {
+		var c int64
+		if i < len(m.Buckets) {
+			c = m.Buckets[i]
+		}
+		cum += c
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+	}
+	if len(m.Buckets) > len(HistogramBounds) {
+		cum += m.Buckets[len(HistogramBounds)]
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %d\n", name, m.TotalNS)
+	fmt.Fprintf(b, "%s_count %d\n", name, cum)
 }
 
 // promSanitize maps an instrument name onto the Prometheus metric-name

@@ -114,18 +114,20 @@ func (t *Timer) Total() time.Duration {
 // update it lock-free. A nil *Registry hands out nil instruments, so an
 // uninstrumented stack composes without branches at the call sites.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*MaxGauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*MaxGauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*MaxGauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*MaxGauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -175,19 +177,40 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it if needed (nil on a
+// nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Metric is one instrument's snapshot value.
 type Metric struct {
 	Name string `json:"name"`
-	// Kind is "counter", "max", or "timer".
+	// Kind is "counter", "max", "timer", or "histogram".
 	Kind  string `json:"kind"`
-	Value int64  `json:"value"` // count for counters/timers, max for gauges
-	// TotalNS is the accumulated duration (timers only).
+	Value int64  `json:"value"` // count for counters/timers/histograms, max for gauges
+	// TotalNS is the accumulated duration (timers and histograms only).
 	TotalNS int64 `json:"total_ns,omitempty"`
+	// Buckets holds per-bucket observation counts (histograms only), the
+	// last entry being the overflow bucket; boundaries are the package-wide
+	// HistogramBounds.
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
-// Snapshot returns every instrument's current value, sorted by name
-// (timers first keyed by name like the rest — the sort is global). Safe on
-// a nil registry (returns nil).
+// Snapshot returns every instrument's current value, sorted by name then
+// kind — a total, deterministic order, which the Prometheus renderer's
+// first-wins collision handling relies on. Safe on a nil registry
+// (returns nil).
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
@@ -204,7 +227,20 @@ func (r *Registry) Snapshot() []Metric {
 	for name, t := range r.timers {
 		out = append(out, Metric{Name: name, Kind: "timer", Value: t.Count(), TotalNS: t.Total().Nanoseconds()})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for name, h := range r.histograms {
+		buckets := h.Buckets()
+		var count int64
+		for _, c := range buckets {
+			count += c
+		}
+		out = append(out, Metric{Name: name, Kind: "histogram", Value: count, TotalNS: h.SumNS(), Buckets: buckets})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
 	return out
 }
 
@@ -224,6 +260,11 @@ func (r *Registry) RenderTable() string {
 	var b strings.Builder
 	for _, m := range snap {
 		switch m.Kind {
+		case "histogram":
+			total := time.Duration(m.TotalNS).Round(time.Microsecond)
+			p50 := time.Duration(HistogramQuantile(m.Buckets, 50)).Round(time.Microsecond)
+			p99 := time.Duration(HistogramQuantile(m.Buckets, 99)).Round(time.Microsecond)
+			fmt.Fprintf(&b, "%-*s  %10d obs    total %-12s p50≤%s p99≤%s\n", width, m.Name, m.Value, total, p50, p99)
 		case "timer":
 			total := time.Duration(m.TotalNS).Round(time.Microsecond)
 			avg := time.Duration(0)

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+)
+
+// RingSink is the flight recorder of the live plane: a bounded ring that
+// keeps the last N journal events in memory and fans them out to live
+// subscribers. It composes with the JSONL file sink through TeeSink, so a
+// run can persist its full journal while the HTTP plane serves the recent
+// tail (/journal/tail) and a server-sent-event stream (/events).
+//
+// Emit never blocks: a subscriber whose buffered channel is full is
+// dropped (its channel closed) rather than stalling the journal's emit
+// path — the journal mutex is held during Emit, so one slow SSE client
+// must never be able to pause the synthesis loop.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // next write position
+	full    bool
+	nextID  int
+	subs    map[int]chan Event
+	dropped int64
+}
+
+// DefaultRingSize is the ring capacity used when NewRingSink is given a
+// non-positive size.
+const DefaultRingSize = 512
+
+// NewRingSink returns a ring keeping the last n events (DefaultRingSize
+// when n <= 0).
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &RingSink{buf: make([]Event, n), subs: make(map[int]chan Event)}
+}
+
+// Emit records the event in the ring and offers it to every subscriber.
+// A subscriber that cannot take it immediately is dropped: its channel is
+// closed and it must re-subscribe (the /events handler turns this into a
+// client disconnect).
+func (s *RingSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.buf[s.next] = e
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	for id, ch := range s.subs {
+		select {
+		case ch <- e:
+		default:
+			delete(s.subs, id)
+			close(ch)
+			s.dropped++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (s *RingSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// Dropped reports how many subscribers have been disconnected for falling
+// behind.
+func (s *RingSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Tail returns the most recent min(n, held) events, oldest first. Safe on
+// a nil ring (returns nil).
+func (s *RingSink) Tail(n int) []Event {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tailLocked(n)
+}
+
+func (s *RingSink) tailLocked(n int) []Event {
+	held := s.next
+	if s.full {
+		held = len(s.buf)
+	}
+	if n > held {
+		n = held
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	start := s.next - n
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// Subscribe registers a live listener with the given channel buffer
+// (minimum 1) and atomically returns the current tail of up to replay
+// events, so the listener sees recent history followed by a gap-free live
+// stream. The returned cancel function detaches the subscriber; it is
+// safe to call after the emitter has already dropped it. The channel is
+// closed either by cancel or by the emitter on overflow — a closed
+// channel tells the consumer it fell behind.
+func (s *RingSink) Subscribe(replay, buffer int) (tail []Event, ch <-chan Event, cancel func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	c := make(chan Event, buffer)
+	if s == nil {
+		close(c)
+		return nil, c, func() {}
+	}
+	s.mu.Lock()
+	tail = s.tailLocked(replay)
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = c
+	s.mu.Unlock()
+	return tail, c, func() {
+		s.mu.Lock()
+		if cur, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(cur)
+		}
+		s.mu.Unlock()
+	}
+}

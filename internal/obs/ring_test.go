@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func note(seq uint64) Event {
+	return Event{Seq: seq, Kind: KindNote, Iter: -1}
+}
+
+func TestRingTailWraparound(t *testing.T) {
+	s := NewRingSink(4)
+	if s.Len() != 0 || s.Tail(10) != nil {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := uint64(1); i <= 6; i++ {
+		s.Emit(note(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	tail := s.Tail(10)
+	if len(tail) != 4 {
+		t.Fatalf("Tail(10) len = %d, want 4", len(tail))
+	}
+	for i, e := range tail {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Errorf("tail[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if short := s.Tail(2); len(short) != 2 || short[0].Seq != 5 || short[1].Seq != 6 {
+		t.Errorf("Tail(2) = %+v, want seqs 5,6", short)
+	}
+	if s.Tail(0) != nil {
+		t.Error("Tail(0) not nil")
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	s := NewRingSink(0)
+	for i := uint64(1); i <= DefaultRingSize+1; i++ {
+		s.Emit(note(i))
+	}
+	if s.Len() != DefaultRingSize {
+		t.Errorf("Len = %d, want %d", s.Len(), DefaultRingSize)
+	}
+}
+
+func TestRingSubscribeReplayThenLive(t *testing.T) {
+	s := NewRingSink(8)
+	for i := uint64(1); i <= 3; i++ {
+		s.Emit(note(i))
+	}
+	tail, ch, cancel := s.Subscribe(2, 4)
+	if len(tail) != 2 || tail[0].Seq != 2 || tail[1].Seq != 3 {
+		t.Fatalf("replay tail = %+v, want seqs 2,3", tail)
+	}
+	s.Emit(note(4))
+	select {
+	case e := <-ch:
+		if e.Seq != 4 {
+			t.Errorf("live event seq = %d, want 4", e.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("live event never arrived")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("channel open after cancel")
+	}
+	cancel() // idempotent
+	s.Emit(note(5))
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped = %d after clean cancel, want 0", s.Dropped())
+	}
+}
+
+func TestRingDropsSlowSubscriber(t *testing.T) {
+	s := NewRingSink(8)
+	_, ch, cancel := s.Subscribe(0, 1)
+	s.Emit(note(1)) // fills the buffer
+	s.Emit(note(2)) // overflows: subscriber dropped, channel closed
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Dropped())
+	}
+	if e, ok := <-ch; !ok || e.Seq != 1 {
+		t.Errorf("buffered event = %+v ok=%v, want seq 1", e, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Error("channel open after emitter drop")
+	}
+	cancel() // safe after the emitter already dropped us
+	s.Emit(note(3))
+	if s.Len() != 3 {
+		t.Errorf("ring stopped recording after drop: Len = %d", s.Len())
+	}
+}
+
+func TestNilRingInert(t *testing.T) {
+	var s *RingSink
+	s.Emit(note(1))
+	if s.Len() != 0 || s.Dropped() != 0 || s.Tail(5) != nil {
+		t.Error("nil ring holds state")
+	}
+	tail, ch, cancel := s.Subscribe(4, 4)
+	if tail != nil {
+		t.Error("nil ring replayed events")
+	}
+	if _, ok := <-ch; ok {
+		t.Error("nil ring's channel not closed")
+	}
+	cancel()
+}
+
+// TestRingEmitNeverBlocks hammers the ring from concurrent emitters while
+// subscribers come, go, and fall behind; run with -race. The emitters
+// must finish regardless of subscriber behavior.
+func TestRingEmitNeverBlocks(t *testing.T) {
+	s := NewRingSink(16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					s.Emit(note(uint64(w*500 + i + 1)))
+				}
+			}(w)
+		}
+		wg.Wait()
+	}()
+
+	// One subscriber that never reads (must be dropped, not block the
+	// emitters) and one that reads until closed or canceled.
+	_, _, cancelSlow := s.Subscribe(0, 1)
+	defer cancelSlow()
+	_, ch, cancel := s.Subscribe(4, 8)
+	defer cancel()
+	go func() {
+		for range ch {
+		}
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("emitters blocked")
+	}
+	if s.Dropped() == 0 {
+		t.Error("slow subscriber was never dropped")
+	}
+}

@@ -106,6 +106,23 @@ func (v *jsonlValidator) validate(e Event) error {
 				e.Seq, e.Trace, e.Parent, owner)
 		}
 	}
+	if e.Kind == KindHistogramSnapshot {
+		if e.S["name"] == "" {
+			return fmt.Errorf("seq %d: histogram_snapshot without an instrument name", e.Seq)
+		}
+		var sum int64
+		for k, n := range e.N {
+			if len(k) == 3 && k[0] == 'b' && k[1] >= '0' && k[1] <= '9' && k[2] >= '0' && k[2] <= '9' {
+				if n < 0 {
+					return fmt.Errorf("seq %d: histogram_snapshot bucket %s negative (%d)", e.Seq, k, n)
+				}
+				sum += n
+			}
+		}
+		if sum != e.N["count"] {
+			return fmt.Errorf("seq %d: histogram_snapshot bucket sum %d != count %d", e.Seq, sum, e.N["count"])
+		}
+	}
 	if e.Span != 0 {
 		v.spanTrace[e.Span] = e.Trace
 	}
