@@ -139,11 +139,18 @@ SOAK_N ?= 200
 mbt-soak:
 	$(GO) run ./cmd/mbt -seed $(SOAK_SEED) -n $(SOAK_N) -corpus internal/mbt/testdata
 
+# The same soak over function-nondeterministic legacy components: output
+# races, duplicate successors, and lossy outputs, checked via the ioco
+# synthesis path and its quiescence-aware oracles.
+mbt-soak-nondet:
+	$(GO) run ./cmd/mbt -nondet -seed $(SOAK_SEED) -n $(SOAK_N) -corpus internal/mbt/testdata
+
 # Short randomized fuzzing pass over the model-based harness entry
 # points; CI-sized, not a real fuzzing campaign.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test ./internal/mbt -fuzz FuzzSynthesisSoundness -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mbt -fuzz FuzzIocoSoundness -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mbt -fuzz FuzzRefinementLaws -fuzztime $(FUZZTIME)
 
 # All progress reporting goes through internal/obs; stray fmt.Print* in

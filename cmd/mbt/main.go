@@ -4,6 +4,7 @@
 // failure is greedily shrunk and written to the regression corpus.
 //
 //	mbt -seed 1 -n 200
+//	mbt -seed 1 -n 200 -nondet
 //	mbt -seed 42 -n 5000 -max-states 8 -skip-laws
 //	mbt -seed 7 -n 100 -journal soak.jsonl -corpus internal/mbt/testdata
 //	mbt -seed 1 -n 100000 -deadline 5m
@@ -86,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n         = fs.Int("n", 200, "number of instances to run")
 		maxStates = fs.Int("max-states", 0, "cap on states per generated automaton (0 = generator default)")
 		wide      = fs.Bool("wide", false, "use the wide-alphabet configuration (>64 signals, interner fallback paths)")
+		nondet    = fs.Bool("nondet", false, "generate function-nondeterministic legacy components (output races, duplicate successors, lossy outputs) and check them via the ioco path")
 		skipLaws  = fs.Bool("skip-laws", false, "check verdict soundness only, skipping the algebraic-law oracles")
 		journal   = fs.String("journal", "", "write the synthesis event journal (JSONL) to this file")
 		corpus    = fs.String("corpus", "", "directory to write shrunk repros of failures into (empty = report only)")
@@ -109,6 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := gen.DefaultConfig()
 	if *wide {
 		cfg = gen.WideConfig()
+	}
+	if *nondet {
+		cfg = gen.NondetConfig()
 	}
 	if *maxStates > 0 {
 		cfg.MaxLegacyStates = *maxStates
@@ -156,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mbt: serving /metrics /progress /events /journal/tail /healthz /debug/pprof on http://%s\n", srv.Addr())
 	}
 
-	opts := mbt.Options{Journal: obsRun.Journal, SkipLaws: *skipLaws, Context: ctx}
+	opts := mbt.Options{Journal: obsRun.Journal, SkipLaws: *skipLaws, Context: ctx, Nondet: *nondet}
 	timedOut := false
 
 	var stats struct {

@@ -89,7 +89,7 @@ func ChaoticClosureCtx(ctx context.Context, m *Incomplete, universe InteractionU
 			return hit, nil
 		}
 	}
-	c, err := chaoticClosure(m, universe, newCtxPoll(ctx))
+	c, err := chaoticClosure(m, universe, newCtxPoll(ctx), false)
 	if err != nil {
 		return nil, err
 	}
@@ -97,9 +97,27 @@ func ChaoticClosureCtx(ctx context.Context, m *Incomplete, universe InteractionU
 	return c, nil
 }
 
-// chaoticClosure is the construction shared by ChaoticClosure and
-// ChaoticClosureCtx; a stopped poller aborts it with the context's error.
-func chaoticClosure(m *Incomplete, universe InteractionUniverse, p *ctxPoll) (*Automaton, error) {
+// ChaoticClosureNondetCtx builds the closure variant that stays a safe
+// abstraction of a *nondeterministic* implementation. The deterministic
+// construction suppresses chaos escapes on learned labels, which rests on
+// the assumption that one learned transition is the whole behaviour of its
+// label; with duplicate successors under an identical label that assumption
+// fails — learning one successor of (s, A, B) would hide its unlearned
+// siblings and the closure would under-approximate. Here a learned label
+// keeps its chaos escapes from the open copy until the loop certifies its
+// successor set complete via Incomplete.SettleLabel (the fair-visit budget
+// of the nondeterministic test path). Blocked labels suppress escapes as
+// before. Results are not memoized: nondet models are rebuilt from scratch
+// every iteration anyway.
+func ChaoticClosureNondetCtx(ctx context.Context, m *Incomplete, universe InteractionUniverse) (*Automaton, error) {
+	return chaoticClosure(m, universe, newCtxPoll(ctx), true)
+}
+
+// chaoticClosure is the construction shared by ChaoticClosure,
+// ChaoticClosureCtx and ChaoticClosureNondetCtx; a stopped poller aborts it
+// with the context's error. With nondet set, a learned label counts as
+// known (escape-suppressing) only once it is settled.
+func chaoticClosure(m *Incomplete, universe InteractionUniverse, p *ctxPoll, nondet bool) (*Automaton, error) {
 	obsClosureBuilds.Add(1)
 	src := m.auto
 	labels := universe.Enumerate(src.inputs, src.outputs)
@@ -179,6 +197,9 @@ func chaoticClosure(m *Incomplete, universe InteractionUniverse, p *ctxPoll) (*A
 			s := StateID(id)
 			clear(known)
 			for _, t := range src.adj[s] {
+				if nondet && !m.IsSettled(s, t.Label) {
+					continue
+				}
 				k, _ := in.Key(t.Label)
 				known[k] = struct{}{}
 			}
@@ -204,6 +225,9 @@ func chaoticClosure(m *Incomplete, universe InteractionUniverse, p *ctxPoll) (*A
 			s := StateID(id)
 			clear(known)
 			for _, t := range src.adj[s] {
+				if nondet && !m.IsSettled(s, t.Label) {
+					continue
+				}
 				known[t.Label.Key()] = struct{}{}
 			}
 			for k := range m.blocked[s] {

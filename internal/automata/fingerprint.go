@@ -1,5 +1,7 @@
 package automata
 
+import "sort"
+
 // This file computes structural fingerprints of automata: 64-bit FNV-1a
 // hashes over a canonical encoding of everything analysis can observe —
 // name, alphabets, state names/labels/provenance, leaf decomposition,
@@ -86,8 +88,8 @@ func (a *Automaton) Fingerprint() uint64 {
 }
 
 // Fingerprint returns a structural hash of the incomplete automaton: the
-// underlying automaton's fingerprint extended with the blocked set T̄ in
-// canonical (state, interaction-key) order.
+// underlying automaton's fingerprint extended with the blocked set T̄ and
+// the settled-label set, each in canonical (state, interaction-key) order.
 func (m *Incomplete) Fingerprint() uint64 {
 	h := newFNV()
 	h.u64(m.auto.Fingerprint())
@@ -101,6 +103,22 @@ func (m *Incomplete) Fingerprint() uint64 {
 		h.u64(uint64(s))
 		for _, x := range blocked {
 			h.str(x.Key())
+		}
+	}
+	h.u64(uint64(m.NumSettled()))
+	for id := range m.auto.states {
+		set := m.settled[StateID(id)]
+		if len(set) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		h.u64(uint64(id))
+		for _, k := range keys {
+			h.str(k)
 		}
 	}
 	return h.sum()

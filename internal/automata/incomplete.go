@@ -17,12 +17,23 @@ import (
 type Incomplete struct {
 	auto    *Automaton
 	blocked map[StateID]map[string]Interaction // state -> interaction key -> interaction
+	// settled marks learned labels whose successor set at the state is
+	// certified complete (state -> interaction key). Only the
+	// nondeterministic loop populates it: for a deterministic
+	// implementation one learned transition per label is already the whole
+	// story, while a nondeterministic one may hide duplicate successors
+	// behind a label until the fair-visit budget has cycled them all.
+	settled map[StateID]map[string]struct{}
 }
 
 // NewIncomplete wraps an automaton as an incomplete automaton with an empty
 // blocked set T̄.
 func NewIncomplete(a *Automaton) *Incomplete {
-	return &Incomplete{auto: a, blocked: make(map[StateID]map[string]Interaction)}
+	return &Incomplete{
+		auto:    a,
+		blocked: make(map[StateID]map[string]Interaction),
+		settled: make(map[StateID]map[string]struct{}),
+	}
 }
 
 // Automaton returns the underlying (S, I, O, T, Q) part. Callers must not
@@ -74,6 +85,48 @@ func (m *Incomplete) BlockedAt(s StateID) []Interaction {
 func (m *Incomplete) NumBlocked() int {
 	n := 0
 	for _, set := range m.blocked {
+		n += len(set)
+	}
+	return n
+}
+
+// SettleLabel certifies that the successor set of (s, A, B) is complete:
+// every transition the implementation can take at s under the interaction
+// is already in T. It is an error to settle a label with no learned
+// transition — completeness of an empty successor set is a refusal and
+// belongs in T̄ via Block.
+func (m *Incomplete) SettleLabel(s StateID, label Interaction) error {
+	if err := m.auto.checkState(s); err != nil {
+		return err
+	}
+	if len(m.auto.Successors(s, label)) == 0 {
+		return fmt.Errorf("automata: cannot settle %s at %q: no transition learned",
+			label, m.auto.StateName(s))
+	}
+	set, ok := m.settled[s]
+	if !ok {
+		set = make(map[string]struct{})
+		m.settled[s] = set
+	}
+	set[label.Key()] = struct{}{}
+	return nil
+}
+
+// IsSettled reports whether the successor set of (s, A, B) has been
+// certified complete via SettleLabel.
+func (m *Incomplete) IsSettled(s StateID, label Interaction) bool {
+	set, ok := m.settled[s]
+	if !ok {
+		return false
+	}
+	_, ok = set[label.Key()]
+	return ok
+}
+
+// NumSettled returns the number of settled (state, interaction) pairs.
+func (m *Incomplete) NumSettled() int {
+	n := 0
+	for _, set := range m.settled {
 		n += len(set)
 	}
 	return n
@@ -141,6 +194,13 @@ func (m *Incomplete) Clone() *Incomplete {
 			dst[k] = v
 		}
 		c.blocked[s] = dst
+	}
+	for s, set := range m.settled {
+		dst := make(map[string]struct{}, len(set))
+		for k := range set {
+			dst[k] = struct{}{}
+		}
+		c.settled[s] = dst
 	}
 	return c
 }

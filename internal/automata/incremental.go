@@ -311,6 +311,11 @@ func (ic *IncrementalSystem) Apply(delta LearnDelta) (bool, error) {
 	// LastDecision for the journal's product_rebuilt events.
 	var rebuildReason string
 	switch {
+	case delta.Settled != 0:
+		// Settled labels change which chaos escapes exist without adding
+		// transitions; the patcher has no retraction for that. (The nondet
+		// loop never builds an IncrementalSystem — this is a guard.)
+		rebuildReason = "settled-labels"
 	case len(src.initial) != ic.numModelInitials:
 		rebuildReason = "initial-states-changed"
 	case len(ic.closed)+len(delta.NewStates) != src.NumStates():

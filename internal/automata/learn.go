@@ -115,6 +115,88 @@ func (m *Incomplete) Learn(run ObservedRun, labeler func(state string) []Proposi
 	return delta, nil
 }
 
+// LearnNondet merges an observed run of a possibly *nondeterministic*
+// implementation into the incomplete automaton. It differs from Learn in
+// exactly one way: a step whose (state, interaction) already has learned
+// successors is not required to agree with them — a different successor is
+// recorded as an additional branch (the ioco merge of DESIGN.md §13)
+// instead of failing with a conflict. Observing an interaction recorded as
+// blocked remains an error: T̄ entries are refutations, and an observation
+// contradicting one means the refutation (or the fairness assumption it
+// rested on) was wrong.
+func (m *Incomplete) LearnNondet(run ObservedRun, labeler func(state string) []Proposition) (LearnDelta, error) {
+	var delta LearnDelta
+	a := m.auto
+
+	ensure := func(name string) (StateID, error) {
+		if id := a.State(name); id != NoState {
+			return id, nil
+		}
+		var labels []Proposition
+		if labeler != nil {
+			labels = labeler(name)
+		}
+		id, err := a.AddState(name, labels...)
+		if err != nil {
+			return NoState, err
+		}
+		delta.States++
+		delta.NewStates = append(delta.NewStates, id)
+		return id, nil
+	}
+
+	cur, err := ensure(run.Initial)
+	if err != nil {
+		return delta, err
+	}
+	if len(a.initial) == 0 {
+		a.MarkInitial(cur)
+	}
+
+	for i, step := range run.Steps {
+		next, err := ensure(step.To)
+		if err != nil {
+			return delta, err
+		}
+		if m.IsBlocked(cur, step.Label) {
+			return delta, fmt.Errorf("automata: learn step %d: %s observed at %q but recorded as blocked",
+				i, step.Label, a.StateName(cur))
+		}
+		if !containsStateID(a.Successors(cur, step.Label), next) {
+			if err := a.AddTransition(cur, step.Label, next); err != nil {
+				return delta, err
+			}
+			delta.Transitions++
+			delta.NewTransitions = append(delta.NewTransitions, Transition{From: cur, Label: step.Label, To: next})
+		}
+		cur = next
+	}
+
+	if run.Blocked != nil {
+		if len(a.Successors(cur, *run.Blocked)) > 0 {
+			return delta, fmt.Errorf("automata: learn: %s refused at %q but previously observed",
+				*run.Blocked, a.StateName(cur))
+		}
+		if !m.IsBlocked(cur, *run.Blocked) {
+			if err := m.Block(cur, *run.Blocked); err != nil {
+				return delta, err
+			}
+			delta.Blocked++
+			delta.NewBlocked = append(delta.NewBlocked, BlockedEntry{State: cur, Label: *run.Blocked})
+		}
+	}
+	return delta, nil
+}
+
+func containsStateID(states []StateID, id StateID) bool {
+	for _, s := range states {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
 // BlockedEntry is one element of T̄ added by learning: the interaction the
 // implementation refused at the state.
 type BlockedEntry struct {
@@ -130,6 +212,11 @@ type LearnDelta struct {
 	States      int
 	Transitions int
 	Blocked     int
+	// Settled counts labels newly certified successor-complete
+	// (Incomplete.SettleLabel) — nondeterministic mode only. A settle
+	// changes the chaotic closure without adding transitions, so it counts
+	// as learning progress but cannot be delta-patched.
+	Settled int
 
 	NewStates      []StateID
 	NewTransitions []Transition
@@ -139,7 +226,7 @@ type LearnDelta struct {
 // Empty reports whether the learn step added nothing — i.e. the
 // observation was already fully contained in the model.
 func (d LearnDelta) Empty() bool {
-	return d.States == 0 && d.Transitions == 0 && d.Blocked == 0
+	return d.States == 0 && d.Transitions == 0 && d.Blocked == 0 && d.Settled == 0
 }
 
 // Merge accumulates another delta into d.
@@ -147,6 +234,7 @@ func (d *LearnDelta) Merge(o LearnDelta) {
 	d.States += o.States
 	d.Transitions += o.Transitions
 	d.Blocked += o.Blocked
+	d.Settled += o.Settled
 	d.NewStates = append(d.NewStates, o.NewStates...)
 	d.NewTransitions = append(d.NewTransitions, o.NewTransitions...)
 	d.NewBlocked = append(d.NewBlocked, o.NewBlocked...)

@@ -171,6 +171,27 @@ type Options struct {
 	// profiles captured with obs.StartCPUProfile attribute samples to
 	// loop phases.
 	PhaseProfiling bool
+	// Nondet switches counterexample classification to the ioco-based
+	// nondeterministic path (DESIGN.md §13): replay follows the
+	// component's actual behavior, divergent-but-allowed observations are
+	// merged into the learned fragment (journaled as ioco_merge), and only
+	// out-set escapes — outputs the fragment explicitly refutes, or
+	// hypotheses missed across a completeness budget of fair
+	// re-executions — decide verdicts. Requires a component with a fair
+	// branch schedule (e.g. legacy.NondetComponent). Off by default; the
+	// deterministic path is untouched when false.
+	Nondet bool
+	// NondetAttempts bounds how many record/replay re-executions one
+	// counterexample is given to reproduce the hypothesized run before the
+	// iteration concludes with what it learned (default 48).
+	NondetAttempts int
+	// NondetCompleteness is the complete-testing budget: a hypothesized
+	// output at a (state, input) is refuted only after this many fair
+	// visits produced something else, and a deadlock offer is dismissed
+	// only after this many accepted probes without the matching output
+	// (default 8; must exceed the component's branching degree per
+	// (state, input) pair).
+	NondetCompleteness int
 }
 
 func (o *Options) withDefaults(ifaceName string) Options {
@@ -189,6 +210,12 @@ func (o *Options) withDefaults(ifaceName string) Options {
 	}
 	if out.TraceID == "" {
 		out.TraceID = ifaceName
+	}
+	if out.NondetAttempts == 0 {
+		out.NondetAttempts = 48
+	}
+	if out.NondetCompleteness == 0 {
+		out.NondetCompleteness = 8
 	}
 	return out
 }
@@ -362,6 +389,15 @@ type Synthesizer struct {
 	// construction, consumed by the next Apply.
 	pending automata.LearnDelta
 
+	// nondetVisits persists fair-visit counters per learned (state, input)
+	// across iterations of the nondeterministic path (nil otherwise). The
+	// component's round-robin schedule cycles every duplicate branch of a
+	// (state, input) within branching-degree consecutive visits, so after
+	// Options.NondetCompleteness observed visits the out-set and successor
+	// set there are complete: unobserved outputs become refusals and
+	// learned labels become settled (chaos escapes removed).
+	nondetVisits map[nondetVisitKey]*nondetVisit
+
 	// checker is reused (rebound) across iterations so its predecessor
 	// lists and fixpoint buffers amortize over the run.
 	checker *ctl.Checker
@@ -413,6 +449,13 @@ func New(context *automata.Automaton, comp legacy.Component, iface legacy.Interf
 		s.weakProperty = ctl.WeakenForChaos(o.Property)
 	}
 	s.noDeadlock = ctl.NoDeadlock()
+	if o.Nondet {
+		// Merged branches violate the single-successor invariant the
+		// delta-patching machinery relies on; the nondet path always
+		// rebuilds the closure and product from scratch.
+		s.incUnsupported = true
+		s.nondetVisits = make(map[nondetVisitKey]*nondetVisit)
+	}
 	init := legacy.InitialStateName(comp)
 	s.stats.ResetsUsed++
 	a := automata.New(iface.Name, iface.Inputs, iface.Outputs)
@@ -436,6 +479,7 @@ func (s *Synthesizer) runCtx() context.Context {
 // Run executes iterations until a verdict is reached.
 func (s *Synthesizer) Run() (*Report, error) {
 	report := &Report{Property: s.opts.Property}
+	noProgress := 0
 	for i := 0; i < s.opts.MaxIterations; i++ {
 		if err := s.runCtx().Err(); err != nil {
 			return nil, fmt.Errorf("core: run aborted before iteration %d: %w", i, err)
@@ -452,9 +496,18 @@ func (s *Synthesizer) Run() (*Report, error) {
 			return report, nil
 		}
 		if it.Delta.Empty() && it.Test != TestNotRun {
-			return nil, fmt.Errorf(
-				"core: iteration %d made no progress (counterexample not confirmed, nothing learned); "+
-					"disable PaperLiteralLearning or widen the universe", i)
+			// In nondeterministic mode an iteration may legitimately learn
+			// nothing while its fair-visit counters mature toward the
+			// completeness budget; the budget itself bounds how long that
+			// can go on.
+			noProgress++
+			if !s.opts.Nondet || noProgress > s.opts.NondetCompleteness {
+				return nil, fmt.Errorf(
+					"core: iteration %d made no progress (counterexample not confirmed, nothing learned); "+
+						"disable PaperLiteralLearning or widen the universe", i)
+			}
+		} else {
+			noProgress = 0
 		}
 	}
 	return nil, fmt.Errorf("core: no verdict after %d iterations", s.opts.MaxIterations)
@@ -636,7 +689,11 @@ func (s *Synthesizer) step(index int, report *Report) (*Iteration, bool, error) 
 		var confirmed bool
 		if err := s.phase("test", func() error {
 			var err error
-			confirmed, err = s.testCounterexample(sys, cex, kind, it, cexSpan)
+			if s.opts.Nondet {
+				confirmed, err = s.testCounterexampleNondet(sys, cex, kind, it, cexSpan)
+			} else {
+				confirmed, err = s.testCounterexample(sys, cex, kind, it, cexSpan)
+			}
 			return err
 		}); err != nil {
 			return nil, false, err
@@ -738,12 +795,19 @@ func (s *Synthesizer) buildSystem(it *Iteration) (*automata.Automaton, error) {
 	}
 
 	s.pending = automata.LearnDelta{}
-	if s.incUnsupported {
-		it.BuildReason = "incremental-unsupported"
+	var closure *automata.Automaton
+	var err error
+	if s.opts.Nondet {
+		it.BuildReason = "nondet"
+		closure, err = automata.ChaoticClosureNondetCtx(s.runCtx(), s.model, s.opts.Universe)
 	} else {
-		it.BuildReason = "incremental-disabled"
+		if s.incUnsupported {
+			it.BuildReason = "incremental-unsupported"
+		} else {
+			it.BuildReason = "incremental-disabled"
+		}
+		closure, err = automata.ChaoticClosureCtx(s.runCtx(), s.model, s.opts.Universe, s.opts.Memo)
 	}
-	closure, err := automata.ChaoticClosureCtx(s.runCtx(), s.model, s.opts.Universe, s.opts.Memo)
 	if err != nil {
 		return nil, fmt.Errorf("core: closure: %w", err)
 	}

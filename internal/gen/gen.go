@@ -75,6 +75,21 @@ type Config struct {
 	// second transition under an already-used interaction label
 	// (nondeterminism). Default 0.25.
 	ContextNondet float64
+	// OutputRace is the probability that a live (state, input) gains a
+	// second transition with a different output — a racing out-set, the
+	// canonical ioco-visible nondeterminism. Default 0: deterministic
+	// instances. (withDefaults never assigns the nondet knobs, so zero
+	// configs stay function-deterministic.)
+	OutputRace float64
+	// DupSuccessor is the probability that a transition gains a duplicate
+	// under the *same* interaction label to a different successor —
+	// invisible to a single observation, the hard case for closure
+	// soundness. Default 0.
+	DupSuccessor float64
+	// LossyOutput is the probability that a transition with a non-empty
+	// output gains a sibling that consumes the same input silently
+	// (message loss), making quiescence observations meaningful. Default 0.
+	LossyOutput float64
 	// PropertyCandidates is how many candidate formulas are drawn and
 	// classified against the true composition before one is selected.
 	// Default 8.
@@ -93,6 +108,20 @@ func DefaultConfig() Config { return Config{}.withDefaults() }
 // behavior stays small despite the wide alphabet.
 func WideConfig() Config {
 	c := Config{Inputs: 40, Outputs: 30, RefuseBias: 0.9, MaxLegacyStates: 4, MaxContextStates: 4}
+	return c.withDefaults()
+}
+
+// NondetConfig returns the default distribution over function-
+// nondeterministic legacy components: output races, duplicated successors
+// and lossy outputs are all switched on, sized so that per-(state, input)
+// branching stays well under the core loop's completeness budget.
+func NondetConfig() Config {
+	c := Config{
+		MaxLegacyStates: 5,
+		OutputRace:      0.35,
+		DupSuccessor:    0.30,
+		LossyOutput:     0.20,
+	}
 	return c.withDefaults()
 }
 
@@ -234,6 +263,32 @@ func genLegacy(r *rand.Rand, cfg Config, ins, outs automata.SignalSet) *automata
 			a.MustAddTransition(from, label, ids[r.Intn(n)])
 		}
 	}
+
+	// Nondeterministic augmentation: each base transition may sprout
+	// siblings under the same input. The pass runs over a snapshot so new
+	// siblings do not themselves sprout, which keeps per-(state, input)
+	// branching at ≤ 4 — comfortably inside the core loop's default
+	// completeness budget.
+	if cfg.OutputRace > 0 || cfg.DupSuccessor > 0 || cfg.LossyOutput > 0 {
+		addDistinct := func(from automata.StateID, label automata.Interaction, to automata.StateID) {
+			if !containsState(a.Successors(from, label), to) {
+				a.MustAddTransition(from, label, to)
+			}
+		}
+		for _, t := range a.TransitionsSnapshot() {
+			if cfg.OutputRace > 0 && r.Float64() < cfg.OutputRace {
+				if out := outputs[r.Intn(len(outputs))]; !out.Equal(t.Label.Out) {
+					addDistinct(t.From, automata.Interaction{In: t.Label.In, Out: out}, ids[r.Intn(n)])
+				}
+			}
+			if cfg.DupSuccessor > 0 && r.Float64() < cfg.DupSuccessor {
+				addDistinct(t.From, t.Label, ids[r.Intn(n)])
+			}
+			if cfg.LossyOutput > 0 && !t.Label.Out.IsEmpty() && r.Float64() < cfg.LossyOutput {
+				addDistinct(t.From, automata.Interaction{In: t.Label.In, Out: automata.EmptySet}, ids[r.Intn(n)])
+			}
+		}
+	}
 	return a
 }
 
@@ -363,17 +418,43 @@ func (inst *Instance) Interface() legacy.Interface {
 	}
 }
 
+// Nondet reports whether the ground-truth automaton is function-
+// nondeterministic — the instance then requires the ioco-based synthesis
+// path (core.Options.Nondet) and a fair-scheduled component wrapper.
+func (inst *Instance) Nondet() bool {
+	return !legacy.FunctionDeterministic(inst.Legacy)
+}
+
 // Component wraps the ground-truth automaton as a fresh, stateful
 // black-box component. Each call returns an independent instance so
-// repeated synthesis runs do not share replay state.
+// repeated synthesis runs do not share replay state. Nondeterministic
+// ground truths wrap as fair round-robin components.
 func (inst *Instance) Component() (legacy.Component, error) {
+	if inst.Nondet() {
+		return legacy.WrapNondet(inst.Legacy)
+	}
 	return legacy.WrapAutomaton(inst.Legacy)
 }
 
 // Truth explores the component exhaustively into its reachable behavior
 // automaton, labeled with the same qualified scheme the synthesis loop
 // uses ("impl.sK"), so learned models and ground truth are comparable.
+// For a nondeterministic ground truth the black-box exploration is
+// replaced by trimming the known automaton to its reachable part — the
+// generator owns M_r, and single-run exploration cannot enumerate
+// out-sets.
 func (inst *Instance) Truth() (*automata.Automaton, error) {
+	if inst.Nondet() {
+		truth := inst.Legacy.Trim(LegacyName)
+		labeler := core.QualifiedLabeler(LegacyName)
+		for i := 0; i < truth.NumStates(); i++ {
+			id := automata.StateID(i)
+			for _, p := range labeler(truth.StateName(id)) {
+				truth.AddLabel(id, p)
+			}
+		}
+		return truth, nil
+	}
 	comp, err := inst.Component()
 	if err != nil {
 		return nil, err
@@ -395,7 +476,8 @@ func (inst *Instance) TrueComposition() (*automata.Automaton, error) {
 
 // Validate checks the structural invariants every instance must satisfy:
 // composable disjoint alphabets, valid automata, and a legacy automaton
-// that wraps as a deterministic component.
+// that wraps as a component — deterministic or fair-scheduled
+// nondeterministic, matching what Component returns.
 func (inst *Instance) Validate() error {
 	if inst.Context == nil || inst.Legacy == nil {
 		return fmt.Errorf("gen: instance missing context or legacy automaton")
@@ -406,7 +488,7 @@ func (inst *Instance) Validate() error {
 	if err := inst.Legacy.Validate(); err != nil {
 		return err
 	}
-	if _, err := legacy.WrapAutomaton(inst.Legacy); err != nil {
+	if _, err := inst.Component(); err != nil {
 		return err
 	}
 	if inst.Property != nil && !ctl.IsACTL(inst.Property) {

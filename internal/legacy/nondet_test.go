@@ -1,0 +1,85 @@
+package legacy
+
+import (
+	"testing"
+
+	"muml/internal/automata"
+)
+
+func racyAutomaton(t *testing.T) *automata.Automaton {
+	t.Helper()
+	a := automata.New("racy", automata.NewSignalSet("a"), automata.NewSignalSet("x", "y"))
+	s0 := a.MustAddState("s0")
+	s1 := a.MustAddState("s1")
+	a.MarkInitial(s0)
+	in := automata.NewSignalSet("a")
+	a.MustAddTransition(s0, automata.Interaction{In: in, Out: automata.NewSignalSet("x")}, s1)
+	a.MustAddTransition(s0, automata.Interaction{In: in, Out: automata.NewSignalSet("y")}, s0)
+	a.MustAddTransition(s1, automata.Interaction{In: in, Out: automata.EmptySet}, s0)
+	return a
+}
+
+func TestFunctionDeterministic(t *testing.T) {
+	racy := racyAutomaton(t)
+	if FunctionDeterministic(racy) {
+		t.Fatal("racy automaton classified as deterministic")
+	}
+	if _, err := WrapAutomaton(racy); err == nil {
+		t.Fatal("WrapAutomaton must keep rejecting nondeterministic automata")
+	}
+
+	det := automata.New("det", automata.NewSignalSet("a"), automata.NewSignalSet("x"))
+	s0 := det.MustAddState("s0")
+	det.MarkInitial(s0)
+	det.MustAddTransition(s0, automata.Interaction{In: automata.NewSignalSet("a"), Out: automata.NewSignalSet("x")}, s0)
+	if !FunctionDeterministic(det) {
+		t.Fatal("deterministic automaton misclassified")
+	}
+}
+
+func TestNondetComponentFairness(t *testing.T) {
+	c := MustWrapNondet(racyAutomaton(t))
+	in := automata.NewSignalSet("a")
+
+	// Two enabled branches at (s0, a); round-robin must alternate between
+	// them across repeated visits, even across Reset.
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		c.Reset()
+		out, ok := c.Step(in)
+		if !ok {
+			t.Fatalf("step %d refused", i)
+		}
+		seen[out.Key()]++
+	}
+	if seen[automata.NewSignalSet("x").Key()] != 3 || seen[automata.NewSignalSet("y").Key()] != 3 {
+		t.Fatalf("unfair branch schedule: %v", seen)
+	}
+
+	// Refusals are deterministic: no transition under b anywhere.
+	c.Reset()
+	if _, ok := c.Step(automata.NewSignalSet("b")); ok {
+		t.Fatal("undefined input accepted")
+	}
+	if c.StateName() != "s0" {
+		t.Fatalf("refusal moved the component to %q", c.StateName())
+	}
+}
+
+func TestNondetComponentIntrospection(t *testing.T) {
+	c := MustWrapNondet(racyAutomaton(t))
+	in := automata.NewSignalSet("a")
+	c.Reset()
+	out, ok := c.Step(in)
+	if !ok {
+		t.Fatal("step refused")
+	}
+	// Deterministic ordering: visit 0 at (s0, a) picks the branch with the
+	// smallest output key ({x} < {y}), landing in s1.
+	if !out.Equal(automata.NewSignalSet("x")) || c.StateName() != "s1" {
+		t.Fatalf("first visit took out=%v state=%q, want x/s1", out, c.StateName())
+	}
+	if got := InitialStateName(c); got != "s0" {
+		t.Fatalf("InitialStateName = %q", got)
+	}
+}

@@ -40,6 +40,34 @@ func FuzzSynthesisSoundness(f *testing.F) {
 	})
 }
 
+// FuzzIocoSoundness drives the nondeterministic synthesis path from a
+// fuzzed seed: the generator's nondet knobs plant output races, duplicate
+// successors, and lossy outputs, and the oracle battery (including the
+// ioco laws and the state-set witness check) validates every verdict
+// against the known ground truth. Deterministic seeds still exercise the
+// forced-nondet routing, checking that the ioco path agrees with the
+// deterministic one where they overlap.
+func FuzzIocoSoundness(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inst, err := gen.New(seed, gen.NondetConfig())
+		if err != nil {
+			t.Fatalf("seed %d: generator failed: %v", seed, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), fuzzExecDeadline)
+		defer cancel()
+		if fail := CheckInstance(inst, Options{Context: ctx, Nondet: true}); fail != nil {
+			if fail.Canceled() {
+				t.Skipf("seed %d: exceeded the %v per-exec deadline", seed, fuzzExecDeadline)
+			}
+			shrunk := Shrink(fail, Options{Nondet: true})
+			t.Fatalf("seed %d: %v\nshrunk: %v", seed, fail, shrunk)
+		}
+	})
+}
+
 // FuzzRefinementLaws checks the refinement-preorder laws on generated
 // automata without running the synthesis loop: reflexivity, the chaotic
 // automaton as ⊑-top, and Simulates ⇒ Refines on pairs where refinement

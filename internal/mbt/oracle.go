@@ -51,6 +51,9 @@ const (
 	CheckLawRefinesReflexive    = "law-refines-reflexive"
 	CheckLawChaoticTop          = "law-chaotic-top"
 	CheckLawSimulatesRefines    = "law-simulates-implies-refines"
+	CheckLawIocoReflexive       = "law-ioco-reflexive"
+	CheckLawRefinesIoco         = "law-refines-implies-ioco"
+	CheckLawDeltaSaturation     = "law-delta-saturation-idempotent"
 	CheckIncrementalEquivalence = "incremental-equivalence"
 	// CheckCanceled is reported when Options.Context expired mid-run. It is
 	// a scheduling outcome, not a soundness violation: callers running
@@ -95,6 +98,10 @@ type Options struct {
 	// SkipLaws disables the algebraic-law checks, leaving only the
 	// verdict-soundness oracles (for cheaper soak configurations).
 	SkipLaws bool
+	// Nondet forces the nondeterministic (ioco) synthesis path even for a
+	// deterministic ground truth. Instances whose ground truth is
+	// function-nondeterministic take that path regardless.
+	Nondet bool
 	// Context, when non-nil, bounds the oracle run: synthesis aborts when
 	// it expires and CheckInstance returns a CheckCanceled failure.
 	Context context.Context
@@ -146,7 +153,8 @@ func CheckInstance(inst *gen.Instance, opts Options) *Failure {
 	if err := opts.ctx().Err(); err != nil {
 		return fail(inst, CheckCanceled, "%v", err)
 	}
-	report, f := runOnce(core.Options{Property: inst.Property, Journal: opts.Journal})
+	useNondet := opts.Nondet || inst.Nondet()
+	report, f := runOnce(core.Options{Property: inst.Property, Journal: opts.Journal, Nondet: useNondet})
 	if f != nil {
 		return f
 	}
@@ -187,7 +195,11 @@ func CheckInstance(inst *gen.Instance, opts Options) *Failure {
 					"deadlock reported but the ground truth composition is deadlock free")
 			}
 		}
-		if f := checkWitness(inst, iface, report, newComponent); f != nil {
+		if useNondet {
+			if f := checkWitnessNondet(inst, report, sys); f != nil {
+				return f
+			}
+		} else if f := checkWitness(inst, iface, report, newComponent); f != nil {
 			return f
 		}
 	default:
@@ -195,9 +207,16 @@ func CheckInstance(inst *gen.Instance, opts Options) *Failure {
 	}
 
 	if !opts.SkipLaws {
-		if f := checkLaws(inst, truth, report, universe); f != nil {
+		if f := checkLaws(inst, truth, report, universe, useNondet); f != nil {
 			return f
 		}
+	}
+
+	if useNondet {
+		// The nondeterministic path always rebuilds from scratch (merged
+		// branches defeat delta patching), so the incremental-equivalence
+		// oracle degenerates to running the same pipeline twice.
+		return nil
 	}
 
 	// Incremental-vs-rebuild equivalence: the delta-patched pipeline must
@@ -210,6 +229,55 @@ func CheckInstance(inst *gen.Instance, opts Options) *Failure {
 		return fail(inst, CheckIncrementalEquivalence, "%v", err)
 	}
 	return nil
+}
+
+// checkWitnessNondet validates a violation witness against the *true
+// composition* instead of replaying it on the component: replaying a
+// specific path against a fairly-scheduled nondeterministic component
+// would require aligning its schedule, so the witness's label sequence is
+// walked as a state set over M_a^c ‖ M_r. A deadlock witness must be able
+// to end in a real composed deadlock state.
+func checkWitnessNondet(inst *gen.Instance, report *core.Report, sys *automata.Automaton) *Failure {
+	if report.Witness == nil || report.WitnessSystem == nil {
+		return fail(inst, CheckWitnessMissing, "violation verdict without witness run")
+	}
+	steps := report.Witness.Steps
+	if report.Witness.Deadlock {
+		// The final interaction of a deadlock run is the refused offer, not
+		// an executed step.
+		steps = steps[:len(steps)-1]
+	}
+	cur := make(map[automata.StateID]bool)
+	for _, q := range sys.Initial() {
+		cur[q] = true
+	}
+	for i, label := range steps {
+		next := make(map[automata.StateID]bool)
+		for s := range cur {
+			for _, to := range sys.Successors(s, label) {
+				next[to] = true
+			}
+		}
+		if len(next) == 0 {
+			return fail(inst, CheckWitnessReplay,
+				"witness step %d (%s) is not executable in the true composition", i, label)
+		}
+		cur = next
+	}
+	if report.Kind != core.ViolationDeadlock {
+		return nil
+	}
+	final := report.Witness.States[len(report.Witness.States)-1]
+	if !report.WitnessSystem.IsDeadlock(final) {
+		return nil
+	}
+	for s := range cur {
+		if sys.IsDeadlock(s) {
+			return nil
+		}
+	}
+	return fail(inst, CheckWitnessDeadlock,
+		"witness claims a deadlock but no resolution of its trace deadlocks the true composition")
 }
 
 // checkWitness validates a violation witness against the ground-truth
@@ -285,7 +353,9 @@ func checkWitness(inst *gen.Instance, iface legacy.Interface, report *core.Repor
 
 // checkLaws asserts the algebraic and metamorphic laws the construction
 // rests on, over the explored ground truth and the final learned model.
-func checkLaws(inst *gen.Instance, truth *automata.Automaton, report *core.Report, universe automata.InteractionUniverse) *Failure {
+// nondet selects the closure variant the loop actually used, so the
+// over-approximation law exercises the settled-label machinery.
+func checkLaws(inst *gen.Instance, truth *automata.Automaton, report *core.Report, universe automata.InteractionUniverse, nondet bool) *Failure {
 	// Reflexivity of the refinement preorder.
 	if ok, cex, err := automata.Refines(truth, truth); err != nil || !ok {
 		return fail(inst, CheckLawRefinesReflexive, "truth ⊑ truth failed: cex=%v err=%v", cex, err)
@@ -296,13 +366,49 @@ func checkLaws(inst *gen.Instance, truth *automata.Automaton, report *core.Repor
 		return fail(inst, CheckLawChaoticTop, "truth ⊑ M_c failed: cex=%v err=%v", cex, err)
 	}
 	// Observation conformance of the final learned model (Definition 10)
-	// and Theorem 1: M_r ⊑ chaos(M_l^n).
+	// and Theorem 1: M_r ⊑ chaos(M_l^n). For nondeterministic ground
+	// truths the nondet closure must be used — the deterministic one
+	// suppresses chaos escapes on learned-but-unsettled labels and is not
+	// a safe abstraction there.
 	if err := report.Model.ObservationConforming(truth); err != nil {
 		return fail(inst, CheckLawConformance, "%v", err)
 	}
-	closure := automata.ChaoticClosure(report.Model, universe)
+	var closure *automata.Automaton
+	if nondet {
+		var err error
+		closure, err = automata.ChaoticClosureNondetCtx(context.Background(), report.Model, universe)
+		if err != nil {
+			return fail(inst, CheckRunError, "nondet closure: %v", err)
+		}
+	} else {
+		closure = automata.ChaoticClosure(report.Model, universe)
+	}
 	if ok, cex, err := automata.Refines(truth, closure); err != nil || !ok {
 		return fail(inst, CheckLawChaosOverapprox, "M_r ⊑ chaos(M_l) failed: cex=%v err=%v", cex, err)
+	}
+	// ioco is reflexive: every machine conforms to itself under
+	// suspension-trace out-set inclusion.
+	if ok, trace, err := automata.IocoRefines(truth, truth); err != nil || !ok {
+		return fail(inst, CheckLawIocoReflexive, "truth ioco truth failed: trace=%v err=%v", trace, err)
+	}
+	// δ-saturation is idempotent: a second saturation finds every
+	// quiescent state already carrying its δ self-loop.
+	saturated, added := automata.SaturateQuiescence(truth, "truth·δ")
+	if _, again := automata.SaturateQuiescence(saturated, "truth·δδ"); again != 0 {
+		return fail(inst, CheckLawDeltaSaturation,
+			"second saturation added %d loops (first added %d)", again, added)
+	}
+	// Refines ⇒ IocoRefines on deterministic machines: trace refinement
+	// implies suspension-trace out-set inclusion when neither side races.
+	// The learned fragment against the ground truth is the natural pair
+	// that can genuinely fail either way.
+	if la := report.Model.Automaton(); la.Deterministic() && truth.Deterministic() {
+		if ok, _, err := automata.Refines(la, truth); err == nil && ok {
+			if iok, trace, ierr := automata.IocoRefines(la, truth); ierr != nil || !iok {
+				return fail(inst, CheckLawRefinesIoco,
+					"Refines(M_l, M_r) holds but ioco fails: trace=%v err=%v", trace, ierr)
+			}
+		}
 	}
 	// Simulates is sound for ⊑ (Simulates ⇒ Refines). Exercise the
 	// implication on a pair that genuinely can fail: the closure against

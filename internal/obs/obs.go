@@ -57,6 +57,10 @@ const (
 	// KindLearnDelta is what one iteration's learning added
 	// (n: states, transitions, blocked).
 	KindLearnDelta EventKind = "learn_delta"
+	// KindIocoMerge is one divergent-but-allowed observation folded into
+	// the learned fragment by the nondeterministic path (s: state, input,
+	// observed, recorded; n: period, allowed).
+	KindIocoMerge EventKind = "ioco_merge"
 	// KindVerdict closes a run (s: verdict, kind, trace; n: iterations).
 	KindVerdict EventKind = "verdict"
 	// KindComposeLevel is one BFS level of an n-ary composition frontier
@@ -92,6 +96,7 @@ var KnownKinds = map[EventKind]bool{
 	KindReplayStep:        true,
 	KindProbeResult:       true,
 	KindLearnDelta:        true,
+	KindIocoMerge:         true,
 	KindVerdict:           true,
 	KindComposeLevel:      true,
 	KindBatchStart:        true,

@@ -14,11 +14,16 @@ var (
 	obsProbesAccepted *obs.Counter
 	obsProbesRefused  *obs.Counter
 	obsResets         *obs.Counter
+	obsNondetReplays  *obs.Counter
+	obsNondetProbes   *obs.Counter
+	obsDivergences    *obs.Counter
+	obsQuiescences    *obs.Counter
 )
 
 // EnableObservability registers this package's counters in the registry:
 // replay.records, replay.replays, replay.probes, replay.probes_accepted,
-// replay.probes_refused, and replay.resets.
+// replay.probes_refused, replay.resets, replay.nondet_replays,
+// replay.nondet_probes, replay.divergences, and replay.quiescences.
 func EnableObservability(r *obs.Registry) {
 	obsRecords = r.Counter("replay.records")
 	obsReplays = r.Counter("replay.replays")
@@ -26,6 +31,10 @@ func EnableObservability(r *obs.Registry) {
 	obsProbesAccepted = r.Counter("replay.probes_accepted")
 	obsProbesRefused = r.Counter("replay.probes_refused")
 	obsResets = r.Counter("replay.resets")
+	obsNondetReplays = r.Counter("replay.nondet_replays")
+	obsNondetProbes = r.Counter("replay.nondet_probes")
+	obsDivergences = r.Counter("replay.divergences")
+	obsQuiescences = r.Counter("replay.quiescences")
 }
 
 // DisableObservability detaches all hooks (the default state).
@@ -36,4 +45,8 @@ func DisableObservability() {
 	obsProbesAccepted = nil
 	obsProbesRefused = nil
 	obsResets = nil
+	obsNondetReplays = nil
+	obsNondetProbes = nil
+	obsDivergences = nil
+	obsQuiescences = nil
 }

@@ -63,11 +63,16 @@ func (d Direction) String() string {
 // EventKind classifies monitored events.
 type EventKind int
 
-// Monitored event kinds, mirroring the paper's listings.
+// Monitored event kinds, mirroring the paper's listings. KindQuiescence is
+// an extension for nondeterministic components (DESIGN.md §13): a period in
+// which the component produced nothing renders as an explicit δ observation
+// instead of silently contributing no message events. Only ReplayNondet
+// emits it; deterministic replay traces are unchanged.
 const (
 	KindMessage EventKind = iota + 1
 	KindCurrentState
 	KindTiming
+	KindQuiescence
 )
 
 // Event is one monitored observation.
@@ -86,6 +91,8 @@ func (e Event) Render() string {
 		return fmt.Sprintf("[Message] name=%q, portName=%q, type=%q", e.Name, e.Port, e.Dir)
 	case KindCurrentState:
 		return fmt.Sprintf("[CurrentState] name=%q", e.Name)
+	case KindQuiescence:
+		return fmt.Sprintf("[Quiescence] count=%d", e.Count)
 	default:
 		return fmt.Sprintf("[Timing] count=%d", e.Count)
 	}
@@ -253,11 +260,12 @@ func Probe(comp legacy.Component, rec Recording, in automata.SignalSet) (ProbeRe
 		obsProbesRefused.Add(1)
 	}
 	return ProbeResult{
-		State:    before,
-		Input:    in,
-		Output:   out,
-		Accepted: ok,
-		After:    stateName(comp),
+		State:     before,
+		Input:     in,
+		Output:    out,
+		Accepted:  ok,
+		Quiescent: !ok && in.IsEmpty(),
+		After:     stateName(comp),
 	}, nil
 }
 
@@ -267,7 +275,13 @@ type ProbeResult struct {
 	Input    automata.SignalSet
 	Output   automata.SignalSet
 	Accepted bool
-	After    string // state after the probe (== State when refused)
+	// Quiescent distinguishes the two faces of non-acceptance: probing the
+	// empty input and not executing is the quiescence observation δ (the
+	// state neither emits spontaneously nor steps silently), whereas not
+	// executing a non-empty input is a genuine refusal. Before this flag
+	// both surfaced identically as Accepted == false.
+	Quiescent bool
+	After     string // state after the probe (== State when refused)
 }
 
 // NaiveLiveMonitor runs the component over the inputs with heavyweight
