@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check lint fmt vet build test race bench timings batch-bench bench-ctl bench-check batch-smoke obs-smoke printcheck staticcheck mbt-soak fuzz-smoke
+.PHONY: all check lint fmt vet build test race bench timings batch-bench bench-ctl bench-check batch-smoke obs-smoke verifyd-smoke printcheck staticcheck mbt-soak fuzz-smoke
 
 all: check
 
-check: lint build race bench obs-smoke
+check: lint build race bench obs-smoke verifyd-smoke
 
 # Static checks only — no tests. CI's lint job runs exactly this.
 lint: fmt vet printcheck staticcheck
@@ -96,6 +96,7 @@ obs-smoke:
 	$(GO) run ./cmd/obscheck "$(OBS_SMOKE_DIR)/legint.jsonl"; \
 	$(GO) build -o "$(OBS_SMOKE_DIR)/batchverify" ./cmd/batchverify; \
 	"$(OBS_SMOKE_DIR)/batchverify" -seed 1 -n 16 -workers 4 \
+		-store "$(OBS_SMOKE_DIR)/store" \
 		-journal "$(OBS_SMOKE_DIR)/batch.jsonl" -http "$(OBS_HTTP_ADDR)" -linger \
 		>"$(OBS_SMOKE_DIR)/batchverify.out" 2>"$(OBS_SMOKE_DIR)/batchverify.err" & \
 	pid=$$!; \
@@ -113,6 +114,9 @@ obs-smoke:
 	grep -Eq '^muml_batch_instance_ns_count 16$$' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -Eq '^muml_core_check_ns_bucket\{le="\+Inf"\} [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -Eq '^muml_ctl_check_ns_count [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_store_misses_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_store_writes_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -q '^muml_store_hits_total' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	curl -fsS "http://$(OBS_HTTP_ADDR)/progress" >"$(OBS_SMOKE_DIR)/progress.json"; \
 	grep -q '"done":16' "$(OBS_SMOKE_DIR)/progress.json"; \
 	curl -sS -N --max-time 2 "http://$(OBS_HTTP_ADDR)/events" >"$(OBS_SMOKE_DIR)/events.sse" || true; \
@@ -129,6 +133,18 @@ obs-smoke:
 	$(GO) run ./cmd/journalstat -trace "$(OBS_SMOKE_DIR)/trace.json" "$(OBS_SMOKE_DIR)/batch.jsonl"; \
 	$(GO) run ./cmd/journalstat -diff "$(OBS_SMOKE_DIR)/legint.jsonl" "$(OBS_SMOKE_DIR)/batch.jsonl" >/dev/null; \
 	echo "obs-smoke: live plane and analytics ok"
+
+# Verification-service smoke: boot cmd/verifyd under -race, drive a
+# 32-instance manifest job over HTTP, check the shard-merge contract,
+# restart the process against the same store directory, and assert the
+# warm start (strictly more memo hits, byte-identical verdicts) plus the
+# muml_store_*/muml_verifyd_* metric families and journal validity. The
+# script is scripts/verifyd_smoke.sh; artifacts land in VERIFYD_SMOKE_DIR.
+VERIFYD_SMOKE_DIR ?= /tmp/verifyd-smoke
+VERIFYD_ADDR ?= 127.0.0.1:8491
+verifyd-smoke:
+	VERIFYD_SMOKE_DIR="$(VERIFYD_SMOKE_DIR)" VERIFYD_ADDR="$(VERIFYD_ADDR)" GO="$(GO)" \
+		sh scripts/verifyd_smoke.sh
 
 # Model-based soundness soak: run the synthesis loop against SOAK_N
 # generated systems with known ground truth, checking every verdict

@@ -12,6 +12,11 @@
 // scenarios (-scenarios), or a JSONL manifest (-manifest) with lines like
 // {"seed": 42, "config": "wide"}.
 //
+// -store layers the persistent on-disk memo store (internal/memostore)
+// under the in-memory closure/product cache, so repeated runs against the
+// same directory warm-start shared constructions instead of recomputing
+// them; cmd/verifyd serves the same store as a long-running service.
+//
 // -http serves the live observability plane while the batch runs:
 // Prometheus metrics on /metrics, a JSON progress snapshot (verdict
 // tallies, queue depth, cache hit rate, ETA) on /progress, the journal's
@@ -42,6 +47,7 @@ import (
 	"muml/internal/batch"
 	"muml/internal/core"
 	"muml/internal/gen"
+	"muml/internal/memostore"
 	"muml/internal/obs"
 	"muml/internal/obs/httpd"
 )
@@ -63,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wide      = fs.Bool("wide", false, "use the wide-alphabet generator configuration")
 		maxStates = fs.Int("max-states", 0, "cap on states per generated automaton (0 = generator default)")
 		noMemo    = fs.Bool("no-memo", false, "disable the shared closure/product memo cache")
+		storeDir  = fs.String("store", "", "persistent memo-store directory layered under the cache (warm-starts across runs)")
+		storeMax  = fs.Int64("store-max-bytes", memostore.DefaultMaxBytes, "on-disk store size cap in payload bytes (negative = unbounded)")
 		journal   = fs.String("journal", "", "write the batch event journal (JSONL) to this file")
 		metrics   = fs.Bool("metrics", false, "print batch counters and timers on exit")
 		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /events, /journal/tail, /healthz, and /debug/pprof on this address while the batch runs")
@@ -152,8 +160,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var memo *automata.MemoCache
+	var store *memostore.Store
 	if !*noMemo {
 		memo = automata.NewMemoCache(obsRun.Journal)
+		if *storeDir != "" {
+			store, err = memostore.Open(*storeDir, memostore.Options{
+				MaxBytes: *storeMax,
+				Journal:  obsRun.Journal,
+				Metrics:  obsRun.Registry,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "batchverify: %v\n", err)
+				return 1
+			}
+			defer store.Close()
+			memo.SetBackend(store)
+		}
+	} else if *storeDir != "" {
+		fmt.Fprintf(stderr, "batchverify: -store requires the memo cache (drop -no-memo)\n")
+		return 2
 	}
 	sum, err := batch.Verify(items, batch.Options{
 		Workers:  *workers,
@@ -193,6 +218,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if memo != nil {
 		hits, misses, entries := memo.Stats()
 		fmt.Fprintf(stdout, "batchverify: memo cache: %d hits, %d misses, %d entries\n", hits, misses, entries)
+	}
+	if store != nil {
+		hits, misses, evictions, entries, bytes := store.Stats()
+		fmt.Fprintf(stdout, "batchverify: memo store: %d hits, %d misses, %d evictions, %d records, %d bytes\n",
+			hits, misses, evictions, entries, bytes)
 	}
 	if *metrics {
 		obsRun.DumpMetrics(stdout)

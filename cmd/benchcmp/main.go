@@ -11,11 +11,13 @@
 // same way). Only numeric leaves whose key matches -keys are compared —
 // these are lower-is-better nanosecond aggregates; noisy per-iteration
 // breakdowns are ignored. A metric present only in the baseline is a
-// failure (a scenario silently disappeared); a metric only in the current
-// report is informational, and so is a 0ns baseline (the phase never ran
-// when the baseline was recorded, so no finite ratio exists). Exit
-// status: 0 when within the threshold, 1 on regression or missing
-// metrics, 2 on usage errors.
+// failure (a scenario silently disappeared), and so is a named array
+// entry absent from the current report even when it carries no compared
+// metrics — a scenario must not vanish just because its numbers were not
+// selected. A metric only in the current report is informational, and so
+// is a 0ns baseline (the phase never ran when the baseline was recorded,
+// so no finite ratio exists). Exit status: 0 when within the threshold,
+// 1 on regression or missing metrics/entries, 2 on usage errors.
 package main
 
 import (
@@ -89,12 +91,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sort.Strings(paths)
 
 	failures := 0
+	missing := map[string]bool{}
 	for _, p := range paths {
 		b := base[p]
 		c, ok := cur[p]
 		if !ok {
 			fmt.Fprintf(stderr, "MISSING %-52s baseline %.0fns, absent from current report\n", p, b)
 			failures++
+			missing[p] = true
 			continue
 		}
 		switch {
@@ -113,6 +117,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "ok      %-52s %.0fns -> %.0fns (%+.1f%%)\n", p, b, c, 100*(c/b-1))
 		}
 	}
+	// A named array entry known to the baseline must still exist in the
+	// current report, even when none of its numeric leaves are among the
+	// compared keys — otherwise a scenario with unselected metrics can
+	// vanish without tripping the gate. Entries whose disappearance already
+	// fired metric-level MISSING lines (or that nest under an entry
+	// reported here) are not re-reported.
+	baseNames := map[string]bool{}
+	curNames := map[string]bool{}
+	collectNames(baseline, "", baseNames)
+	collectNames(current, "", curNames)
+	var reportedEntries []string
+	for _, p := range sortedKeys(baseNames) {
+		if curNames[p] || coveredByMissing(p, missing) || underAny(p, reportedEntries) {
+			continue
+		}
+		fmt.Fprintf(stderr, "MISSING %-52s baseline entry absent from current report\n", p)
+		failures++
+		reportedEntries = append(reportedEntries, p)
+	}
+
 	for p := range cur {
 		if _, ok := base[p]; !ok {
 			fmt.Fprintf(stdout, "new     %-52s %.0fns (no baseline)\n", p, cur[p])
@@ -120,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if failures > 0 {
-		fmt.Fprintf(stderr, "benchcmp: %d metric(s) regressed beyond %+.0f%%\n", failures, 100**threshold)
+		fmt.Fprintf(stderr, "benchcmp: %d metric(s) or entries regressed or went missing (limit %+.0f%%)\n", failures, 100**threshold)
 		return 1
 	}
 	fmt.Fprintf(stdout, "benchcmp: %d metric(s) within %+.0f%%\n", len(paths), 100**threshold)
@@ -163,6 +187,51 @@ func collect(doc any, path string, keys map[string]bool, out map[string]float64)
 			collect(child, join(path, label), keys, out)
 		}
 	}
+}
+
+// collectNames records the structural path of every named array element,
+// so an entry counts as present even when it contributes no compared
+// metric. Index-labeled elements are skipped: positions shift on reorder,
+// so an index is not a stable identity to hold the current report to.
+func collectNames(doc any, path string, out map[string]bool) {
+	switch v := doc.(type) {
+	case map[string]any:
+		for k, child := range v {
+			collectNames(child, join(path, k), out)
+		}
+	case []any:
+		for i, child := range v {
+			label := fmt.Sprintf("%d", i)
+			if m, ok := child.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					label = name
+					out[join(path, label)] = true
+				}
+			}
+			collectNames(child, join(path, label), out)
+		}
+	}
+}
+
+// coveredByMissing reports whether a metric-level MISSING line under the
+// entry already announced its disappearance.
+func coveredByMissing(entry string, missing map[string]bool) bool {
+	for m := range missing {
+		if strings.HasPrefix(m, entry+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// underAny reports whether path equals or nests under any of the prefixes.
+func underAny(path string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 func join(path, key string) string {

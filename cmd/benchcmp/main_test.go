@@ -170,3 +170,52 @@ func TestCommittedBaselinesAreComparable(t *testing.T) {
 		}
 	}
 }
+
+func TestMissingNamedEntryWithoutMetricsFails(t *testing.T) {
+	// The regression this guards: a baseline entry whose numeric leaves are
+	// all outside -keys used to vanish silently, because only compared
+	// metrics established presence. It must fail as MISSING now.
+	base := write(t, "base.json", `{
+  "scenarios": [
+    {"name": "a", "incremental": {"wall_ns": 1000}},
+    {"name": "b", "note": "no compared metrics here", "compose_ns": 7}
+  ]
+}`)
+	cur := write(t, "cur.json", `{
+  "scenarios": [
+    {"name": "a", "incremental": {"wall_ns": 1000}}
+  ]
+}`)
+	code, _, errOut := runCLI(t, base, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "MISSING") || !strings.Contains(errOut, "scenarios/b") {
+		t.Fatalf("missing named entry not reported: %q", errOut)
+	}
+
+	// A present entry with uncompared metrics stays informational.
+	if code, _, errOut := runCLI(t, base, base); code != 0 {
+		t.Fatalf("self-compare with metric-less entry failed: exit %d, %s", code, errOut)
+	}
+}
+
+func TestMissingEntryNotDoubleReported(t *testing.T) {
+	// When the vanished entry had compared metrics, the metric-level
+	// MISSING line already fires; the entry-level check must not add a
+	// second failure for the same disappearance.
+	base := write(t, "base.json", `{"scenarios": [
+  {"name": "a", "incremental": {"wall_ns": 1000}},
+  {"name": "b", "incremental": {"wall_ns": 5000}}
+]}`)
+	cur := write(t, "cur.json", `{"scenarios": [
+  {"name": "a", "incremental": {"wall_ns": 1000}}
+]}`)
+	code, _, errOut := runCLI(t, base, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut)
+	}
+	if got := strings.Count(errOut, "MISSING"); got != 1 {
+		t.Fatalf("MISSING reported %d times, want once:\n%s", got, errOut)
+	}
+}

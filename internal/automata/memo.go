@@ -33,6 +33,31 @@ type MemoCache struct {
 	hits    atomic.Int64
 	misses  atomic.Int64
 	journal *obs.Journal // set at construction; may be nil
+	// backend, when non-nil, is the second-level persistent store: memory
+	// misses fall through to it, and stores write through so a later
+	// process warm-starts from disk (see SetBackend).
+	backend MemoBackend
+}
+
+// MemoBackend is a second-level store layered under the in-memory cache —
+// typically the content-addressed on-disk store of internal/memostore.
+// The cache consults it on an in-memory miss and writes every freshly
+// stored construction through to it, so overlapping jobs in other
+// processes and restarts of this one warm-start instead of recomputing.
+//
+// Payloads are opaque to the backend: the cache serializes automata with
+// MarshalMemo/UnmarshalMemo, and the backend is only responsible for
+// durable, integrity-checked storage of the bytes. Implementations must
+// be safe for concurrent use.
+type MemoBackend interface {
+	// Load returns the payload stored under the key, or false. A backend
+	// must never return bytes that fail its integrity check — corrupt
+	// records are evicted and reported as misses.
+	Load(op string, a, b uint64) ([]byte, bool)
+	// Save persists the payload under the key. The first save for a key
+	// wins; duplicate saves are identical by construction and may be
+	// dropped.
+	Save(op string, a, b uint64, payload []byte)
 }
 
 const memoShardCount = 16
@@ -77,6 +102,16 @@ func NewMemoCache(journal *obs.Journal) *MemoCache {
 	return c
 }
 
+// SetBackend attaches the persistent second-level store. Call it once,
+// before the cache is shared across goroutines; a nil backend leaves the
+// cache memory-only.
+func (c *MemoCache) SetBackend(b MemoBackend) {
+	if c == nil {
+		return
+	}
+	c.backend = b
+}
+
 func (c *MemoCache) shard(k memoKey) *memoShard {
 	return &c.shards[(k.a^k.b^uint64(k.op))%memoShardCount]
 }
@@ -93,6 +128,23 @@ func (c *MemoCache) lookup(op memoOp, a, b uint64, name string) (*Automaton, boo
 	sh.mu.Lock()
 	master := sh.m[k]
 	sh.mu.Unlock()
+	if master == nil && c.backend != nil {
+		// Memory miss: fall through to the persistent store. A decodable
+		// payload is promoted into the shard so later lookups in this
+		// process stay in memory; a stale-codec payload is a plain miss.
+		if payload, ok := c.backend.Load(op.String(), a, b); ok {
+			if loaded, err := UnmarshalMemo(payload); err == nil {
+				sh.mu.Lock()
+				if cur := sh.m[k]; cur != nil {
+					master = cur // a concurrent store/promotion won; identical by construction
+				} else {
+					sh.m[k] = loaded
+					master = loaded
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
 	if master == nil {
 		c.misses.Add(1)
 		return nil, false
@@ -119,10 +171,18 @@ func (c *MemoCache) store(op memoOp, a, b uint64, auto *Automaton) {
 	master := auto.cloneDeep(auto.name)
 	sh := c.shard(k)
 	sh.mu.Lock()
-	if _, dup := sh.m[k]; !dup {
+	_, dup := sh.m[k]
+	if !dup {
 		sh.m[k] = master
 	}
 	sh.mu.Unlock()
+	if !dup && c.backend != nil {
+		// Write through (outside the shard lock) so other processes and a
+		// restarted one find the result; Save itself drops duplicates.
+		if payload, err := MarshalMemo(master); err == nil {
+			c.backend.Save(op.String(), a, b, payload)
+		}
+	}
 }
 
 // Stats returns the hit and miss counts and the number of cached entries.

@@ -1,0 +1,48 @@
+package batch
+
+import "fmt"
+
+// This file splits a batch across cooperating verifyd processes: each
+// process runs only the items whose name-hash lands in its shard, so N
+// processes pointed at the same manifest (and, via the shared on-disk
+// memo store, the same warm-start state) partition one job without any
+// coordination beyond agreeing on (index, count). Hashing the stable
+// instance name — with the same FNV-1a the structural fingerprints use —
+// keeps the partition deterministic across processes and runs: the union
+// of all shards' results is exactly the unsharded batch, instance by
+// instance.
+
+// HashName returns the 64-bit FNV-1a hash of an instance name.
+func HashName(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return h
+}
+
+// ShardItems returns the items of shard index out of count, preserving
+// item order. Count 1 is the identity partition; items with equal names
+// land in the same shard by construction.
+func ShardItems(items []Item, index, count int) ([]Item, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("batch: shard count %d must be positive", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("batch: shard index %d out of range [0,%d)", index, count)
+	}
+	if count == 1 {
+		return items, nil
+	}
+	var out []Item
+	for _, it := range items {
+		if HashName(it.Name)%uint64(count) == uint64(index) {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}

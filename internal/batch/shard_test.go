@@ -1,0 +1,91 @@
+package batch
+
+import (
+	"testing"
+
+	"muml/internal/gen"
+)
+
+func TestShardItemsPartition(t *testing.T) {
+	items := GenItems(1, 50, gen.DefaultConfig())
+	for _, count := range []int{1, 2, 3, 7} {
+		seen := make(map[string]int)
+		total := 0
+		for index := 0; index < count; index++ {
+			shard, err := ShardItems(items, index, count)
+			if err != nil {
+				t.Fatalf("ShardItems(%d/%d): %v", index, count, err)
+			}
+			total += len(shard)
+			prev := -1
+			for _, it := range shard {
+				if owner, dup := seen[it.Name]; dup {
+					t.Fatalf("count %d: %q landed in shards %d and %d", count, it.Name, owner, index)
+				}
+				seen[it.Name] = index
+				// Order within a shard follows the original item order.
+				pos := itemIndex(t, items, it.Name)
+				if pos <= prev {
+					t.Fatalf("count %d shard %d: %q out of order (pos %d after %d)", count, index, it.Name, pos, prev)
+				}
+				prev = pos
+			}
+		}
+		if total != len(items) {
+			t.Fatalf("count %d: shards cover %d of %d items", count, total, len(items))
+		}
+	}
+}
+
+func itemIndex(t *testing.T, items []Item, name string) int {
+	t.Helper()
+	for i, it := range items {
+		if it.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("item %q not in the original batch", name)
+	return -1
+}
+
+func TestShardItemsDeterministic(t *testing.T) {
+	items := GenItems(7, 30, gen.DefaultConfig())
+	a, err := ShardItems(items, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShardItems(items, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("shard sizes differ across calls: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("shard item %d differs across calls: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+func TestShardItemsIdentity(t *testing.T) {
+	items := GenItems(1, 10, gen.DefaultConfig())
+	shard, err := ShardItems(items, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shard) != len(items) {
+		t.Fatalf("single-shard partition dropped items: %d of %d", len(shard), len(items))
+	}
+}
+
+func TestShardItemsErrors(t *testing.T) {
+	items := GenItems(1, 4, gen.DefaultConfig())
+	for _, tc := range []struct{ index, count int }{
+		{0, 0}, {0, -1}, {-1, 2}, {2, 2}, {5, 3},
+	} {
+		if _, err := ShardItems(items, tc.index, tc.count); err == nil {
+			t.Errorf("ShardItems(index=%d, count=%d) succeeded, want error", tc.index, tc.count)
+		}
+	}
+}

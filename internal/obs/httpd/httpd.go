@@ -47,6 +47,10 @@ type Options struct {
 	// Events backs /events (live SSE stream) and /journal/tail (ring
 	// snapshot).
 	Events *obs.RingSink
+	// Extra, when non-nil, receives every request no built-in endpoint
+	// claims — the hook cmd/verifyd uses to mount its job API on the same
+	// plane. Built-in paths win; a nil Extra keeps the default 404.
+	Extra http.Handler
 }
 
 // sseReplay bounds how much ring history a fresh /events subscriber is
@@ -99,6 +103,9 @@ func Start(addr string, o Options) (*Server, error) {
 	mux.HandleFunc("/journal/tail", func(w http.ResponseWriter, r *http.Request) {
 		serveJournalTail(w, r, o.Events)
 	})
+	if o.Extra != nil {
+		mux.Handle("/", o.Extra)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

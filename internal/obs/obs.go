@@ -76,6 +76,23 @@ const (
 	// fingerprint key resolved to a previously solved sub-problem
 	// (s: op; n: key_a, key_b, hits).
 	KindCacheHit EventKind = "cache_hit"
+	// KindJobSubmitted records one job accepted by a verification service
+	// (s: job, source, shard; n: instances, queue_depth).
+	KindJobSubmitted EventKind = "job_submitted"
+	// KindJobDone closes one service job (s: job, state, error; n:
+	// instances, proven, violations, errored, memo_hits, memo_misses;
+	// dur_ns).
+	KindJobDone EventKind = "job_done"
+	// KindStoreHit is one persistent-memo-store read that returned a valid
+	// record (s: op, key; n: key_a, key_b, bytes).
+	KindStoreHit EventKind = "store_hit"
+	// KindStoreMiss is one persistent-memo-store read that found no record
+	// (s: op, key; n: key_a, key_b).
+	KindStoreMiss EventKind = "store_miss"
+	// KindStoreEvict is one record removed from the persistent memo store
+	// (s: key, reason — "corrupt" for a failed integrity check, "size" for
+	// the LRU capacity sweep; n: bytes).
+	KindStoreEvict EventKind = "store_evict"
 	// KindHistogramSnapshot is the final state of one latency histogram,
 	// emitted when a run's observability surfaces close (s: name; n:
 	// count, sum_ns, and per-bucket counts b00..b27 over HistogramBounds —
@@ -102,6 +119,11 @@ var KnownKinds = map[EventKind]bool{
 	KindBatchStart:        true,
 	KindInstanceDone:      true,
 	KindCacheHit:          true,
+	KindJobSubmitted:      true,
+	KindJobDone:           true,
+	KindStoreHit:          true,
+	KindStoreMiss:         true,
+	KindStoreEvict:        true,
 	KindHistogramSnapshot: true,
 	KindNote:              true,
 }

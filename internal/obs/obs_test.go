@@ -208,3 +208,18 @@ func TestTeeSinkFansOut(t *testing.T) {
 		t.Fatalf("tee delivered %d/%d events", len(a.Events()), len(b.Events()))
 	}
 }
+
+func TestValidateJSONLAcceptsServiceAndStoreKinds(t *testing.T) {
+	// The verifyd job-lifecycle and persistent-store events must pass the
+	// validator: obscheck gates the smoke lanes on it.
+	journal := strings.Join([]string{
+		`{"seq":1,"kind":"job_submitted","iter":-1,"s":{"job":"job-1","source":"gen(seed=1,n=8)"},"n":{"instances":8,"queue_depth":1}}`,
+		`{"seq":2,"kind":"store_miss","iter":-1,"s":{"op":"compose","key":"compose-0-0.memo"}}`,
+		`{"seq":3,"kind":"store_hit","iter":-1,"s":{"op":"compose","key":"compose-0-0.memo"},"n":{"bytes":120}}`,
+		`{"seq":4,"kind":"store_evict","iter":-1,"s":{"key":"compose-0-0.memo","reason":"size"},"n":{"bytes":120}}`,
+		`{"seq":5,"kind":"job_done","iter":-1,"dur_ns":12,"s":{"job":"job-1","state":"done"},"n":{"memo_hits":3}}`,
+	}, "\n") + "\n"
+	if n, err := ValidateJSONL(strings.NewReader(journal)); err != nil || n != 5 {
+		t.Fatalf("service/store journal: n=%d err=%v", n, err)
+	}
+}
