@@ -96,7 +96,7 @@ obs-smoke:
 	$(GO) run ./cmd/obscheck "$(OBS_SMOKE_DIR)/legint.jsonl"; \
 	$(GO) build -o "$(OBS_SMOKE_DIR)/batchverify" ./cmd/batchverify; \
 	"$(OBS_SMOKE_DIR)/batchverify" -seed 1 -n 16 -workers 4 \
-		-store "$(OBS_SMOKE_DIR)/store" \
+		-store "$(OBS_SMOKE_DIR)/store" -sample-interval 100ms \
 		-journal "$(OBS_SMOKE_DIR)/batch.jsonl" -http "$(OBS_HTTP_ADDR)" -linger \
 		>"$(OBS_SMOKE_DIR)/batchverify.out" 2>"$(OBS_SMOKE_DIR)/batchverify.err" & \
 	pid=$$!; \
@@ -117,6 +117,10 @@ obs-smoke:
 	grep -Eq '^muml_store_misses_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -Eq '^muml_store_writes_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	grep -q '^muml_store_hits_total' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_runtime_heap_live_bytes [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_runtime_goroutines [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -Eq '^muml_runtime_alloc_bytes_total [1-9]' "$(OBS_SMOKE_DIR)/metrics.prom"; \
+	grep -q '^muml_runtime_gc_cycles_total' "$(OBS_SMOKE_DIR)/metrics.prom"; \
 	curl -fsS "http://$(OBS_HTTP_ADDR)/progress" >"$(OBS_SMOKE_DIR)/progress.json"; \
 	grep -q '"done":16' "$(OBS_SMOKE_DIR)/progress.json"; \
 	curl -sS -N --max-time 2 "http://$(OBS_HTTP_ADDR)/events" >"$(OBS_SMOKE_DIR)/events.sse" || true; \
@@ -128,9 +132,14 @@ obs-smoke:
 	grep -q 'phase latencies' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
 	grep -q 'muml_batch_instances_total' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
 	grep -q 'recent events' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
+	grep -q 'runtime   heap' "$(OBS_SMOKE_DIR)/mumltop.txt"; \
 	kill -INT $$pid; wait $$pid; \
 	$(GO) run ./cmd/obscheck "$(OBS_SMOKE_DIR)/batch.jsonl"; \
+	grep -q '"kind":"resource_sample"' "$(OBS_SMOKE_DIR)/batch.jsonl"; \
+	grep -q '"kind":"cost_report"' "$(OBS_SMOKE_DIR)/batch.jsonl"; \
 	$(GO) run ./cmd/journalstat -trace "$(OBS_SMOKE_DIR)/trace.json" "$(OBS_SMOKE_DIR)/batch.jsonl"; \
+	$(GO) run ./cmd/journalstat -cost "$(OBS_SMOKE_DIR)/batch.jsonl" >"$(OBS_SMOKE_DIR)/journalstat-cost.txt"; \
+	grep -q 'cost' "$(OBS_SMOKE_DIR)/journalstat-cost.txt"; \
 	$(GO) run ./cmd/journalstat -diff "$(OBS_SMOKE_DIR)/legint.jsonl" "$(OBS_SMOKE_DIR)/batch.jsonl" >/dev/null; \
 	echo "obs-smoke: live plane and analytics ok"
 

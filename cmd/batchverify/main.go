@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics   = fs.Bool("metrics", false, "print batch counters and timers on exit")
 		httpAddr  = fs.String("http", "", "serve /metrics, /progress, /events, /journal/tail, /healthz, and /debug/pprof on this address while the batch runs")
 		linger    = fs.Bool("linger", false, "with -http: keep serving after the batch completes until interrupted")
+		sample    = fs.Duration("sample-interval", 0, "sample runtime resources (heap, GC, goroutines) at this period into the journal and metrics (0 = off)")
 		verbose   = fs.Bool("v", false, "print every instance result, not just the summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +137,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer obsRun.Close()
+
+	if *sample > 0 {
+		sampler := obs.StartRuntimeSampler(obs.RuntimeSamplerOptions{
+			Interval: *sample,
+			Journal:  obsRun.Journal,
+			Registry: obsRun.Registry,
+		})
+		// LIFO defers: the sampler takes its final sample and stops before
+		// obsRun.Close flushes the journal.
+		defer sampler.Stop()
+	}
 
 	// SIGINT/SIGTERM cancel the run context: running instances abort,
 	// the pool drains, and the deferred obsRun.Close flushes the journal

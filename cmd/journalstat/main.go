@@ -9,6 +9,7 @@
 //	journalstat run.jsonl
 //	journalstat -format json run.jsonl more.jsonl
 //	journalstat -top 10 batch.jsonl
+//	journalstat -cost batch.jsonl              # cost ledger: top-k by cpu/alloc
 //	journalstat -diff before.jsonl after.jsonl
 //	journalstat -trace trace.json run.jsonl    # load trace.json in Perfetto
 //
@@ -38,10 +39,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format   = fs.String("format", "text", "output format: text or json")
 		topK     = fs.Int("top", 5, "number of slowest instances to report")
 		diff     = fs.Bool("diff", false, "compare exactly two journals (baseline, candidate)")
+		cost     = fs.Bool("cost", false, "append the cost-ledger report (totals plus top-k instances by cpu and allocation)")
 		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON export to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: journalstat [-format text|json] [-top k] [-trace out.json] <journal.jsonl>...")
+		fmt.Fprintln(stderr, "usage: journalstat [-format text|json] [-top k] [-cost] [-trace out.json] <journal.jsonl>...")
 		fmt.Fprintln(stderr, "       journalstat -diff <baseline.jsonl> <candidate.jsonl>")
 		fs.PrintDefaults()
 	}
@@ -114,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// making stdout depend on the toolchain that built the binary.
 	fmt.Fprintln(stderr, obs.BuildInfoLine())
 	stats.RenderText(stdout)
+	if *cost {
+		fmt.Fprintln(stdout)
+		stats.Cost.RenderCost(stdout)
+	}
 	return 0
 }
 

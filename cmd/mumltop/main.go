@@ -2,8 +2,11 @@
 // command's live observability plane (the -http flag on batchverify,
 // mbt, and experiments). It polls /progress and /metrics, streams the
 // journal from /events, and redraws a single-screen summary: verdict
-// tallies and ETA, memo-cache hit rate, per-phase latency histograms as
-// sparklines, and the most recent journal events.
+// tallies and ETA, memo-cache hit rate, a runtime resource panel (live
+// heap with a history sparkline, goroutines, GC cycles, overload state —
+// fed by the muml_runtime_* families when the plane runs a resource
+// sampler), per-phase latency histograms as sparklines, and the most
+// recent journal events.
 //
 //	mumltop -addr 127.0.0.1:8473
 //	mumltop -addr 127.0.0.1:8473 -interval 500ms -n 12
@@ -69,8 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 5 * time.Second}
 
+	// heapHist is the client-side heap-live history behind the runtime
+	// panel's sparkline, appended to on every successful /metrics poll.
+	var heapHist []int64
+
 	if *once {
-		frame, err := renderFrame(client, base, *tailN, nil)
+		frame, err := renderFrame(client, base, *tailN, nil, &heapHist)
 		if err != nil {
 			fmt.Fprintf(stderr, "mumltop: %v\n", err)
 			return 1
@@ -92,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
 	for {
-		frame, err := renderFrame(client, base, *tailN, tail)
+		frame, err := renderFrame(client, base, *tailN, tail, &heapHist)
 		var b strings.Builder
 		b.WriteString("\x1b[H\x1b[2J") // home + clear
 		if err != nil {
@@ -111,10 +118,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
+// heapHistMax bounds the runtime panel's heap sparkline width.
+const heapHistMax = 60
+
 // renderFrame fetches one consistent view of the plane and renders it.
 // With a nil tail (the -once mode) the recent events come from
-// /journal/tail instead of the live stream.
-func renderFrame(client *http.Client, base string, tailN int, tail *eventTail) (string, error) {
+// /journal/tail instead of the live stream. heapHist accumulates the
+// heap-live readings the runtime panel's sparkline draws.
+func renderFrame(client *http.Client, base string, tailN int, tail *eventTail, heapHist *[]int64) (string, error) {
 	progress, err := fetchProgress(client, base)
 	if err != nil {
 		return "", err
@@ -122,6 +133,12 @@ func renderFrame(client *http.Client, base string, tailN int, tail *eventTail) (
 	metrics, err := fetchMetrics(client, base)
 	if err != nil {
 		return "", err
+	}
+	if heap, ok := scalarInt(metrics, "muml_runtime_heap_live_bytes"); ok {
+		*heapHist = append(*heapHist, heap)
+		if len(*heapHist) > heapHistMax {
+			*heapHist = (*heapHist)[len(*heapHist)-heapHistMax:]
+		}
 	}
 	var events []obs.Event
 	streamed := false
@@ -136,6 +153,7 @@ func renderFrame(client *http.Client, base string, tailN int, tail *eventTail) (
 	var b strings.Builder
 	fmt.Fprintf(&b, "mumltop — %s\n\n", base)
 	renderProgress(&b, progress)
+	renderRuntime(&b, metrics, *heapHist)
 	renderHistograms(&b, metrics)
 	renderCounters(&b, metrics)
 	renderEvents(&b, events, tailN, streamed, tail)
@@ -336,6 +354,85 @@ func renderProgress(b *strings.Builder, m map[string]any) {
 		add(k)
 	}
 	fmt.Fprintf(b, "progress  %s\n\n", strings.Join(parts, "   "))
+}
+
+// renderRuntime renders the resource panel fed by the muml_runtime_*
+// families, present when the watched plane runs a RuntimeSampler
+// (verifyd always, batchverify with -sample-interval). hist is the
+// client-side heap-live history; with a single poll (-once) the
+// sparkline is omitted.
+func renderRuntime(b *strings.Builder, v *metricsView, hist []int64) {
+	heap, ok := scalarInt(v, "muml_runtime_heap_live_bytes")
+	if !ok {
+		return
+	}
+	goal, _ := scalarInt(v, "muml_runtime_heap_goal_bytes")
+	goroutines, _ := scalarInt(v, "muml_runtime_goroutines")
+	gc, _ := scalarInt(v, "muml_runtime_gc_cycles_total")
+	rate, _ := scalarInt(v, "muml_runtime_alloc_rate_bps")
+	state := ""
+	if ov, _ := scalarInt(v, "muml_runtime_overload"); ov > 0 {
+		state = "   OVERLOADED"
+	}
+	fmt.Fprintf(b, "runtime   heap %s / goal %s   %d goroutines   %d gc   alloc %s/s%s\n",
+		ibytes(heap), ibytes(goal), goroutines, gc, ibytes(rate), state)
+	if line := levelSparkline(hist); line != "" {
+		fmt.Fprintf(b, "heap      %s\n", line)
+	}
+	b.WriteString("\n")
+}
+
+// scalarInt looks up a parsed /metrics sample as an integer.
+func scalarInt(v *metricsView, name string) (int64, bool) {
+	raw, ok := v.scalars[name]
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// levelSparkline renders a series of absolute levels (heap history)
+// scaled against its maximum; fewer than two points render nothing.
+func levelSparkline(hist []int64) string {
+	if len(hist) < 2 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var max int64
+	for _, v := range hist {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range hist {
+		if v < 0 {
+			v = 0
+		}
+		b.WriteRune(levels[int(v*int64(len(levels)-1)/max)])
+	}
+	return b.String()
+}
+
+// ibytes renders a byte count with binary units for the runtime panel.
+func ibytes(v int64) string {
+	const unit = 1024
+	if v < unit {
+		return fmt.Sprintf("%dB", v)
+	}
+	div, exp := int64(unit), 0
+	for n := v / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(v)/float64(div), "KMGTPE"[exp])
 }
 
 func renderHistograms(b *strings.Builder, v *metricsView) {

@@ -20,8 +20,19 @@
 //	GET  /jobs/{id}/journal    the job's JSONL batch journal
 //
 // plus the live observability plane shared with the CLIs: /metrics
-// (Prometheus, including the muml_store_* families), /progress, /events
-// (SSE), /journal/tail, /healthz, and /debug/pprof.
+// (Prometheus, including the muml_store_* and muml_runtime_* families),
+// /progress, /events (SSE), /journal/tail, /healthz, /readyz, and
+// /debug/pprof. /healthz is pure liveness; /readyz answers 503 while the
+// server is draining or the admission controller is overloaded.
+//
+// A runtime/metrics sampler (-sample-interval) journals resource_sample
+// events and feeds the hysteretic overload controller: at or above
+// -heap-high-bytes of live heap, or with the job queue at capacity,
+// intake answers 503 + Retry-After and /readyz fails until the pressure
+// falls back below the low watermarks. Every job accumulates a cost
+// ledger (CPU seconds, attributed allocation, peak product states, CTL
+// words scanned, memo savings) served in /jobs/{id} and journaled as a
+// cost_report event.
 //
 // The -store directory is the content-addressed persistent memo store
 // (internal/memostore), layered under the in-memory closure/product cache
@@ -70,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers       = fs.Int("workers", 0, "default worker-pool size per job (0 = GOMAXPROCS)")
 		deadline      = fs.Duration("deadline", 0, "default per-instance deadline (0 = unbounded)")
 		journal       = fs.String("journal", "", "write the server event journal (job lifecycle, cache and store events) to this file")
+		sampleEvery   = fs.Duration("sample-interval", obs.DefaultSampleInterval, "runtime resource sampling period (0 disables the sampler and heap-based overload)")
+		heapHigh      = fs.Int64("heap-high-bytes", 0, "live-heap high watermark: at or above it, intake sheds load with 503 until heap-low-bytes (0 = no heap watermark)")
+		heapLow       = fs.Int64("heap-low-bytes", 0, "live-heap low watermark ending heap overload (default: heap-high-bytes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,6 +137,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memo.SetBackend(store)
 	}
 
+	// The admission controller sheds load before memory pressure kills the
+	// process: the heap watermarks come from flags, the queue watermarks
+	// from the queue capacity (enter at a full queue, exit at half).
+	overload := obs.NewOverload(obs.OverloadOptions{
+		HeapHighBytes: *heapHigh,
+		HeapLowBytes:  *heapLow,
+		QueueHigh:     *queueCap,
+		QueueLow:      *queueCap / 2,
+		Journal:       obsRun.Journal,
+		Registry:      obsRun.Registry,
+	})
+
 	srv := newServer(serverConfig{
 		Workers:  *workers,
 		Deadline: *deadline,
@@ -132,20 +158,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Store:    store,
 		Journal:  obsRun.Journal,
 		Registry: obsRun.Registry,
+		Overload: overload,
 	})
+
+	if *sampleEvery > 0 {
+		sampler := obs.StartRuntimeSampler(obs.RuntimeSamplerOptions{
+			Interval: *sampleEvery,
+			Journal:  obsRun.Journal,
+			Registry: obsRun.Registry,
+			OnSample: func(s obs.ResourceSample) {
+				overload.ObserveHeap(s.HeapLiveBytes)
+				overload.ObserveQueue(srv.queueDepth())
+			},
+		})
+		defer sampler.Stop()
+	}
 
 	httpSrv, err := httpd.Start(*addr, httpd.Options{
 		Registry: obsRun.Registry,
 		Progress: srv.progressSnapshot,
 		Events:   obsRun.Ring,
 		Extra:    srv.mux(),
+		Ready:    srv.ready,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "verifyd: %v\n", err)
 		return 1
 	}
 	defer httpSrv.Close()
-	fmt.Fprintf(stderr, "verifyd: serving job API and /metrics /progress /events /healthz on http://%s\n", httpSrv.Addr())
+	fmt.Fprintf(stderr, "verifyd: serving job API and /metrics /progress /events /healthz /readyz on http://%s\n", httpSrv.Addr())
 	if store != nil {
 		_, _, _, entries, bytes := store.Stats()
 		fmt.Fprintf(stderr, "verifyd: memo store %s: %d records, %d payload bytes\n", store.Dir(), entries, bytes)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 
 	"muml/internal/automata"
 	"muml/internal/memostore"
+	"muml/internal/obs"
 	"muml/internal/obs/httpd"
 )
 
@@ -26,7 +28,7 @@ type testEnv struct {
 	store *memostore.Store
 }
 
-func startEnv(t *testing.T, storeDir string, queueCap int) *testEnv {
+func startEnv(t *testing.T, storeDir string, queueCap int, mods ...func(*serverConfig)) *testEnv {
 	t.Helper()
 	memo := automata.NewMemoCache(nil)
 	var store *memostore.Store
@@ -38,16 +40,21 @@ func startEnv(t *testing.T, storeDir string, queueCap int) *testEnv {
 		}
 		memo.SetBackend(store)
 	}
-	srv := newServer(serverConfig{
+	cfg := serverConfig{
 		Workers:  2,
 		Spool:    t.TempDir(),
 		QueueCap: queueCap,
 		Memo:     memo,
 		Store:    store,
-	})
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	srv := newServer(cfg)
 	hs, err := httpd.Start("127.0.0.1:0", httpd.Options{
 		Progress: srv.progressSnapshot,
 		Extra:    srv.mux(),
+		Ready:    srv.ready,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -364,6 +371,132 @@ func TestVerifydRejectsBadRequests(t *testing.T) {
 			t.Errorf("submit %s = %d, want 400", body, code)
 		}
 	}
+}
+
+// TestVerifydJobCost is the cost-attribution acceptance check: the job
+// status carries a populated ledger, the verdict lines carry the
+// deterministic per-instance figures, and the per-instance figures sum
+// exactly to the job-level ones.
+func TestVerifydJobCost(t *testing.T) {
+	env := startEnv(t, "", 4)
+	id := env.runToDone(`{"gen":{"seed":7,"n":6,"config":"wide"}}`)
+	st := env.getStatus(id)
+	if st.Cost == nil {
+		t.Fatal("done job without a cost block")
+	}
+	if st.Cost.CPUNS <= 0 || st.Cost.PeakStates <= 0 || st.Cost.CTLWords <= 0 {
+		t.Fatalf("implausible job cost: %+v", st.Cost)
+	}
+
+	_, verdicts := env.fetch("/jobs/" + id + "/verdicts")
+	var peakSum, wordSum int64
+	for _, line := range nonEmptyLines(verdicts) {
+		var v verdictLine
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("bad verdict line %q: %v", line, err)
+		}
+		if v.Error == "" && v.Cost == nil {
+			t.Fatalf("verdict line without cost: %s", line)
+		}
+		if v.Cost != nil {
+			peakSum += v.Cost.PeakStates
+			wordSum += v.Cost.CTLWords
+		}
+	}
+	if peakSum != st.Cost.PeakStates || wordSum != st.Cost.CTLWords {
+		t.Fatalf("verdict-line sums (states %d, words %d) != job cost (states %d, words %d)",
+			peakSum, wordSum, st.Cost.PeakStates, st.Cost.CTLWords)
+	}
+}
+
+// TestVerifydReadyz splits the probes: /healthz is pure liveness and
+// stays 200 through a drain, /readyz flips to 503 with the reason.
+func TestVerifydReadyz(t *testing.T) {
+	env := startEnv(t, "", 4)
+	if code, body := env.fetch("/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("fresh /readyz = %d %q, want 200 ok", code, body)
+	}
+	env.srv.beginDrain()
+	if code, body := env.fetch("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /readyz = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := env.fetch("/healthz"); code != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want liveness to stay 200", code)
+	}
+}
+
+// TestVerifydOverloadShedsAndRecovers drives the admission controller
+// through its heap watermarks directly (standing in for the sampler):
+// while overloaded, POST /jobs answers 503 + Retry-After and /readyz
+// fails; once pressure falls below the low watermark, intake recovers.
+func TestVerifydOverloadShedsAndRecovers(t *testing.T) {
+	env := startEnv(t, "", 4, func(cfg *serverConfig) {
+		cfg.Overload = obs.NewOverload(obs.OverloadOptions{
+			HeapHighBytes: 1 << 30, HeapLowBytes: 1 << 29,
+		})
+	})
+
+	env.srv.overload.ObserveHeap(1 << 30)
+	resp, err := http.Post(env.base+"/jobs", "application/json", strings.NewReader(`{"scenarios":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while overloaded = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("503 body %q does not name the overload", body)
+	}
+	if code, rb := env.fetch("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(rb, "overloaded") {
+		t.Fatalf("overloaded /readyz = %d %q, want 503 overloaded", code, rb)
+	}
+	if code, pb := env.fetch("/progress"); code != http.StatusOK || !strings.Contains(pb, `"overloaded":true`) {
+		t.Fatalf("progress = %d %q, want overloaded:true", code, pb)
+	}
+
+	env.srv.overload.ObserveHeap(1 << 28)
+	if code, _ := env.fetch("/readyz"); code != http.StatusOK {
+		t.Fatalf("recovered /readyz = %d, want 200", code)
+	}
+	code, st := env.submitJSON(`{"scenarios":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after recovery = %d, want 202", code)
+	}
+	env.waitState(st.ID, string(stateDone))
+}
+
+// TestVerifydShutdownLeaksNoGoroutines pins the service lifecycle: a
+// drain-and-close must return the process to its pre-start goroutine
+// count — no leaked runner, HTTP, or store goroutines.
+func TestVerifydShutdownLeaksNoGoroutines(t *testing.T) {
+	http.DefaultClient.CloseIdleConnections()
+	before := runtime.NumGoroutine()
+
+	env := startEnv(t, t.TempDir(), 4)
+	env.runToDone(`{"gen":{"seed":2,"n":3}}`)
+	env.shutdown()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines %d -> %d after shutdown; stacks:\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
 }
 
 func nonEmptyLines(s string) []string {

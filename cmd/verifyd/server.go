@@ -68,11 +68,22 @@ type genSpec struct {
 // the rendered document is byte-identical across runs, worker counts, and
 // — once shards are merged and sorted — shard counts.
 type verdictLine struct {
-	Name       string `json:"name"`
-	Verdict    string `json:"verdict,omitempty"`
-	Kind       string `json:"kind,omitempty"`
-	Iterations int    `json:"iterations,omitempty"`
-	Error      string `json:"error,omitempty"`
+	Name       string       `json:"name"`
+	Verdict    string       `json:"verdict,omitempty"`
+	Kind       string       `json:"kind,omitempty"`
+	Iterations int          `json:"iterations,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Cost       *verdictCost `json:"cost,omitempty"`
+}
+
+// verdictCost is the deterministic subset of an instance's cost ledger —
+// the effort figures that are identical across worker counts and
+// warm-starts (DESIGN.md §15), so they can live inside the byte-identity
+// contract of the verdict document. The measured figures (CPU, bytes)
+// are served only by /jobs/{id} and the cost_report journal event.
+type verdictCost struct {
+	PeakStates int64 `json:"peak_states"`
+	CTLWords   int64 `json:"ctl_words"`
 }
 
 // job is one submitted verification job.
@@ -122,6 +133,10 @@ type jobStatus struct {
 	MemoHitRate float64 `json:"memo_hit_rate"`
 	StoreHits   int64   `json:"store_hits"`
 	StoreMisses int64   `json:"store_misses"`
+
+	// Cost is the job's full resource ledger — the exact sum of its
+	// instance ledgers (batch.Summary.Cost).
+	Cost *batch.Cost `json:"cost,omitempty"`
 }
 
 func (j *job) status() jobStatus {
@@ -152,6 +167,8 @@ func (j *job) status() jobStatus {
 		st.Violations = j.summary.Violations
 		st.Errored = j.summary.Errored
 		st.TimedOut = j.summary.TimedOut
+		cost := j.summary.Cost
+		st.Cost = &cost
 	}
 	if total := j.memoHits + j.memoMisses; total > 0 {
 		st.MemoHitRate = float64(j.memoHits) / float64(total)
@@ -172,6 +189,7 @@ type server struct {
 	store    *memostore.Store
 	journal  *obs.Journal
 	registry *obs.Registry
+	overload *obs.Overload
 
 	queue    chan *job
 	draining atomic.Bool
@@ -200,6 +218,9 @@ type serverConfig struct {
 	Store    *memostore.Store
 	Journal  *obs.Journal
 	Registry *obs.Registry
+	// Overload, when non-nil, gates job intake: while active, POST /jobs
+	// answers 503 + Retry-After and /readyz fails (obs.Overload).
+	Overload *obs.Overload
 }
 
 func newServer(cfg serverConfig) *server {
@@ -215,6 +236,7 @@ func newServer(cfg serverConfig) *server {
 		store:      cfg.Store,
 		journal:    cfg.Journal,
 		registry:   cfg.Registry,
+		overload:   cfg.Overload,
 		queue:      make(chan *job, cap),
 		drainC:     make(chan struct{}),
 		doneC:      make(chan struct{}),
@@ -253,16 +275,34 @@ func (s *server) hardCancel() {
 // terminal state).
 func (s *server) wait() { <-s.doneC }
 
+// queueDepth reports the number of queued (not yet running) jobs — the
+// signal the overload controller watches between samples.
+func (s *server) queueDepth() int { return len(s.queue) }
+
+// ready backs the /readyz probe: the server wants traffic unless it is
+// draining or the admission controller has latched overload.
+func (s *server) ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if active, reason := s.overload.Active(); active {
+		return false, "overloaded: " + reason
+	}
+	return true, ""
+}
+
 func (s *server) runLoop() {
 	defer close(s.doneC)
 	for {
 		select {
 		case j := <-s.queue:
+			s.overload.ObserveQueue(len(s.queue))
 			if s.draining.Load() {
 				s.finishCanceled(j, "server draining")
 				continue
 			}
 			s.runJob(j)
+			s.overload.ObserveQueue(len(s.queue))
 		case <-s.drainC:
 			for {
 				select {
@@ -371,6 +411,10 @@ func renderVerdicts(sum *batch.Summary) []verdictLine {
 			if res.Verdict == core.VerdictViolation {
 				line.Kind = res.Kind.String()
 			}
+			line.Cost = &verdictCost{
+				PeakStates: res.Cost.PeakStates,
+				CTLWords:   res.Cost.CTLWords,
+			}
 		}
 		lines = append(lines, line)
 	}
@@ -396,13 +440,33 @@ func (s *server) emitJobDone(j *job) {
 	if j.errText != "" {
 		e.S["error"] = j.errText
 	}
+	var cost *obs.Event
 	if j.summary != nil {
 		e.N["proven"] = int64(j.summary.Proven)
 		e.N["violations"] = int64(j.summary.Violations)
 		e.N["errored"] = int64(j.summary.Errored)
+		// The job's cost_report on the server journal mirrors the one
+		// batch.Verify wrote into the job's spool journal, tagged with the
+		// job id so journalstat -cost can attribute it.
+		c := j.summary.Cost
+		cost = &obs.Event{Kind: obs.KindCostReport, Iter: -1,
+			DurNS: j.finished.Sub(j.submitted).Nanoseconds(),
+			S:     map[string]string{"job": j.id},
+			N: map[string]int64{
+				"instances":   int64(len(j.summary.Results)),
+				"cpu_ns":      c.CPUNS,
+				"alloc_bytes": c.AllocBytes,
+				"peak_states": c.PeakStates,
+				"ctl_words":   c.CTLWords,
+				"memo_hits":   c.MemoHits,
+				"memo_misses": c.MemoMisses,
+			}}
 	}
 	j.mu.Unlock()
 	s.journal.Emit(e)
+	if cost != nil {
+		s.journal.Emit(*cost)
+	}
 }
 
 // submit validates a request, builds its items, and enqueues the job.
@@ -410,6 +474,10 @@ func (s *server) submit(req jobRequest) (*job, int, error) {
 	if s.draining.Load() {
 		s.mRejected.Add(1)
 		return nil, http.StatusServiceUnavailable, fmt.Errorf("verifyd: draining, not accepting jobs")
+	}
+	if active, reason := s.overload.Active(); active {
+		s.mRejected.Add(1)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("verifyd: overloaded (%s), retry later", reason)
 	}
 	sources := 0
 	for _, set := range []bool{req.Manifest != "", req.Gen != nil, req.Scenarios} {
@@ -500,6 +568,7 @@ func (s *server) submit(req jobRequest) (*job, int, error) {
 
 	select {
 	case s.queue <- j:
+		s.overload.ObserveQueue(len(s.queue))
 	default:
 		s.mu.Lock()
 		delete(s.jobs, j.id)
@@ -539,6 +608,9 @@ type progressSnapshot struct {
 	Canceled int  `json:"jobs_canceled"`
 	Draining bool `json:"draining"`
 
+	Overloaded     bool   `json:"overloaded"`
+	OverloadReason string `json:"overload_reason,omitempty"`
+
 	CurrentJob string                  `json:"current_job,omitempty"`
 	Batch      *batch.ProgressSnapshot `json:"batch,omitempty"`
 
@@ -554,6 +626,7 @@ type progressSnapshot struct {
 
 func (s *server) progressSnapshot() any {
 	snap := progressSnapshot{Draining: s.draining.Load()}
+	snap.Overloaded, snap.OverloadReason = s.overload.Active()
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
 	s.mu.Unlock()
@@ -636,6 +709,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j, code, err := s.submit(req)
 	if err != nil {
+		if code == http.StatusServiceUnavailable {
+			// Shed load politely: draining never recovers, but a full queue
+			// or overload usually clears within a job's runtime.
+			w.Header().Set("Retry-After", "1")
+		}
 		http.Error(w, err.Error(), code)
 		return
 	}

@@ -36,6 +36,43 @@ type Item struct {
 	Build func() (Problem, error)
 }
 
+// Cost is the resource ledger of one instance — or, summed, of a whole
+// batch or job. It splits into two classes (DESIGN.md §15):
+//
+// Deterministic effort figures, identical across worker counts, memo
+// warm-starts, and process restarts: PeakStates (largest composed system
+// the instance built) and CTLWords (bitset words produced by the model
+// checker). These are safe to embed in byte-identity-contracted outputs
+// like verifyd's verdict NDJSON.
+//
+// Measured figures, machine- and schedule-dependent: CPUNS (wall time of
+// the instance — each instance occupies exactly one pool worker, so wall
+// time is worker-seconds of attribution), AllocBytes (the process-global
+// allocation delta over the instance's window divided by the pool width,
+// exact at one worker and a documented approximation otherwise), and the
+// memo hit/miss deltas observed on the instance's worker (attribution is
+// approximate when concurrent instances interleave cache traffic; the
+// batch-level sums remain exact).
+type Cost struct {
+	CPUNS      int64 `json:"cpu_ns"`
+	AllocBytes int64 `json:"alloc_bytes"`
+	PeakStates int64 `json:"peak_states"`
+	CTLWords   int64 `json:"ctl_words"`
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
+}
+
+// Add folds another ledger into c (the batch/job aggregation step). The
+// job-level report is defined as the exact sum of its instance ledgers.
+func (c *Cost) Add(o Cost) {
+	c.CPUNS += o.CPUNS
+	c.AllocBytes += o.AllocBytes
+	c.PeakStates += o.PeakStates
+	c.CTLWords += o.CTLWords
+	c.MemoHits += o.MemoHits
+	c.MemoMisses += o.MemoMisses
+}
+
 // Result is the outcome of one instance. Results are reported in item
 // order, independent of worker scheduling, so batches are comparable
 // across worker counts.
@@ -54,6 +91,8 @@ type Result struct {
 	// and converted into Err without taking down the batch.
 	Panicked bool
 	Duration time.Duration
+	// Cost is the instance's resource ledger.
+	Cost Cost
 }
 
 // Options configure a batch run.
@@ -98,6 +137,9 @@ type Summary struct {
 	// CacheHits/CacheMisses are the shared memo cache's counters (0/0
 	// without a cache).
 	CacheHits, CacheMisses int64
+	// Cost is the exact sum of the per-instance ledgers, journaled as the
+	// batch's cost_report event.
+	Cost Cost
 }
 
 // Throughput returns completed instances per second of wall-clock time.
@@ -173,7 +215,7 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 					continue
 				}
 				opts.Progress.starting(idx, items[idx].Name)
-				res := runOne(batchCtx, items[idx], idx, w, opts)
+				res := runOne(batchCtx, items[idx], idx, w, workers, opts)
 				mInstances.Add(1)
 				tInstance.Observe(res.Duration)
 				hInstance.Observe(res.Duration)
@@ -188,11 +230,17 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 						DurNS: int64(res.Duration),
 						Trace: "batch", Parent: batchSpan,
 						N: map[string]int64{
-							"index":      int64(res.Index),
-							"worker":     int64(res.Worker),
-							"timed_out":  b2i(res.TimedOut),
-							"panicked":   b2i(res.Panicked),
-							"iterations": int64(res.Iterations),
+							"index":            int64(res.Index),
+							"worker":           int64(res.Worker),
+							"timed_out":        b2i(res.TimedOut),
+							"panicked":         b2i(res.Panicked),
+							"iterations":       int64(res.Iterations),
+							"cost_cpu_ns":      res.Cost.CPUNS,
+							"cost_alloc_bytes": res.Cost.AllocBytes,
+							"cost_peak_states": res.Cost.PeakStates,
+							"cost_ctl_words":   res.Cost.CTLWords,
+							"cost_memo_hits":   res.Cost.MemoHits,
+							"cost_memo_misses": res.Cost.MemoMisses,
 						},
 						S: instanceDoneStrings(res),
 					})
@@ -223,6 +271,23 @@ func Verify(items []Item, opts Options) (*Summary, error) {
 		}
 	}
 	sum.CacheHits, sum.CacheMisses, _ = opts.Memo.Stats()
+	for i := range results {
+		sum.Cost.Add(results[i].Cost)
+	}
+	if j := opts.Journal; j.Enabled() {
+		j.Emit(obs.Event{Kind: obs.KindCostReport, Iter: -1,
+			DurNS: int64(sum.Duration),
+			Trace: "batch", Parent: batchSpan,
+			N: map[string]int64{
+				"instances":   int64(len(results)),
+				"cpu_ns":      sum.Cost.CPUNS,
+				"alloc_bytes": sum.Cost.AllocBytes,
+				"peak_states": sum.Cost.PeakStates,
+				"ctl_words":   sum.Cost.CTLWords,
+				"memo_hits":   sum.Cost.MemoHits,
+				"memo_misses": sum.Cost.MemoMisses,
+			}})
+	}
 	return sum, nil
 }
 
@@ -237,11 +302,22 @@ func instanceDoneStrings(res Result) map[string]string {
 }
 
 // runOne executes one instance with panic isolation and its own deadline.
-func runOne(batchCtx context.Context, item Item, idx, worker int, opts Options) (res Result) {
+// workers is the pool width, the divisor of the instance's share of the
+// process-global allocation delta (see Cost).
+func runOne(batchCtx context.Context, item Item, idx, worker, workers int, opts Options) (res Result) {
 	res = Result{Index: idx, Name: item.Name, Worker: worker}
 	start := time.Now()
+	alloc0 := obs.ReadAllocBytes()
+	memoHits0, memoMisses0, _ := opts.Memo.Stats()
 	defer func() {
 		res.Duration = time.Since(start)
+		res.Cost.CPUNS = res.Duration.Nanoseconds()
+		if d := obs.ReadAllocBytes() - alloc0; d > 0 && workers > 0 {
+			res.Cost.AllocBytes = d / int64(workers)
+		}
+		hits, misses, _ := opts.Memo.Stats()
+		res.Cost.MemoHits = hits - memoHits0
+		res.Cost.MemoMisses = misses - memoMisses0
 		if r := recover(); r != nil {
 			res.Panicked = true
 			res.Err = fmt.Errorf("batch: instance %q panicked: %v", item.Name, r)
@@ -285,6 +361,8 @@ func runOne(batchCtx context.Context, item Item, idx, worker int, opts Options) 
 	res.Verdict = report.Verdict
 	res.Kind = report.Kind
 	res.Iterations = report.Stats.Iterations
+	res.Cost.PeakStates = int64(report.Stats.PeakSystemStates)
+	res.Cost.CTLWords = report.Stats.CTLWordsScanned
 	return res
 }
 

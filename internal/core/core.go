@@ -333,6 +333,11 @@ type Stats struct {
 	TransitionsLearned int
 	RefusalsLearned    int
 	PeakSystemStates   int
+	// CTLWordsScanned is the model-checking effort of the run: bitset
+	// words produced by the checker's sweep and bounded operators,
+	// deterministic for a given problem regardless of worker count or
+	// memo warm-start (the cost ledger's effort figure, DESIGN.md §15).
+	CTLWordsScanned int64
 
 	// ProductPatches and ProductRebuilds count how each iteration's
 	// verification system was obtained: by patching the previous
@@ -492,6 +497,9 @@ func (s *Synthesizer) Run() (*Report, error) {
 		if done {
 			report.Model = s.model
 			s.stats.Iterations = len(report.Iterations)
+			if s.checker != nil {
+				s.stats.CTLWordsScanned = s.checker.WordsScanned()
+			}
 			report.Stats = s.stats
 			return report, nil
 		}

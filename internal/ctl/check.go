@@ -50,6 +50,14 @@ type Checker struct {
 	ctxErr error
 	polls  int
 
+	// wordsScanned tallies bitset words produced by sweep and bounded
+	// operators over this checker's lifetime, independent of the shared
+	// registry counter: the registry aggregates across a whole batch,
+	// while this field is the per-instance figure the cost ledger reads
+	// via WordsScanned. Updated only between parallel regions, on the
+	// coordinating goroutine.
+	wordsScanned int64
+
 	// Optional instrumentation (see Instrument); nil counters are no-ops,
 	// so the uninstrumented checker pays one branch per update site.
 	mFixpointIters  *obs.Counter   // work units inside fixpoint loops
@@ -207,6 +215,19 @@ func (c *Checker) Instrument(r *obs.Registry) {
 	c.mParallelChunks = r.Counter("ctl.parallel_chunks")
 	c.hCheck = r.Histogram("ctl.check")
 }
+
+// addWords records words produced by a sweep or bounded-layer operator in
+// both the checker-local tally and the (batch-wide) registry counter.
+func (c *Checker) addWords(n int64) {
+	c.wordsScanned += n
+	c.mWordsScanned.Add(n)
+}
+
+// WordsScanned returns the total bitset words this checker has produced
+// across all evaluations — the deterministic model-checking effort figure
+// of the cost ledger (identical across worker counts and memo states, see
+// DESIGN.md §15).
+func (c *Checker) WordsScanned() int64 { return c.wordsScanned }
 
 // getBits borrows a zeroed bitset sized for the current automaton.
 func (c *Checker) getBits() bitset {
@@ -416,7 +437,7 @@ func (c *Checker) evalAtom(p automata.Proposition) bitset {
 			out[w] = word
 		}
 	})
-	c.mWordsScanned.Add(int64(len(out)))
+	c.addWords(int64(len(out)))
 	return out
 }
 
@@ -443,7 +464,7 @@ func (c *Checker) preAll(x bitset) bitset {
 			out[w] = word
 		}
 	})
-	c.mWordsScanned.Add(int64(len(out)))
+	c.addWords(int64(len(out)))
 	return out
 }
 
@@ -469,7 +490,7 @@ func (c *Checker) preSome(x bitset) bitset {
 			out[w] = word
 		}
 	})
-	c.mWordsScanned.Add(int64(len(out)))
+	c.addWords(int64(len(out)))
 	return out
 }
 
@@ -588,7 +609,7 @@ func (c *Checker) unboundedEG(f bitset) bitset {
 			}
 		}
 	})
-	c.mWordsScanned.Add(int64(len(out)))
+	c.addWords(int64(len(out)))
 	removal := c.queue[:0]
 	for wi, word := range out {
 		base := int32(wi << 6)
@@ -662,7 +683,7 @@ func (c *Checker) boundedAF(f bitset, b Bound) bitset {
 		cur, next = next, cur // cur becomes scratch; next holds layer j
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	c.addWords(int64(b.Hi+1) * int64(len(cur)))
 	out := newBitset(n)
 	out.copyFrom(next)
 	c.putBits(next)
@@ -709,7 +730,7 @@ func (c *Checker) boundedEF(f bitset, b Bound) bitset {
 		cur, next = next, cur
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	c.addWords(int64(b.Hi+1) * int64(len(cur)))
 	out := newBitset(n)
 	out.copyFrom(next)
 	c.putBits(next)
@@ -760,7 +781,7 @@ func (c *Checker) boundedAG(f bitset, b Bound) bitset {
 		cur, next = next, cur
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	c.addWords(int64(b.Hi+1) * int64(len(cur)))
 	out := newBitset(n)
 	out.copyFrom(next)
 	c.putBits(next)
@@ -814,7 +835,7 @@ func (c *Checker) boundedEG(f bitset, b Bound) bitset {
 		cur, next = next, cur
 	}
 	c.mFixpointIters.Add(int64(b.Hi+1) * int64(n))
-	c.mWordsScanned.Add(int64(b.Hi+1) * int64(len(cur)))
+	c.addWords(int64(b.Hi+1) * int64(len(cur)))
 	out := newBitset(n)
 	out.copyFrom(next)
 	c.putBits(next)

@@ -39,6 +39,36 @@ type SlowInstance struct {
 	DurNS int64  `json:"dur_ns"`
 }
 
+// InstanceCost names one batch instance and the cost-ledger figures it
+// carried on its instance_done event.
+type InstanceCost struct {
+	Name       string `json:"name"`
+	CPUNS      int64  `json:"cpu_ns"`
+	AllocBytes int64  `json:"alloc_bytes"`
+	PeakStates int64  `json:"peak_states"`
+	CTLWords   int64  `json:"ctl_words"`
+}
+
+// CostStats aggregates the resource cost ledger of a journal: the sums
+// of the per-instance cost_* fields on instance_done events (or, for
+// journals that carry only job-level cost_report events, the report
+// totals) plus the top-k instances by CPU and by attributed allocation.
+// Journals without any cost fields yield a nil CostStats, keeping old
+// reports byte-identical.
+type CostStats struct {
+	Instances  int   `json:"instances"`
+	Reports    int   `json:"reports"`
+	CPUNS      int64 `json:"cpu_ns"`
+	AllocBytes int64 `json:"alloc_bytes"`
+	PeakStates int64 `json:"peak_states"`
+	CTLWords   int64 `json:"ctl_words"`
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
+
+	TopCPU   []InstanceCost `json:"top_cpu,omitempty"`
+	TopAlloc []InstanceCost `json:"top_alloc,omitempty"`
+}
+
 // JournalStats is the aggregate of one or more journals.
 type JournalStats struct {
 	Events     int                   `json:"events"`
@@ -52,6 +82,9 @@ type JournalStats struct {
 	Verdicts map[string]int `json:"verdicts"`
 	// Slowest lists the top-k slowest batch instances, longest first.
 	Slowest []SlowInstance `json:"slowest,omitempty"`
+	// Cost is the journal's aggregated resource ledger, nil when the
+	// journal predates cost accounting.
+	Cost *CostStats `json:"cost,omitempty"`
 }
 
 // phaseOf maps an event kind onto its analysis phase ("" = unphased).
@@ -84,6 +117,9 @@ func Analyze(events []Event, topK int) *JournalStats {
 	durs := make(map[string][]int64)
 	traces := make(map[string]bool)
 	var slow []SlowInstance
+	var costs []InstanceCost
+	var cost CostStats
+	var reportCost CostStats
 	for _, e := range events {
 		s.Kinds[string(e.Kind)]++
 		if e.Trace != "" {
@@ -109,6 +145,34 @@ func Analyze(events []Event, topK int) *JournalStats {
 				name = fmt.Sprintf("#%d", e.N["index"])
 			}
 			slow = append(slow, SlowInstance{Name: name, DurNS: e.DurNS})
+			// Journals from before cost accounting have no cost_* fields;
+			// their absence (not a zero value) keeps Cost nil.
+			if _, ok := e.N["cost_cpu_ns"]; ok {
+				ic := InstanceCost{
+					Name:       name,
+					CPUNS:      e.N["cost_cpu_ns"],
+					AllocBytes: e.N["cost_alloc_bytes"],
+					PeakStates: e.N["cost_peak_states"],
+					CTLWords:   e.N["cost_ctl_words"],
+				}
+				costs = append(costs, ic)
+				cost.Instances++
+				cost.CPUNS += ic.CPUNS
+				cost.AllocBytes += ic.AllocBytes
+				cost.PeakStates += ic.PeakStates
+				cost.CTLWords += ic.CTLWords
+				cost.MemoHits += e.N["cost_memo_hits"]
+				cost.MemoMisses += e.N["cost_memo_misses"]
+			}
+		case KindCostReport:
+			reportCost.Reports++
+			reportCost.Instances += int(e.N["instances"])
+			reportCost.CPUNS += e.N["cpu_ns"]
+			reportCost.AllocBytes += e.N["alloc_bytes"]
+			reportCost.PeakStates += e.N["peak_states"]
+			reportCost.CTLWords += e.N["ctl_words"]
+			reportCost.MemoHits += e.N["memo_hits"]
+			reportCost.MemoMisses += e.N["memo_misses"]
 		}
 	}
 	s.Traces = len(traces)
@@ -120,7 +184,32 @@ func Analyze(events []Event, topK int) *JournalStats {
 		slow = slow[:topK]
 	}
 	s.Slowest = slow
+
+	switch {
+	case cost.Instances > 0:
+		// Instance-level ledgers win; a cost_report in the same journal is
+		// their (redundant) sum, so only its presence is recorded.
+		cost.Reports = reportCost.Reports
+		cost.TopCPU = topCostBy(costs, topK, func(c InstanceCost) int64 { return c.CPUNS })
+		cost.TopAlloc = topCostBy(costs, topK, func(c InstanceCost) int64 { return c.AllocBytes })
+		s.Cost = &cost
+	case reportCost.Reports > 0:
+		// Server journals carry job-level cost_report events only (the
+		// instance ledgers live in the per-job spool journals).
+		s.Cost = &reportCost
+	}
 	return s
+}
+
+// topCostBy returns the k largest entries by the given figure, ties
+// broken by input order.
+func topCostBy(costs []InstanceCost, k int, by func(InstanceCost) int64) []InstanceCost {
+	sorted := append([]InstanceCost(nil), costs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return by(sorted[i]) > by(sorted[j]) })
+	if k > 0 && len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
 }
 
 // distill computes the distribution of one phase's durations.
@@ -184,6 +273,50 @@ func (s *JournalStats) RenderText(w io.Writer) {
 	for _, kind := range sortedKeys(s.Kinds) {
 		fmt.Fprintf(w, "  %-18s %7d\n", kind, s.Kinds[kind])
 	}
+}
+
+// RenderCost writes the human-readable cost-ledger section (journalstat
+// -cost). A nil receiver (journal without cost accounting) says so
+// instead of rendering zeros.
+func (c *CostStats) RenderCost(w io.Writer) {
+	if c == nil {
+		fmt.Fprintf(w, "no cost data in journal (predates cost accounting?)\n")
+		return
+	}
+	fmt.Fprintf(w, "cost: %d instances", c.Instances)
+	if c.Reports > 0 {
+		fmt.Fprintf(w, " (%d cost reports)", c.Reports)
+	}
+	fmt.Fprintf(w, "\n  cpu %s  alloc %s  peak states %d  ctl words %d  memo %d hits / %d misses\n",
+		ns(c.CPUNS), bytesIEC(c.AllocBytes), c.PeakStates, c.CTLWords, c.MemoHits, c.MemoMisses)
+	if len(c.TopCPU) > 0 {
+		fmt.Fprintf(w, "\ntop instances by cpu:\n")
+		for i, ic := range c.TopCPU {
+			fmt.Fprintf(w, "  %2d. %-28s cpu %-12s alloc %-10s states %-8d words %d\n",
+				i+1, ic.Name, ns(ic.CPUNS), bytesIEC(ic.AllocBytes), ic.PeakStates, ic.CTLWords)
+		}
+	}
+	if len(c.TopAlloc) > 0 {
+		fmt.Fprintf(w, "\ntop instances by allocation:\n")
+		for i, ic := range c.TopAlloc {
+			fmt.Fprintf(w, "  %2d. %-28s alloc %-10s cpu %-12s states %-8d words %d\n",
+				i+1, ic.Name, bytesIEC(ic.AllocBytes), ns(ic.CPUNS), ic.PeakStates, ic.CTLWords)
+		}
+	}
+}
+
+// bytesIEC renders a byte count compactly with binary units.
+func bytesIEC(v int64) string {
+	const unit = 1024
+	if v < unit {
+		return fmt.Sprintf("%dB", v)
+	}
+	div, exp := int64(unit), 0
+	for n := v / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(v)/float64(div), "KMGTPE"[exp])
 }
 
 // DiffText writes a phase-by-phase comparison of two aggregated journals

@@ -80,6 +80,19 @@ func (h *Histogram) ObserveNS(ns int64) {
 	h.sumNS.Add(ns)
 }
 
+// ObserveNSCount records n observations of the same nanosecond value in
+// one update — the bulk form the runtime sampler uses to fold a
+// runtime/metrics bucket delta (potentially thousands of scheduling
+// latencies per tick) into the ladder without a per-observation loop.
+// Safe on a nil histogram; non-positive n is ignored.
+func (h *Histogram) ObserveNSCount(ns, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.counts[BucketIndex(ns)].Add(n)
+	h.sumNS.Add(ns * n)
+}
+
 // Span starts a measurement; call the returned func to record the
 // elapsed time. On a nil histogram the returned func is a no-op and no
 // clock is read.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -128,6 +129,116 @@ func TestEventsDropsSlowClientWithoutBlockingEmit(t *testing.T) {
 		}
 		if err != nil {
 			t.Fatalf("stream ended without drop notice: %v", err)
+		}
+	}
+}
+
+// TestEventsFanOutConcurrentEmitters runs several SSE clients against a
+// journal hammered by concurrent emitters (run with -race): every client
+// must observe a strictly increasing seq stream with no duplicates, and
+// every emitter must finish regardless of client pace.
+func TestEventsFanOutConcurrentEmitters(t *testing.T) {
+	const (
+		emitters  = 4
+		perEmit   = 200
+		clients   = 3
+		wantTotal = emitters * perEmit
+	)
+	// Size the per-client buffer to the full stream: this test is about
+	// every client seeing every event in order, not the drop path (covered
+	// by TestEventsDropsSlowClientWithoutBlockingEmit).
+	oldBuf := sseBuffer
+	sseBuffer = wantTotal + 16
+	defer func() { sseBuffer = oldBuf }()
+
+	ring := obs.NewRingSink(wantTotal + 1)
+	j := obs.NewJournal(ring)
+	srv, err := Start("127.0.0.1:0", Options{Events: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Connect all clients before the first emit so no one needs replay to
+	// see the full stream.
+	type clientRun struct {
+		seqs []uint64
+		err  error
+	}
+	results := make(chan clientRun, clients)
+	ready := make(chan struct{}, clients)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for c := 0; c < clients; c++ {
+		go func() {
+			var run clientRun
+			defer func() { results <- run }()
+			req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+srv.Addr()+"/events", nil)
+			resp, err := http.DefaultTransport.RoundTrip(req)
+			if err != nil {
+				run.err = err
+				ready <- struct{}{}
+				return
+			}
+			defer resp.Body.Close()
+			ready <- struct{}{}
+			r := bufio.NewReader(resp.Body)
+			for len(run.seqs) < wantTotal {
+				var e obs.Event
+				if err := json.Unmarshal([]byte(readData(r, &run.err)), &e); run.err != nil {
+					return
+				} else if err != nil {
+					run.err = err
+					return
+				}
+				run.seqs = append(run.seqs, e.Seq)
+			}
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		<-ready
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < emitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEmit; i++ {
+				j.Emit(obs.Event{Kind: obs.KindNote, Iter: -1})
+			}
+		}()
+	}
+	wg.Wait()
+
+	for c := 0; c < clients; c++ {
+		run := <-results
+		if run.err != nil {
+			t.Fatalf("client %d: %v", c, run.err)
+		}
+		if len(run.seqs) != wantTotal {
+			t.Fatalf("client %d: saw %d events, want %d", c, len(run.seqs), wantTotal)
+		}
+		for i := 1; i < len(run.seqs); i++ {
+			if run.seqs[i] <= run.seqs[i-1] {
+				t.Fatalf("client %d: seq %d after %d at position %d", c, run.seqs[i], run.seqs[i-1], i)
+			}
+		}
+	}
+}
+
+// readData reads the next SSE data payload, recording stream errors in
+// *errp (the concurrent variant of readDataLine, which t.Fatals and so
+// must not run off the test goroutine).
+func readData(r *bufio.Reader, errp *error) string {
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			*errp = err
+			return ""
+		}
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "data:"); ok {
+			return strings.TrimSpace(rest)
 		}
 	}
 }

@@ -7,7 +7,9 @@
 //	/progress      JSON snapshot of the run's progress source
 //	/events        Server-Sent Events tail of the live journal
 //	/journal/tail  JSON snapshot of the flight-recorder ring (?n=)
-//	/healthz       liveness probe ("ok")
+//	/healthz       liveness probe ("ok" while the process runs)
+//	/readyz        readiness probe (503 + reason while draining or
+//	               overloaded; see Options.Ready)
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // The server binds eagerly (Start fails fast on a bad address) and
@@ -51,6 +53,10 @@ type Options struct {
 	// claims — the hook cmd/verifyd uses to mount its job API on the same
 	// plane. Built-in paths win; a nil Extra keeps the default 404.
 	Extra http.Handler
+	// Ready, when non-nil, backs /readyz: it reports whether the process
+	// wants traffic and, when it does not, why (draining, overloaded). A
+	// nil Ready makes /readyz identical to /healthz — always ready.
+	Ready func() (bool, string)
 }
 
 // sseReplay bounds how much ring history a fresh /events subscriber is
@@ -79,6 +85,20 @@ func Start(addr string, o Options) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Ready != nil {
+			if ok, reason := o.Ready(); !ok {
+				if reason == "" {
+					reason = "not ready"
+				}
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, reason)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

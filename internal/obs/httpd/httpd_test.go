@@ -128,6 +128,66 @@ func TestServerDefaultsAndClose(t *testing.T) {
 	}
 }
 
+// TestReadyz covers the liveness/readiness split: nil Ready makes
+// /readyz identical to /healthz; a Ready source flips it to 503 with
+// the reported reason while /healthz stays 200.
+func TestReadyz(t *testing.T) {
+	var ready atomic.Bool
+	var reason atomic.Value
+	ready.Store(true)
+	reason.Store("")
+	srv, err := Start("127.0.0.1:0", Options{
+		Ready: func() (bool, string) { return ready.Load(), reason.Load().(string) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ctype := get(t, base+"/readyz")
+	if strings.TrimSpace(body) != "ok" || !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/readyz while ready = %q (%s)", body, ctype)
+	}
+
+	check503 := func(wantReason string) {
+		t.Helper()
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("/readyz while not ready: status %d, want 503", resp.StatusCode)
+		}
+		if !strings.Contains(string(b), wantReason) {
+			t.Errorf("/readyz body %q does not carry reason %q", b, wantReason)
+		}
+	}
+	ready.Store(false)
+	reason.Store("draining")
+	check503("draining")
+	// An empty reason still yields a useful body.
+	reason.Store("")
+	check503("not ready")
+
+	// Liveness is unaffected by readiness.
+	if body, _ := get(t, base+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz while not ready = %q", body)
+	}
+
+	// Without a Ready source, /readyz always answers ok.
+	srv2, err := Start("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if body, _ := get(t, "http://"+srv2.Addr()+"/readyz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/readyz with nil Ready = %q", body)
+	}
+}
+
 func TestStartFailsFastOnBadAddress(t *testing.T) {
 	if _, err := Start("256.0.0.1:bogus", Options{}); err == nil {
 		t.Fatal("Start accepted an unusable address")

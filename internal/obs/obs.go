@@ -93,6 +93,22 @@ const (
 	// (s: key, reason — "corrupt" for a failed integrity check, "size" for
 	// the LRU capacity sweep; n: bytes).
 	KindStoreEvict EventKind = "store_evict"
+	// KindResourceSample is one periodic reading of the Go runtime taken
+	// by the RuntimeSampler (n: heap_live_bytes, heap_goal_bytes,
+	// goroutines, gc_cycles, alloc_bytes, alloc_rate_bps, gc_pause_ns —
+	// cumulative where named so, deltas where rates).
+	KindResourceSample EventKind = "resource_sample"
+	// KindCostReport aggregates the per-instance cost ledgers of one batch
+	// or job (s: job — when emitted by a service; n: instances, cpu_ns,
+	// alloc_bytes, peak_states, ctl_words, memo_hits, memo_misses).
+	KindCostReport EventKind = "cost_report"
+	// KindOverloadEnter marks the admission controller tripping: the
+	// process sheds load until the exit event (s: reason; n:
+	// heap_live_bytes, queue_depth).
+	KindOverloadEnter EventKind = "overload_enter"
+	// KindOverloadExit marks recovery from overload (n: heap_live_bytes,
+	// queue_depth; dur_ns — time spent overloaded).
+	KindOverloadExit EventKind = "overload_exit"
 	// KindHistogramSnapshot is the final state of one latency histogram,
 	// emitted when a run's observability surfaces close (s: name; n:
 	// count, sum_ns, and per-bucket counts b00..b27 over HistogramBounds —
@@ -124,6 +140,10 @@ var KnownKinds = map[EventKind]bool{
 	KindStoreHit:          true,
 	KindStoreMiss:         true,
 	KindStoreEvict:        true,
+	KindResourceSample:    true,
+	KindCostReport:        true,
+	KindOverloadEnter:     true,
+	KindOverloadExit:      true,
 	KindHistogramSnapshot: true,
 	KindNote:              true,
 }

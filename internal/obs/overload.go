@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Overload is a hysteretic admission controller: it watches heap pressure
+// (fed by the RuntimeSampler) and queue depth (fed by the service's
+// submit/dequeue paths) and latches an overloaded state that the HTTP
+// plane turns into 503 + Retry-After on intake and a failing /readyz.
+// Load is shed *before* the process OOMs — a verification job accepted
+// under memory pressure would only die slower and take the server's other
+// jobs with it.
+//
+// Two independent watermark pairs drive the state, each optional:
+//
+//   - heap: enter at HeapHighBytes of live heap, exit at HeapLowBytes
+//   - queue: enter at QueueHigh queued jobs, exit at QueueLow
+//
+// Entry is an OR over the enabled signals, exit an AND over their low
+// watermarks, so the state cannot flap across a single boundary.
+// Transitions journal overload_enter (with the triggering reason) and
+// overload_exit (with the overloaded duration), and the runtime.overload
+// gauge exports the state as muml_runtime_overload 0/1.
+//
+// A nil *Overload is a disabled controller: observations are discarded
+// and Active always reports false, so servers without configured
+// watermarks wire it unconditionally.
+type Overload struct {
+	opts OverloadOptions
+
+	mu        sync.Mutex
+	heapBytes int64
+	queue     int
+	active    bool
+	reason    string
+	enteredAt time.Time
+
+	gauge *Gauge
+}
+
+// OverloadOptions configure NewOverload. A zero or negative high
+// watermark disables that signal; a low watermark above its high (or
+// unset) snaps to the high value, giving plain threshold behaviour.
+type OverloadOptions struct {
+	// HeapHighBytes/HeapLowBytes are the live-heap watermarks.
+	HeapHighBytes, HeapLowBytes int64
+	// QueueHigh/QueueLow are the queue-depth watermarks.
+	QueueHigh, QueueLow int
+	// Journal receives overload_enter/overload_exit transition events.
+	Journal *Journal
+	// Registry receives the runtime.overload state gauge.
+	Registry *Registry
+}
+
+// NewOverload returns a controller, or nil (the disabled controller) when
+// no watermark is enabled.
+func NewOverload(o OverloadOptions) *Overload {
+	if o.HeapHighBytes <= 0 && o.QueueHigh <= 0 {
+		return nil
+	}
+	if o.HeapHighBytes > 0 && (o.HeapLowBytes <= 0 || o.HeapLowBytes > o.HeapHighBytes) {
+		o.HeapLowBytes = o.HeapHighBytes
+	}
+	if o.QueueHigh > 0 && (o.QueueLow < 0 || o.QueueLow > o.QueueHigh) {
+		o.QueueLow = o.QueueHigh
+	}
+	return &Overload{opts: o, gauge: o.Registry.Gauge("runtime.overload")}
+}
+
+// ObserveHeap feeds the controller a live-heap reading (typically from
+// RuntimeSamplerOptions.OnSample) and re-evaluates the state.
+func (o *Overload) ObserveHeap(bytes int64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.heapBytes = bytes
+	o.evaluate()
+	o.mu.Unlock()
+}
+
+// ObserveQueue feeds the controller the current intake queue depth and
+// re-evaluates the state.
+func (o *Overload) ObserveQueue(depth int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.queue = depth
+	o.evaluate()
+	o.mu.Unlock()
+}
+
+// Active reports the current state and, when overloaded, the reason that
+// tripped it. Safe on a nil controller (never overloaded).
+func (o *Overload) Active() (bool, string) {
+	if o == nil {
+		return false, ""
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.active, o.reason
+}
+
+// evaluate applies the watermarks to the latest observations; the caller
+// holds mu.
+func (o *Overload) evaluate() {
+	if !o.active {
+		reason := ""
+		switch {
+		case o.opts.HeapHighBytes > 0 && o.heapBytes >= o.opts.HeapHighBytes:
+			reason = fmt.Sprintf("heap %d >= high watermark %d bytes", o.heapBytes, o.opts.HeapHighBytes)
+		case o.opts.QueueHigh > 0 && o.queue >= o.opts.QueueHigh:
+			reason = fmt.Sprintf("queue depth %d >= high watermark %d", o.queue, o.opts.QueueHigh)
+		}
+		if reason == "" {
+			return
+		}
+		o.active, o.reason, o.enteredAt = true, reason, time.Now()
+		o.gauge.Set(1)
+		if j := o.opts.Journal; j.Enabled() {
+			j.Emit(Event{Kind: KindOverloadEnter, Iter: -1,
+				S: map[string]string{"reason": reason},
+				N: map[string]int64{"heap_live_bytes": o.heapBytes, "queue_depth": int64(o.queue)}})
+		}
+		return
+	}
+	if o.opts.HeapHighBytes > 0 && o.heapBytes > o.opts.HeapLowBytes {
+		return
+	}
+	if o.opts.QueueHigh > 0 && o.queue > o.opts.QueueLow {
+		return
+	}
+	o.active, o.reason = false, ""
+	o.gauge.Set(0)
+	if j := o.opts.Journal; j.Enabled() {
+		j.Emit(Event{Kind: KindOverloadExit, Iter: -1,
+			DurNS: time.Since(o.enteredAt).Nanoseconds(),
+			N:     map[string]int64{"heap_live_bytes": o.heapBytes, "queue_depth": int64(o.queue)}})
+	}
+}

@@ -12,7 +12,8 @@ import (
 // (internal/obs/httpd). Instrument names map to the muml_* namespace with
 // dots flattened to underscores: the counter "batch.instances" becomes
 // muml_batch_instances_total, the max-gauge "ctl.peak_states" becomes
-// muml_ctl_peak_states_max, a timer "core.check" becomes the pair
+// muml_ctl_peak_states_max, the settable gauge "runtime.goroutines"
+// becomes the bare muml_runtime_goroutines, a timer "core.check" becomes the pair
 // muml_core_check_spans_total / muml_core_check_seconds_total, and a
 // histogram "core.check" becomes the muml_core_check_ns family
 // (_bucket{le="…"} / _sum / _count, boundaries from HistogramBounds).
@@ -52,6 +53,10 @@ func WritePrometheus(w io.Writer, snap []Metric) error {
 		case "max":
 			if claim(base + "_max") {
 				writePromFamily(&b, base+"_max", "gauge", strconv.FormatInt(m.Value, 10))
+			}
+		case "gauge":
+			if claim(base) {
+				writePromFamily(&b, base, "gauge", strconv.FormatInt(m.Value, 10))
 			}
 		case "timer":
 			if claim(base+"_spans_total", base+"_seconds_total") {

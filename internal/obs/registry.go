@@ -39,6 +39,38 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a settable instantaneous value (heap bytes, goroutine count,
+// an overload flag) — unlike MaxGauge it moves in both directions. The
+// zero value is ready to use; a nil *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. Safe on a nil gauge and from concurrent
+// goroutines.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // MaxGauge tracks the maximum value observed. A nil *MaxGauge discards
 // updates.
 type MaxGauge struct {
@@ -117,6 +149,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*MaxGauge
+	levels     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
 }
@@ -126,6 +159,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*MaxGauge),
+		levels:     make(map[string]*Gauge),
 		timers:     make(map[string]*Timer),
 		histograms: make(map[string]*Histogram),
 	}
@@ -158,6 +192,22 @@ func (r *Registry) MaxGauge(name string) *MaxGauge {
 	if !ok {
 		g = &MaxGauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// Gauge returns the named settable gauge, creating it if needed (nil on a
+// nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.levels[name]
+	if !ok {
+		g = &Gauge{}
+		r.levels[name] = g
 	}
 	return g
 }
@@ -196,9 +246,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 // Metric is one instrument's snapshot value.
 type Metric struct {
 	Name string `json:"name"`
-	// Kind is "counter", "max", "timer", or "histogram".
+	// Kind is "counter", "gauge", "max", "timer", or "histogram".
 	Kind  string `json:"kind"`
-	Value int64  `json:"value"` // count for counters/timers/histograms, max for gauges
+	Value int64  `json:"value"` // count for counters/timers/histograms, level for gauges
 	// TotalNS is the accumulated duration (timers and histograms only).
 	TotalNS int64 `json:"total_ns,omitempty"`
 	// Buckets holds per-bucket observation counts (histograms only), the
@@ -217,12 +267,15 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.timers))
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.levels)+len(r.timers)+len(r.histograms))
 	for name, c := range r.counters {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
 	}
 	for name, g := range r.gauges {
 		out = append(out, Metric{Name: name, Kind: "max", Value: g.Value()})
+	}
+	for name, g := range r.levels {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
 	}
 	for name, t := range r.timers {
 		out = append(out, Metric{Name: name, Kind: "timer", Value: t.Count(), TotalNS: t.Total().Nanoseconds()})
@@ -274,6 +327,8 @@ func (r *Registry) RenderTable() string {
 			fmt.Fprintf(&b, "%-*s  %10d spans  total %-12s avg %s\n", width, m.Name, m.Value, total, avg)
 		case "max":
 			fmt.Fprintf(&b, "%-*s  %10d (max)\n", width, m.Name, m.Value)
+		case "gauge":
+			fmt.Fprintf(&b, "%-*s  %10d (gauge)\n", width, m.Name, m.Value)
 		default:
 			fmt.Fprintf(&b, "%-*s  %10d\n", width, m.Name, m.Value)
 		}

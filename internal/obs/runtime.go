@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// This file is the resource half of the observability plane: a sampler
+// goroutine over the runtime/metrics interface that turns the Go
+// runtime's own accounting — heap live/goal, GC cycles and pauses,
+// goroutine count, scheduling latency, total allocation — into the
+// muml_runtime_* metric families on /metrics and periodic
+// resource_sample journal events. Long-running services (cmd/verifyd)
+// and lingering batch runs use it to see memory pressure building
+// before the process OOMs; the Overload admission controller
+// (overload.go) consumes the same samples.
+//
+// Every runtime/metrics read is guarded by a KindBad check, so a metric
+// missing from the running toolchain degrades to zero instead of
+// panicking; heap live falls back from /gc/heap/live:bytes (go1.21+) to
+// the always-present /memory/classes/heap/objects:bytes.
+
+// DefaultSampleInterval is the sampling period services use unless
+// overridden (-sample-interval).
+const DefaultSampleInterval = time.Second
+
+// Runtime metric names, with the heap-live fallback pair first.
+const (
+	rmHeapLive     = "/gc/heap/live:bytes"
+	rmHeapObjects  = "/memory/classes/heap/objects:bytes"
+	rmHeapGoal     = "/gc/heap/goal:bytes"
+	rmGCCycles     = "/gc/cycles/total:gc-cycles"
+	rmGoroutines   = "/sched/goroutines:goroutines"
+	rmAllocBytes   = "/gc/heap/allocs:bytes"
+	rmGCPauses     = "/gc/pauses:seconds"
+	rmSchedLatency = "/sched/latencies:seconds"
+)
+
+// ResourceSample is one reading of the runtime, as delivered to the
+// OnSample hook and journaled as a resource_sample event. Byte and cycle
+// totals are cumulative since process start; the rate and pause fields
+// cover the interval since the previous sample.
+type ResourceSample struct {
+	// HeapLiveBytes is the live heap (bytes surviving the last GC, plus
+	// allocation since), HeapGoalBytes the size the pacer is steering to.
+	HeapLiveBytes int64
+	HeapGoalBytes int64
+	// Goroutines is the current goroutine count.
+	Goroutines int64
+	// GCCycles is the cumulative completed-GC count.
+	GCCycles int64
+	// AllocBytes is the cumulative total of heap allocation.
+	AllocBytes int64
+	// AllocRateBPS is the allocation rate over the last interval
+	// (bytes/second).
+	AllocRateBPS int64
+	// GCPauseNS is the total stop-the-world pause time accrued during the
+	// last interval.
+	GCPauseNS int64
+}
+
+// RuntimeSamplerOptions configure StartRuntimeSampler. Journal, Registry,
+// and OnSample are each optional (and nil-safe); Interval defaults to one
+// second.
+type RuntimeSamplerOptions struct {
+	// Interval is the sampling period (default 1s when non-positive).
+	Interval time.Duration
+	// Journal receives one resource_sample event per tick.
+	Journal *Journal
+	// Registry receives the runtime.* instruments: heap_live_bytes,
+	// heap_goal_bytes, goroutines, and alloc_rate_bps gauges; gc_cycles
+	// and alloc_bytes counters; gc_pause and sched_latency histograms.
+	Registry *Registry
+	// OnSample, when non-nil, observes every sample after the instruments
+	// are updated — the hook the verifyd admission controller hangs off.
+	// It runs on the sampler goroutine and must not block.
+	OnSample func(ResourceSample)
+}
+
+// RuntimeSampler periodically reads the Go runtime's own metrics and
+// re-exports them through the obs plane. Stop terminates the goroutine
+// after one final sample, so even a short-lived run journals at least
+// two resource_sample events (the initial one taken synchronously by
+// StartRuntimeSampler, and the final one).
+type RuntimeSampler struct {
+	opts    RuntimeSamplerOptions
+	samples []metrics.Sample
+
+	gHeapLive  *Gauge
+	gHeapGoal  *Gauge
+	gGoroutine *Gauge
+	gAllocRate *Gauge
+	cGCCycles  *Counter
+	cAlloc     *Counter
+	hGCPause   *Histogram
+	hSchedLat  *Histogram
+
+	// prev* carry the cumulative readings of the previous tick, so counter
+	// instruments advance by deltas and rates have a base.
+	prevAlloc    int64
+	prevGCCycles int64
+	prevPause    []uint64
+	prevSched    []uint64
+	prevAt       time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeSampler takes an immediate first sample and then samples
+// every Interval until Stop. Returns nil only if the runtime exposes
+// none of the sampled metrics (which no supported toolchain does).
+func StartRuntimeSampler(o RuntimeSamplerOptions) *RuntimeSampler {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	s := &RuntimeSampler{
+		opts: o,
+		samples: []metrics.Sample{
+			{Name: rmHeapLive},
+			{Name: rmHeapObjects},
+			{Name: rmHeapGoal},
+			{Name: rmGCCycles},
+			{Name: rmGoroutines},
+			{Name: rmAllocBytes},
+			{Name: rmGCPauses},
+			{Name: rmSchedLatency},
+		},
+		gHeapLive:  o.Registry.Gauge("runtime.heap_live_bytes"),
+		gHeapGoal:  o.Registry.Gauge("runtime.heap_goal_bytes"),
+		gGoroutine: o.Registry.Gauge("runtime.goroutines"),
+		gAllocRate: o.Registry.Gauge("runtime.alloc_rate_bps"),
+		cGCCycles:  o.Registry.Counter("runtime.gc_cycles"),
+		cAlloc:     o.Registry.Counter("runtime.alloc_bytes"),
+		hGCPause:   o.Registry.Histogram("runtime.gc_pause"),
+		hSchedLat:  o.Registry.Histogram("runtime.sched_latency"),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+// Stop takes one final sample and terminates the sampler goroutine,
+// blocking until it has exited. Safe on a nil sampler and idempotent is
+// not required — callers stop exactly once (defer).
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample()
+		case <-s.stop:
+			s.sample()
+			return
+		}
+	}
+}
+
+// sample reads the runtime, updates the instruments by delta, journals a
+// resource_sample event, and invokes the OnSample hook.
+func (s *RuntimeSampler) sample() {
+	metrics.Read(s.samples)
+	now := time.Now()
+	byName := make(map[string]*metrics.Sample, len(s.samples))
+	for i := range s.samples {
+		byName[s.samples[i].Name] = &s.samples[i]
+	}
+
+	out := ResourceSample{
+		HeapLiveBytes: readUint(byName[rmHeapLive]),
+		HeapGoalBytes: readUint(byName[rmHeapGoal]),
+		Goroutines:    readUint(byName[rmGoroutines]),
+		GCCycles:      readUint(byName[rmGCCycles]),
+		AllocBytes:    readUint(byName[rmAllocBytes]),
+	}
+	if out.HeapLiveBytes == 0 {
+		out.HeapLiveBytes = readUint(byName[rmHeapObjects])
+	}
+
+	first := s.prevAt.IsZero()
+	if !first {
+		if dt := now.Sub(s.prevAt).Seconds(); dt > 0 {
+			out.AllocRateBPS = int64(float64(out.AllocBytes-s.prevAlloc) / dt)
+		}
+	}
+	out.GCPauseNS = s.foldHistogram(byName[rmGCPauses], &s.prevPause, s.hGCPause)
+	s.foldHistogram(byName[rmSchedLatency], &s.prevSched, s.hSchedLat)
+
+	s.gHeapLive.Set(out.HeapLiveBytes)
+	s.gHeapGoal.Set(out.HeapGoalBytes)
+	s.gGoroutine.Set(out.Goroutines)
+	s.gAllocRate.Set(out.AllocRateBPS)
+	if d := out.GCCycles - s.prevGCCycles; d > 0 && !first {
+		s.cGCCycles.Add(d)
+	} else if first {
+		s.cGCCycles.Add(out.GCCycles)
+	}
+	if d := out.AllocBytes - s.prevAlloc; d > 0 && !first {
+		s.cAlloc.Add(d)
+	} else if first {
+		s.cAlloc.Add(out.AllocBytes)
+	}
+	s.prevAlloc = out.AllocBytes
+	s.prevGCCycles = out.GCCycles
+	s.prevAt = now
+
+	if j := s.opts.Journal; j.Enabled() {
+		j.Emit(Event{Kind: KindResourceSample, Iter: -1, N: map[string]int64{
+			"heap_live_bytes": out.HeapLiveBytes,
+			"heap_goal_bytes": out.HeapGoalBytes,
+			"goroutines":      out.Goroutines,
+			"gc_cycles":       out.GCCycles,
+			"alloc_bytes":     out.AllocBytes,
+			"alloc_rate_bps":  out.AllocRateBPS,
+			"gc_pause_ns":     out.GCPauseNS,
+		}})
+	}
+	if s.opts.OnSample != nil {
+		s.opts.OnSample(out)
+	}
+}
+
+// foldHistogram advances a cumulative runtime/metrics Float64Histogram
+// into an obs.Histogram: new counts per runtime bucket are observed at
+// the bucket's upper bound (in nanoseconds), so the exported ladder is
+// conservative the same way Prometheus quantiles are. Returns the
+// nanosecond-weighted total of this tick's new observations.
+func (s *RuntimeSampler) foldHistogram(sample *metrics.Sample, prev *[]uint64, h *Histogram) int64 {
+	if sample == nil || sample.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	fh := sample.Value.Float64Histogram()
+	if fh == nil {
+		return 0
+	}
+	var total int64
+	grew := len(*prev) != len(fh.Counts)
+	for i, c := range fh.Counts {
+		var d uint64
+		if grew {
+			d = c
+		} else if c >= (*prev)[i] {
+			d = c - (*prev)[i]
+		}
+		if d == 0 {
+			continue
+		}
+		ns := bucketUpperNS(fh.Buckets, i)
+		h.ObserveNSCount(ns, int64(d))
+		total += ns * int64(d)
+	}
+	if grew {
+		*prev = make([]uint64, len(fh.Counts))
+	}
+	copy(*prev, fh.Counts)
+	return total
+}
+
+// bucketUpperNS converts runtime bucket i's upper bound (seconds, possibly
+// +Inf) to nanoseconds; an infinite bound reports the finite lower bound
+// instead so the fold never produces an unrepresentable value.
+func bucketUpperNS(bounds []float64, i int) int64 {
+	// Buckets has len(Counts)+1 entries; bucket i spans bounds[i]..bounds[i+1].
+	up := bounds[i+1]
+	if math.IsInf(up, +1) {
+		up = bounds[i]
+	}
+	if math.IsInf(up, -1) || up < 0 {
+		return 0
+	}
+	return int64(up * 1e9)
+}
+
+// readUint extracts a uint64-kinded sample as int64 (0 when the metric is
+// unsupported by the running toolchain).
+func readUint(sample *metrics.Sample) int64 {
+	if sample == nil || sample.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	v := sample.Value.Uint64()
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// allocSamples is the one-metric read ReadAllocBytes performs; the slice
+// is recreated per call because runtime/metrics writes into it and the
+// callers are concurrent batch workers.
+func allocSamples() []metrics.Sample {
+	return []metrics.Sample{{Name: rmAllocBytes}}
+}
+
+// ReadAllocBytes returns the cumulative heap allocation of the process in
+// bytes — the base measure of the per-instance cost ledger
+// (internal/batch). The counter is process-global and monotonic;
+// attributing it to one instance among W concurrent workers divides the
+// window's delta by W (see DESIGN.md §15 for the tolerance this implies).
+func ReadAllocBytes() int64 {
+	s := allocSamples()
+	metrics.Read(s)
+	return readUint(&s[0])
+}
+
+// String renders a sample compactly for debug surfaces.
+func (r ResourceSample) String() string {
+	return fmt.Sprintf("heap %d/%d B, %d goroutines, gc %d, alloc %d B (%d B/s)",
+		r.HeapLiveBytes, r.HeapGoalBytes, r.Goroutines, r.GCCycles, r.AllocBytes, r.AllocRateBPS)
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("runtime.goroutines")
+	g.Set(7)
+	g.Add(3)
+	if g.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", g.Value())
+	}
+	if r.Gauge("runtime.goroutines") != g {
+		t.Error("second lookup returned a different gauge")
+	}
+
+	found := false
+	for _, m := range r.Snapshot() {
+		if m.Name == "runtime.goroutines" && m.Kind == "gauge" {
+			found = true
+			if m.Value != 10 {
+				t.Errorf("snapshot value = %d, want 10", m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("gauge missing from snapshot")
+	}
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r.Snapshot())
+	if !strings.Contains(buf.String(), "muml_runtime_goroutines 10") {
+		t.Errorf("exposition missing bare gauge sample:\n%s", buf.String())
+	}
+
+	var nilReg *Registry
+	ng := nilReg.Gauge("x")
+	ng.Set(1) // must not panic
+	ng.Add(1)
+	if ng.Value() != 0 {
+		t.Error("nil-registry gauge holds state")
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(NewJSONLSink(&buf))
+	r := NewRegistry()
+
+	var mu sync.Mutex
+	var seen []ResourceSample
+	s := StartRuntimeSampler(RuntimeSamplerOptions{
+		Interval: 10 * time.Millisecond,
+		Journal:  j,
+		Registry: r,
+		OnSample: func(rs ResourceSample) {
+			mu.Lock()
+			seen = append(seen, rs)
+			mu.Unlock()
+		},
+	})
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	n := len(seen)
+	first := seen[0]
+	mu.Unlock()
+	// One immediate sample, at least one tick, one final sample on Stop.
+	if n < 3 {
+		t.Fatalf("%d samples after 35ms at 10ms interval, want >= 3", n)
+	}
+	if first.HeapLiveBytes <= 0 || first.Goroutines <= 0 || first.AllocBytes <= 0 {
+		t.Errorf("implausible first sample: %+v", first)
+	}
+
+	if _, err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("sampler journal does not validate: %v", err)
+	}
+	events, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for _, e := range events {
+		if e.Kind == KindResourceSample {
+			samples++
+			if e.N["goroutines"] <= 0 {
+				t.Errorf("resource_sample without goroutines: %+v", e)
+			}
+		}
+	}
+	if samples != n {
+		t.Errorf("%d resource_sample events, %d OnSample calls", samples, n)
+	}
+
+	if g := r.Gauge("runtime.heap_live_bytes").Value(); g <= 0 {
+		t.Errorf("heap gauge = %d after sampling", g)
+	}
+	// The alloc counter is seeded with the cumulative total, so it tracks
+	// bytes since process start, not since sampler start.
+	if c := r.Counter("runtime.alloc_bytes").Value(); c < first.AllocBytes {
+		t.Errorf("alloc counter = %d, below first cumulative sample %d", c, first.AllocBytes)
+	}
+
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop() // must not panic
+}
+
+func TestReadAllocBytesMonotonic(t *testing.T) {
+	a := ReadAllocBytes()
+	if a <= 0 {
+		t.Fatalf("ReadAllocBytes = %d, want > 0", a)
+	}
+	waste := make([][]byte, 64)
+	for i := range waste {
+		waste[i] = make([]byte, 4096)
+	}
+	_ = waste
+	if b := ReadAllocBytes(); b < a {
+		t.Errorf("ReadAllocBytes went backwards: %d then %d", a, b)
+	}
+}
+
+func TestOverloadHysteresis(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(NewJSONLSink(&buf))
+	r := NewRegistry()
+	o := NewOverload(OverloadOptions{
+		HeapHighBytes: 1000, HeapLowBytes: 500,
+		QueueHigh: 4, QueueLow: 2,
+		Journal: j, Registry: r,
+	})
+	if o == nil {
+		t.Fatal("controller disabled despite watermarks")
+	}
+	if active, _ := o.Active(); active {
+		t.Fatal("fresh controller active")
+	}
+
+	// Below both high watermarks (heap below even the low one, so heap
+	// never blocks the AND-exit later): stays inactive.
+	o.ObserveHeap(400)
+	o.ObserveQueue(3)
+	if active, _ := o.Active(); active {
+		t.Fatal("active below the high watermarks")
+	}
+
+	// Queue trips it; heap staying low must not clear it (exit is an AND
+	// over low watermarks of the *enabled* signals, and queue is still up).
+	o.ObserveQueue(4)
+	if active, reason := o.Active(); !active || !strings.Contains(reason, "queue") {
+		t.Fatalf("Active = %v %q after queue hit high", active, reason)
+	}
+	if g := r.Gauge("runtime.overload").Value(); g != 1 {
+		t.Errorf("overload gauge = %d, want 1", g)
+	}
+
+	// Between low and high: hysteresis holds the state.
+	o.ObserveQueue(3)
+	if active, _ := o.Active(); !active {
+		t.Fatal("cleared above the low watermark")
+	}
+
+	// At the low watermark with heap also low: exits.
+	o.ObserveQueue(2)
+	if active, _ := o.Active(); active {
+		t.Fatal("still active at both low watermarks")
+	}
+	if g := r.Gauge("runtime.overload").Value(); g != 0 {
+		t.Errorf("overload gauge = %d after exit, want 0", g)
+	}
+
+	// Heap alone trips and clears it too.
+	o.ObserveHeap(1000)
+	if active, reason := o.Active(); !active || !strings.Contains(reason, "heap") {
+		t.Fatalf("Active = %v %q after heap hit high", active, reason)
+	}
+	o.ObserveHeap(500)
+	if active, _ := o.Active(); active {
+		t.Fatal("heap overload did not clear at the low watermark")
+	}
+
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("overload journal does not validate: %v", err)
+	}
+	events, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, string(e.Kind))
+		if e.Kind == KindOverloadExit && e.DurNS <= 0 {
+			t.Errorf("overload_exit without duration: %+v", e)
+		}
+	}
+	want := []string{"overload_enter", "overload_exit", "overload_enter", "overload_exit"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("journal kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestValidateResourceAndCostKinds(t *testing.T) {
+	good := strings.Join([]string{
+		`{"seq":1,"kind":"resource_sample","iter":-1,"n":{"goroutines":9,"heap_live_bytes":1,"alloc_bytes":2}}`,
+		`{"seq":2,"kind":"overload_enter","iter":-1,"s":{"reason":"queue depth 4 >= high watermark 4"},"n":{"queue_depth":4}}`,
+		`{"seq":3,"kind":"overload_exit","iter":-1,"dur_ns":5,"n":{"queue_depth":1}}`,
+		`{"seq":4,"kind":"cost_report","iter":-1,"s":{"job":"job-1"},"n":{"instances":2,"cpu_ns":10,"alloc_bytes":20,"peak_states":3,"ctl_words":4}}`,
+	}, "\n") + "\n"
+	if n, err := ValidateJSONL(strings.NewReader(good)); err != nil || n != 4 {
+		t.Fatalf("resource/cost journal: n=%d err=%v", n, err)
+	}
+	bad := map[string]string{
+		"sample without goroutines": `{"seq":1,"kind":"resource_sample","iter":-1,"n":{"heap_live_bytes":1}}`,
+		"negative heap":             `{"seq":1,"kind":"resource_sample","iter":-1,"n":{"goroutines":1,"heap_live_bytes":-1}}`,
+		"enter without reason":      `{"seq":1,"kind":"overload_enter","iter":-1}`,
+		"negative cost":             `{"seq":1,"kind":"cost_report","iter":-1,"n":{"cpu_ns":-1}}`,
+	}
+	for name, line := range bad {
+		if _, err := ValidateJSONL(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestOverloadDisabledAndNil(t *testing.T) {
+	if o := NewOverload(OverloadOptions{}); o != nil {
+		t.Error("no watermarks should yield a nil controller")
+	}
+	var o *Overload
+	o.ObserveHeap(1 << 40)
+	o.ObserveQueue(1 << 20)
+	if active, reason := o.Active(); active || reason != "" {
+		t.Error("nil controller reported overload")
+	}
+}
+
+func TestOverloadLowDefaultsToHigh(t *testing.T) {
+	// Unset low watermarks snap to the high value: plain thresholds.
+	o := NewOverload(OverloadOptions{HeapHighBytes: 100})
+	o.ObserveHeap(100)
+	if active, _ := o.Active(); !active {
+		t.Fatal("not active at the high watermark")
+	}
+	o.ObserveHeap(101)
+	if active, _ := o.Active(); !active {
+		t.Fatal("cleared above the (defaulted) low watermark")
+	}
+	o.ObserveHeap(99)
+	if active, _ := o.Active(); active {
+		t.Fatal("still active below the defaulted low watermark")
+	}
+}

@@ -106,6 +106,26 @@ func (v *jsonlValidator) validate(e Event) error {
 				e.Seq, e.Trace, e.Parent, owner)
 		}
 	}
+	switch e.Kind {
+	case KindResourceSample:
+		// A live process always has at least the sampler goroutine itself.
+		if e.N["goroutines"] < 1 {
+			return fmt.Errorf("seq %d: resource_sample with %d goroutines", e.Seq, e.N["goroutines"])
+		}
+		if e.N["heap_live_bytes"] < 0 || e.N["alloc_bytes"] < 0 {
+			return fmt.Errorf("seq %d: resource_sample with negative byte counts", e.Seq)
+		}
+	case KindCostReport:
+		for _, k := range []string{"instances", "cpu_ns", "alloc_bytes", "peak_states", "ctl_words"} {
+			if e.N[k] < 0 {
+				return fmt.Errorf("seq %d: cost_report field %s negative (%d)", e.Seq, k, e.N[k])
+			}
+		}
+	case KindOverloadEnter:
+		if e.S["reason"] == "" {
+			return fmt.Errorf("seq %d: overload_enter without a reason", e.Seq)
+		}
+	}
 	if e.Kind == KindHistogramSnapshot {
 		if e.S["name"] == "" {
 			return fmt.Errorf("seq %d: histogram_snapshot without an instrument name", e.Seq)

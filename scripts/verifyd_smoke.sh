@@ -9,10 +9,14 @@
 # kills the server with SIGTERM (the graceful-drain path), restarts it
 # against the same store directory, resubmits the identical job, and
 # asserts the warm start: strictly more memo hits than the first run,
-# nonzero store hits, and a byte-identical verdict document. Finally the
-# server journals and every per-job spool journal must pass obscheck, and
-# the /metrics plane must expose the muml_store_* and muml_verifyd_*
-# families.
+# nonzero store hits, and a byte-identical verdict document (which now
+# embeds the deterministic cost figures, so the restart identity also
+# covers the cost ledger). A third boot with a one-slot queue drives the
+# admission controller: with the runner occupied and the queue full, a
+# further submission must shed with 503 + Retry-After, and intake must
+# recover to 202 once the queue drains. Finally the server journals and
+# every per-job spool journal must pass obscheck, and the /metrics plane
+# must expose the muml_store_* and muml_verifyd_* families.
 #
 # Everything lands in VERIFYD_SMOKE_DIR so CI can upload the artifacts
 # when the smoke fails. Usage: scripts/verifyd_smoke.sh (from the repo
@@ -42,23 +46,27 @@ done
 
 VERIFYD_PID=
 
-start_verifyd() { # $1: run label
+start_verifyd() { # $1: run label; remaining args: extra verifyd flags
+    label="$1"
+    shift
     "$DIR/verifyd" -addr "$ADDR" -store "$DIR/store" -spool "$DIR/spool" \
-        -journal "$DIR/server-$1.jsonl" \
-        > "$DIR/verifyd-$1.out" 2> "$DIR/verifyd-$1.err" &
+        -journal "$DIR/server-$label.jsonl" "$@" \
+        > "$DIR/verifyd-$label.out" 2> "$DIR/verifyd-$label.err" &
     VERIFYD_PID=$!
+    # Poll readiness, not liveness: /readyz answers 200 only once the
+    # server accepts jobs, which is the state the smoke actually needs.
     i=0
     while [ "$i" -lt 100 ]; do
-        if curl -fsS "http://$ADDR/healthz" > /dev/null 2>&1; then return 0; fi
+        if curl -fsS "http://$ADDR/readyz" > /dev/null 2>&1; then return 0; fi
         if ! kill -0 "$VERIFYD_PID" 2> /dev/null; then
-            echo "verifyd-smoke: verifyd ($1) exited during startup:" >&2
-            cat "$DIR/verifyd-$1.err" >&2
+            echo "verifyd-smoke: verifyd ($label) exited during startup:" >&2
+            cat "$DIR/verifyd-$label.err" >&2
             exit 1
         fi
         sleep 0.1
         i=$((i + 1))
     done
-    echo "verifyd-smoke: verifyd ($1) never became healthy" >&2
+    echo "verifyd-smoke: verifyd ($label) never became ready" >&2
     exit 1
 }
 
@@ -112,6 +120,18 @@ misses1="$(field memo_misses "$status_full")"
 curl -fsS "http://$ADDR/jobs/$job_full/verdicts" > "$DIR/verdicts-run1.ndjson"
 [ -s "$DIR/verdicts-run1.ndjson" ] || { echo "verifyd-smoke: empty verdicts" >&2; exit 1; }
 echo "verifyd-smoke: run 1: job $job_full done (memo $hits1 hits / $misses1 misses)"
+
+# Cost attribution: the job status carries the aggregated ledger and the
+# verdict lines carry the deterministic per-instance figures.
+printf '%s' "$status_full" | grep -q '"cost":{' \
+    || { echo "verifyd-smoke: job status without a cost block" >&2; exit 1; }
+cpu_ns="$(field cpu_ns "$status_full")"
+if [ -z "$cpu_ns" ] || [ "$cpu_ns" -eq 0 ]; then
+    echo "verifyd-smoke: job cost ledger has no CPU time: $status_full" >&2
+    exit 1
+fi
+grep -q '"cost":{"peak_states":' "$DIR/verdicts-run1.ndjson" \
+    || { echo "verifyd-smoke: verdict lines lack cost figures" >&2; exit 1; }
 if [ "$misses1" -eq 0 ]; then
     echo "verifyd-smoke: run 1 had no memo misses; the warm-start assertion would be vacuous" >&2
     exit 1
@@ -168,9 +188,59 @@ grep -Eq '^muml_verifyd_jobs_done_total [1-9]' "$DIR/metrics-run2.prom"
 
 stop_verifyd
 
+# ---- run 3: admission control at the queue bound ---------------------------
+start_verifyd run3 -queue 1
+
+json_submit() { # $1: JSON body; prints job id
+    curl -fsS -H 'Content-Type: application/json' -d "$1" "http://$ADDR/jobs" \
+        | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4
+}
+
+echo "verifyd-smoke: run 3: occupying the runner and filling the one-slot queue"
+slow_job="$(json_submit '{"gen":{"seed":100,"n":16,"config":"wide"},"workers":1}')"
+i=0
+state=""
+while [ "$i" -lt 100 ]; do
+    state="$(curl -fsS "http://$ADDR/jobs/$slow_job" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+    [ "$state" = running ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$state" != running ]; then
+    echo "verifyd-smoke: run 3: slow job never started running (state: $state)" >&2
+    exit 1
+fi
+queued_job="$(json_submit '{"scenarios":true}')"
+
+echo "verifyd-smoke: run 3: overflow submission must shed with 503 + Retry-After"
+overflow_code="$(curl -sS -o "$DIR/overflow-body.txt" -D "$DIR/overflow-headers.txt" \
+    -w '%{http_code}' -H 'Content-Type: application/json' -d '{"scenarios":true}' \
+    "http://$ADDR/jobs")"
+if [ "$overflow_code" != 503 ]; then
+    echo "verifyd-smoke: overflow submission got $overflow_code, want 503" >&2
+    exit 1
+fi
+if ! grep -qi '^Retry-After:' "$DIR/overflow-headers.txt"; then
+    echo "verifyd-smoke: overflow 503 carried no Retry-After header:" >&2
+    cat "$DIR/overflow-headers.txt" >&2
+    exit 1
+fi
+
+echo "verifyd-smoke: run 3: intake must recover to 202 once the queue drains"
+wait_done "$slow_job" > /dev/null
+wait_done "$queued_job" > /dev/null
+recover_code="$(curl -sS -o /dev/null -w '%{http_code}' -H 'Content-Type: application/json' \
+    -d '{"scenarios":true}' "http://$ADDR/jobs")"
+if [ "$recover_code" != 202 ]; then
+    echo "verifyd-smoke: post-drain submission got $recover_code, want 202" >&2
+    exit 1
+fi
+
+stop_verifyd
+
 echo "verifyd-smoke: validating server and per-job journals"
 for journal in "$DIR"/server-*.jsonl "$DIR"/spool/*.jsonl; do
     "$DIR/obscheck" "$journal" > /dev/null
 done
 
-echo "verifyd-smoke: service, store warm start, shard merge, and journals ok"
+echo "verifyd-smoke: service, store warm start, shard merge, admission control, and journals ok"
